@@ -1,0 +1,169 @@
+package hbn
+
+// One benchmark per experiment of the reproduction suite (E1–E11; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// results), plus micro-benchmarks of the pipeline stages for the runtime
+// claims of Theorem 4.3. Regenerate the experiment tables with
+//
+//	go run ./cmd/hbnbench -experiment all
+//
+// and the benchmark numbers with
+//
+//	go test -bench=. -benchmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbn/internal/core"
+	"hbn/internal/deletion"
+	"hbn/internal/dist"
+	"hbn/internal/experiments"
+	"hbn/internal/mapping"
+	"hbn/internal/nibble"
+	"hbn/internal/placement"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	fn, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := fn(experiments.Config{Quick: true, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK {
+			b.Fatalf("%s: %s", id, res.Verdict)
+		}
+	}
+}
+
+// BenchmarkE1Hardness regenerates the Theorem 2.1 gadget table.
+func BenchmarkE1Hardness(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2Nibble regenerates the Theorem 3.1 per-edge optimality table.
+func BenchmarkE2Nibble(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3Deletion regenerates the Observation 3.2 table.
+func BenchmarkE3Deletion(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4Mapping regenerates the Lemma 4.1 / Invariant 4.2 table.
+func BenchmarkE4Mapping(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5Approx regenerates the Theorem 4.3 approximation-ratio table.
+func BenchmarkE5Approx(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6Runtime regenerates the sequential-runtime scaling table.
+func BenchmarkE6Runtime(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7Distributed regenerates the distributed round-count table.
+func BenchmarkE7Distributed(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8RingEquiv regenerates the Figure 1/2 equivalence table.
+func BenchmarkE8RingEquiv(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9Throughput regenerates the congestion-vs-makespan table.
+func BenchmarkE9Throughput(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10Ablation regenerates the pipeline ablation table.
+func BenchmarkE10Ablation(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11Dynamic regenerates the online-strategy table.
+func BenchmarkE11Dynamic(b *testing.B) { benchExperiment(b, "E11") }
+
+// --- Micro-benchmarks for the Theorem 4.3 runtime terms ---
+
+func benchInstance(nodes, objects int) (*tree.Tree, *workload.W) {
+	rng := rand.New(rand.NewSource(99))
+	t := tree.Random(rng, nodes, 6, 0.4, 16)
+	w := workload.Uniform(rng, t, objects, workload.DefaultGen)
+	return t, w
+}
+
+func BenchmarkNibblePlace100x16(b *testing.B) {
+	t, w := benchInstance(100, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nibble.Place(t, w)
+	}
+}
+
+func BenchmarkNibblePlace1000x64(b *testing.B) {
+	t, w := benchInstance(1000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nibble.Place(t, w)
+	}
+}
+
+func BenchmarkDeletion1000x64(b *testing.B) {
+	t, w := benchInstance(1000, 64)
+	nib := nibble.Place(t, w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := deletion.Run(t, w, nib, deletion.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapping1000x64(b *testing.B) {
+	t, w := benchInstance(1000, 64)
+	nib := nibble.Place(t, w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		mod, _, err := deletion.Run(t, w, nib, deletion.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, _, err := mapping.Run(t, w, mod, mapping.Options{Root: tree.None}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveEndToEnd1000x64(b *testing.B) {
+	t, w := benchInstance(1000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(t, w, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluate1000x64(b *testing.B) {
+	t, w := benchInstance(1000, 64)
+	res, err := core.Solve(t, w, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		placement.Evaluate(t, res.Final)
+	}
+}
+
+func BenchmarkDistributedNibble200x16(b *testing.B) {
+	t, w := benchInstance(200, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dist.NibblePlacement(t, w, 1000000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Command hbnbench runs the reproduction experiment suite (E1–E11, see
+// DESIGN.md) and prints the result tables, either as aligned text for the
+// terminal or as the Markdown recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	hbnbench -experiment all            # run everything
+//	hbnbench -experiment E5 -quick      # one experiment, small sweeps
+//	hbnbench -experiment all -markdown  # EXPERIMENTS.md body on stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hbn/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID (E1..E11) or 'all'")
+		quick      = flag.Bool("quick", false, "shrink sweep sizes")
+		markdown   = flag.Bool("markdown", false, "emit Markdown instead of aligned text")
+		seed       = flag.Int64("seed", 2000, "base random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	var results []*experiments.Result
+	if *experiment == "all" {
+		var err error
+		results, err = experiments.All(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		fn, ok := experiments.ByID(*experiment)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (want E1..E11 or all)", *experiment))
+		}
+		r, err := fn(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		results = []*experiments.Result{r}
+	}
+
+	if *markdown {
+		if err := experiments.WriteMarkdown(os.Stdout, results); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, r := range results {
+			fmt.Printf("=== %s — %s\n", r.ID, r.Title)
+			fmt.Printf("claim: %s\n\n", r.Claim)
+			fmt.Print(r.Table.String())
+			fmt.Printf("\n%s\n\n", r.Verdict)
+		}
+	}
+	for _, r := range results {
+		if !r.OK {
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hbnbench:", err)
+	os.Exit(1)
+}

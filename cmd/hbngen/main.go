@@ -1,0 +1,115 @@
+// Command hbngen generates hierarchical bus networks and workloads in the
+// JSON formats consumed by cmd/hbnsolve.
+//
+// Usage:
+//
+//	hbngen -shape sci -out net.json
+//	hbngen -shape random -leaves 64 -out net.json
+//	hbngen -workload zipf -tree net.json -objects 32 -out load.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+func main() {
+	var (
+		shape    = flag.String("shape", "", "network shape: star | kary | caterpillar | sci | random")
+		leaves   = flag.Int("leaves", 16, "target processor count (star, random)")
+		depth    = flag.Int("depth", 3, "depth (kary) / buses (caterpillar)")
+		arity    = flag.Int("k", 3, "arity (kary) / leaves per bus (caterpillar)")
+		wl       = flag.String("workload", "", "workload kind: uniform | zipf | hotspot | prodcons | writeonly")
+		treePath = flag.String("tree", "", "network JSON to generate a workload for")
+		objects  = flag.Int("objects", 16, "number of shared objects")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	switch {
+	case *shape != "" && *wl != "":
+		fatal(fmt.Errorf("use either -shape or -workload, not both"))
+	case *shape != "":
+		var t *tree.Tree
+		switch *shape {
+		case "star":
+			t = tree.Star(*leaves, int64(*leaves))
+		case "kary":
+			t = tree.BalancedKAry(*depth, *arity, 0)
+		case "caterpillar":
+			t = tree.Caterpillar(*depth, *arity, 8, 8)
+		case "sci":
+			t = tree.SCICluster(4, max(1, *leaves/4), 16, 8)
+		case "random":
+			t = tree.Random(rng, *leaves, 6, 0.4, 16)
+		default:
+			fatal(fmt.Errorf("unknown shape %q", *shape))
+		}
+		if err := tree.Encode(dst, t); err != nil {
+			fatal(err)
+		}
+	case *wl != "":
+		if *treePath == "" {
+			fatal(fmt.Errorf("-workload requires -tree"))
+		}
+		f, err := os.Open(*treePath)
+		if err != nil {
+			fatal(err)
+		}
+		t, err := tree.Decode(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		var w *workload.W
+		switch *wl {
+		case "uniform":
+			w = workload.Uniform(rng, t, *objects, workload.DefaultGen)
+		case "zipf":
+			w = workload.Zipf(rng, t, *objects, 1.1, workload.DefaultGen)
+		case "hotspot":
+			w = workload.Hotspot(rng, t, *objects, 0.7, workload.DefaultGen)
+		case "prodcons":
+			w = workload.ProducerConsumer(rng, t, *objects, workload.DefaultGen)
+		case "writeonly":
+			w = workload.WriteOnly(rng, t, *objects, workload.DefaultGen)
+		default:
+			fatal(fmt.Errorf("unknown workload %q", *wl))
+		}
+		if err := workload.Encode(dst, w); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hbngen:", err)
+	os.Exit(1)
+}

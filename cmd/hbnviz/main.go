@@ -1,0 +1,131 @@
+// Command hbnviz renders a hierarchical bus network as ASCII art, with the
+// per-edge loads and relative loads of the extended-nibble placement (or
+// of a chosen baseline) annotated. Useful for eyeballing where the
+// bottleneck sits and how the strategy spreads copies.
+//
+// Usage:
+//
+//	hbnviz -tree net.json -workload load.json [-strategy extended-nibble]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"hbn/internal/baseline"
+	"hbn/internal/core"
+	"hbn/internal/placement"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+func main() {
+	var (
+		treePath = flag.String("tree", "", "network JSON (required)")
+		loadPath = flag.String("workload", "", "workload JSON (optional: without it only the topology is drawn)")
+		strategy = flag.String("strategy", "extended-nibble", "extended-nibble | single-home | full-replication | random | greedy")
+		seed     = flag.Int64("seed", 1, "seed for randomized strategies")
+	)
+	flag.Parse()
+	if *treePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*treePath)
+	if err != nil {
+		fatal(err)
+	}
+	t, err := tree.Decode(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var rep *placement.Report
+	var p *placement.P
+	if *loadPath != "" {
+		lf, err := os.Open(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		w, err := workload.Decode(lf)
+		lf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if *strategy == "extended-nibble" {
+			res, err := core.Solve(t, w, core.DefaultOptions())
+			if err != nil {
+				fatal(err)
+			}
+			p = res.Final
+		} else {
+			p, err = baseline.ByName(*strategy, rand.New(rand.NewSource(*seed)), t, w)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		rep = placement.Evaluate(t, p)
+	}
+
+	root := tree.NodeID(0)
+	if buses := t.Buses(); len(buses) > 0 {
+		root = buses[0]
+	}
+	r := t.Rooted(root)
+	draw(os.Stdout, t, r, p, rep, root, "")
+	if rep != nil {
+		fmt.Printf("\ncongestion %s at %s; total load %d\n",
+			rep.Congestion, rep.Bottleneck, rep.TotalLoad)
+	}
+}
+
+// draw prints the subtree of v with box-drawing connectors.
+func draw(out *os.File, t *tree.Tree, r *tree.Rooted, p *placement.P, rep *placement.Report, v tree.NodeID, prefix string) {
+	label := t.Name(v)
+	if t.Kind(v) == tree.Bus {
+		label = fmt.Sprintf("[%s bw=%d]", label, t.NodeBandwidth(v))
+		if rep != nil {
+			label += fmt.Sprintf(" load=%.1f", float64(rep.BusLoadX2[v])/2)
+		}
+	} else {
+		if p != nil {
+			var objs []string
+			for x := 0; x < p.NumObjects; x++ {
+				for _, c := range p.Copies[x] {
+					if c.Node == v {
+						objs = append(objs, fmt.Sprint(x))
+						break
+					}
+				}
+			}
+			if len(objs) > 0 {
+				label += " {x" + strings.Join(objs, ",x") + "}"
+			}
+		}
+	}
+	fmt.Fprintln(out, label)
+	children := r.Children(v)
+	for i, c := range children {
+		connector, childPrefix := "├─", prefix+"│  "
+		if i == len(children)-1 {
+			connector, childPrefix = "└─", prefix+"   "
+		}
+		e := r.ParentEdge[c]
+		edgeInfo := fmt.Sprintf("(bw=%d", t.EdgeBandwidth(e))
+		if rep != nil {
+			edgeInfo += fmt.Sprintf(" load=%d", rep.EdgeLoad[e])
+		}
+		edgeInfo += ")"
+		fmt.Fprintf(out, "%s%s%s ", prefix, connector, edgeInfo)
+		draw(out, t, r, p, rep, c, childPrefix)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hbnviz:", err)
+	os.Exit(1)
+}

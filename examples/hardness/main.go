@@ -1,0 +1,74 @@
+// Hardness: a walkthrough of the paper's NP-completeness proof (Theorem
+// 2.1, Figure 3). A PARTITION instance is encoded into a placement problem
+// on a 4-leaf star; the optimal congestion is 4k exactly when the instance
+// is solvable. The example shows both directions on concrete instances and
+// how close the polynomial-time extended-nibble strategy gets to the
+// (exponentially computed) optimum on these adversarial inputs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbn"
+	"hbn/internal/nphard"
+	"hbn/internal/opt"
+	"hbn/internal/placement"
+	"hbn/internal/ratio"
+)
+
+func main() {
+	show(nphard.Instance{Items: []int64{3, 1, 2, 2}})    // solvable: {3,1} vs {2,2}
+	show(nphard.Instance{Items: []int64{4, 1, 1}})       // unsolvable, even sum
+	show(nphard.Instance{Items: []int64{5, 4, 3, 2, 2}}) // solvable: {5,3} vs {4,2,2}
+}
+
+func show(in nphard.Instance) {
+	t, w, k, err := nphard.Gadget(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PARTITION items %v (sum %d, k = %d)\n", in.Items, in.Sum(), k)
+	fmt.Printf("  gadget: 4-leaf star, %d all-write objects; threshold congestion 4k = %d\n",
+		w.NumObjects(), 4*k)
+
+	solvable := in.Solvable()
+	fmt.Printf("  subset-sum DP says: solvable = %v\n", solvable)
+
+	// Exact optimum (exponential; valid because all requests are writes,
+	// so non-redundant search loses nothing — paper, Section 2).
+	lim := opt.Limits{MaxHosts: 4, MaxRequesters: 4, MaxConfigs: 200000, NonRedundant: true}
+	sol, err := opt.ExactCongestion(t, w, lim, ratio.R{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  exact optimal congestion: %s (== 4k? %v)\n",
+		sol.Congestion, sol.Congestion.Eq(ratio.New(4*k, 1)))
+	if solvable != sol.Congestion.Eq(ratio.New(4*k, 1)) {
+		log.Fatal("Theorem 2.1 equivalence violated!")
+	}
+
+	if solvable {
+		// Reconstruct the witness placement from the proof and verify it
+		// achieves 4k.
+		hosts := nphard.WitnessPlacement(in, in.Witness())
+		copies := make([][]hbn.NodeID, w.NumObjects())
+		for x, h := range hosts {
+			copies[x] = []hbn.NodeID{h}
+		}
+		p, err := placement.NearestAssignment(t, w, copies)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  proof's witness placement evaluates to: %s\n",
+			hbn.Evaluate(t, p).Congestion)
+	}
+
+	// The polynomial-time 7-approximation on the same gadget.
+	res, err := hbn.Solve(t, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  extended-nibble (polynomial): %s  (%.2f× the optimum; guarantee is 7×)\n\n",
+		res.Report.Congestion, res.Report.Congestion.Float()/sol.Congestion.Float())
+}

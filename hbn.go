@@ -1,0 +1,161 @@
+// Package hbn is a library for static data management in hierarchical bus
+// networks, reproducing "Data Management in Hierarchical Bus Networks"
+// (F. Meyer auf der Heide, H. Räcke, M. Westermann, SPAA 2000).
+//
+// A hierarchical bus network is a tree whose leaves are processors and
+// whose inner nodes are buses (the abstraction of SCI-style ring-of-rings
+// fabrics). Given read/write frequencies of processors to shared data
+// objects, the library computes a placement of (possibly replicated)
+// object copies onto processors that minimizes congestion — the maximum,
+// over switches and buses, of load divided by bandwidth:
+//
+//	b := hbn.NewNetworkBuilder()
+//	bus := b.AddBus("ring", 16)
+//	p0 := b.AddProcessor("p0")
+//	p1 := b.AddProcessor("p1")
+//	b.Connect(bus, p0, 1)
+//	b.Connect(bus, p1, 1)
+//	t := b.MustBuildHBN()
+//
+//	w := hbn.NewWorkload(1, t.Len())
+//	w.AddReads(0, p0, 100)
+//	w.AddWrites(0, p1, 10)
+//
+//	res, err := hbn.Solve(t, w)          // the paper's 7-approximation
+//	rep := hbn.Evaluate(t, res.Final)    // exact loads and congestion
+//
+// Computing the optimum is NP-hard even on a 4-leaf star (the paper's
+// Theorem 2.1, reproduced in internal/nphard); Solve runs the paper's
+// extended-nibble strategy, which is provably within a factor 7 and in
+// practice far closer (see EXPERIMENTS.md). The intermediate products —
+// the nibble placement (a congestion lower bound), the deletion-trimmed
+// placement and the mapping trace — are exposed on the Result for
+// analysis.
+package hbn
+
+import (
+	"math/rand"
+
+	"hbn/internal/baseline"
+	"hbn/internal/core"
+	"hbn/internal/dist"
+	"hbn/internal/dynamic"
+	"hbn/internal/placement"
+	"hbn/internal/ratio"
+	"hbn/internal/ring"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// Re-exported core types. The aliases make the full method sets of the
+// internal packages available through the public API.
+type (
+	// Tree is an immutable weighted tree; leaves are processors, inner
+	// nodes are buses.
+	Tree = tree.Tree
+	// NetworkBuilder constructs Trees.
+	NetworkBuilder = tree.Builder
+	// NodeID identifies a tree node.
+	NodeID = tree.NodeID
+	// EdgeID identifies a tree edge (a switch).
+	EdgeID = tree.EdgeID
+	// Workload holds per-(object, processor) read/write frequencies.
+	Workload = workload.W
+	// Access is one (reads, writes) frequency pair.
+	Access = workload.Access
+	// Placement assigns object copies to nodes together with the demand
+	// they serve.
+	Placement = placement.P
+	// Report holds exact per-edge/per-bus loads and the congestion of a
+	// placement.
+	Report = placement.Report
+	// Congestion is an exact non-negative rational (load/bandwidth).
+	Congestion = ratio.R
+	// Result carries the extended-nibble output and all intermediate
+	// products.
+	Result = core.Result
+	// Options tunes the solver (ablations, mapping root, invariant
+	// checking).
+	Options = core.Options
+	// RingNetwork is a concrete SCI-style hierarchical ring network
+	// (Figure 1 of the paper).
+	RingNetwork = ring.Network
+	// OnlineStrategy is the dynamic (online) extension for workloads with
+	// unknown frequencies.
+	OnlineStrategy = dynamic.Strategy
+)
+
+// None is the sentinel "no node" value.
+const None = tree.None
+
+// NewNetworkBuilder returns an empty network builder.
+func NewNetworkBuilder() *NetworkBuilder { return tree.NewBuilder() }
+
+// NewWorkload returns an all-zero workload for numObjects objects over
+// numNodes tree nodes.
+func NewWorkload(numObjects, numNodes int) *Workload { return workload.New(numObjects, numNodes) }
+
+// Solve runs the extended-nibble strategy (Sections 3–4 of the paper) with
+// default options and returns the leaf-only placement, its exact loads,
+// and a certified lower bound on the optimal congestion.
+func Solve(t *Tree, w *Workload) (*Result, error) {
+	return core.Solve(t, w, core.DefaultOptions())
+}
+
+// SolveWithOptions is Solve with explicit options (ablations, invariant
+// checking, mapping root).
+func SolveWithOptions(t *Tree, w *Workload, opts Options) (*Result, error) {
+	return core.Solve(t, w, opts)
+}
+
+// Evaluate computes the exact loads and congestion a placement induces
+// under the paper's cost model (Section 1.1).
+func Evaluate(t *Tree, p *Placement) *Report { return placement.Evaluate(t, p) }
+
+// SolveDistributed computes the Step-1 nibble placement by running the
+// tree network itself: every node exchanges messages with its neighbors in
+// synchronous rounds (Section 3.1's distributed computation). It returns
+// the round/message statistics alongside.
+func SolveDistributed(t *Tree, w *Workload, maxRounds int) (*Result, *dist.Stats, error) {
+	nib, st, err := dist.NibblePlacement(t, w, maxRounds)
+	if err != nil {
+		return nil, st, err
+	}
+	res, err := core.SolveFromNibble(t, w, nib, core.DefaultOptions())
+	if err != nil {
+		return nil, st, err
+	}
+	return res, st, nil
+}
+
+// Baseline computes one of the comparison strategies: "single-home",
+// "full-replication", "random" or "greedy".
+func Baseline(name string, seed int64, t *Tree, w *Workload) (*Placement, error) {
+	return baseline.ByName(name, rand.New(rand.NewSource(seed)), t, w)
+}
+
+// BaselineNames lists the available baselines.
+func BaselineNames() []string { return baseline.Names() }
+
+// NewOnline creates the dynamic (online) strategy with the given
+// replication threshold (1 = replicate eagerly).
+func NewOnline(t *Tree, numObjects, threshold int) *OnlineStrategy {
+	return dynamic.New(t, numObjects, dynamic.Options{Threshold: threshold})
+}
+
+// Generators for common network shapes (all valid hierarchical bus
+// networks).
+var (
+	// Star returns one bus with n processors.
+	Star = tree.Star
+	// BalancedKAry returns a balanced k-ary bus hierarchy.
+	BalancedKAry = tree.BalancedKAry
+	// SCICluster returns the Figure-1/2 shape: a top ring over leaf rings.
+	SCICluster = tree.SCICluster
+	// Caterpillar returns a deep chain of buses.
+	Caterpillar = tree.Caterpillar
+)
+
+// Figure1 builds the paper's Figure-1 ring-of-rings network; call
+// (*RingNetwork).BusTree for the Figure-2 transformation.
+var Figure1 = ring.Figure1

@@ -1,0 +1,138 @@
+package hbn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildExample(t *testing.T) (*Tree, *Workload) {
+	t.Helper()
+	b := NewNetworkBuilder()
+	bus := b.AddBus("ring", 16)
+	p0 := b.AddProcessor("p0")
+	p1 := b.AddProcessor("p1")
+	p2 := b.AddProcessor("p2")
+	b.Connect(bus, p0, 1)
+	b.Connect(bus, p1, 1)
+	b.Connect(bus, p2, 1)
+	tr := b.MustBuildHBN()
+	w := NewWorkload(2, tr.Len())
+	w.AddReads(0, p0, 100)
+	w.AddWrites(0, p1, 10)
+	w.AddWrites(1, p2, 25)
+	return tr, w
+}
+
+func TestPublicSolve(t *testing.T) {
+	tr, w := buildExample(t)
+	res, err := Solve(tr, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Final.LeafOnly(tr) {
+		t.Fatal("not leaf-only")
+	}
+	rep := Evaluate(tr, res.Final)
+	if !rep.Congestion.Eq(res.Report.Congestion) {
+		t.Fatal("Evaluate disagrees with Result.Report")
+	}
+	if res.ApproxRatio() > 7 {
+		t.Fatalf("ratio %v > 7", res.ApproxRatio())
+	}
+}
+
+func TestPublicSolveDistributed(t *testing.T) {
+	tr, w := buildExample(t)
+	seq, err := Solve(tr, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := SolveDistributed(tr, w, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	if !got.Report.Congestion.Eq(seq.Report.Congestion) {
+		t.Fatalf("distributed congestion %v ≠ sequential %v",
+			got.Report.Congestion, seq.Report.Congestion)
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	tr, w := buildExample(t)
+	for _, name := range BaselineNames() {
+		p, err := Baseline(name, 1, tr, w)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := p.Validate(tr, w); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPublicGenerators(t *testing.T) {
+	for _, tr := range []*Tree{
+		Star(5, 8),
+		BalancedKAry(2, 3, 0),
+		SCICluster(3, 4, 16, 8),
+		Caterpillar(4, 2, 8, 8),
+	} {
+		if err := tr.ValidateHBN(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := Figure1(3, 16, 8)
+	m, err := n.BusTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tree.NumLeaves() != 6 {
+		t.Fatal("figure 1 transformation wrong")
+	}
+}
+
+func TestPublicOnline(t *testing.T) {
+	tr, _ := buildExample(t)
+	s := NewOnline(tr, 1, 2)
+	if s == nil {
+		t.Fatal("nil strategy")
+	}
+}
+
+// Property: for random star workloads the solver's congestion always sits
+// between the certified lower bound and 7× the lower bound.
+func TestQuickSolveBounds(t *testing.T) {
+	tr := Star(5, 8)
+	f := func(rates [5]uint8, writes [5]uint8) bool {
+		w := NewWorkload(1, tr.Len())
+		any := false
+		for i, leaf := range tr.Leaves() {
+			r, wr := int64(rates[i]%32), int64(writes[i]%8)
+			if r+wr > 0 {
+				any = true
+			}
+			w.Set(0, leaf, Access{Reads: r, Writes: wr})
+		}
+		if !any {
+			return true
+		}
+		res, err := Solve(tr, w)
+		if err != nil {
+			return false
+		}
+		if res.Report.Congestion.Less(res.LowerBound) {
+			return false
+		}
+		if res.LowerBound.Num > 0 && res.ApproxRatio() > 7.0+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Error(err)
+	}
+}

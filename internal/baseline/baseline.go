@@ -1,0 +1,186 @@
+// Package baseline implements the straw-man data management strategies the
+// motivation section of the paper argues against: minimizing total
+// communication load or ignoring load balance entirely can produce highly
+// congested switches. The benchmark harness (experiment E9) compares each
+// baseline's congestion — and its delivered throughput on the ring
+// simulator — against the extended-nibble strategy.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hbn/internal/placement"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// SingleHome places exactly one copy of each object on the leaf issuing
+// the most requests to it (ties to the smaller ID). This is the classical
+// "owner computes" placement: it minimizes nothing globally but is what
+// naive systems do.
+func SingleHome(t *tree.Tree, w *workload.W) (*placement.P, error) {
+	copies := make([][]tree.NodeID, w.NumObjects())
+	for x := 0; x < w.NumObjects(); x++ {
+		if w.TotalWeight(x) == 0 {
+			continue
+		}
+		best := tree.None
+		var bestW int64 = -1
+		for _, leaf := range t.Leaves() {
+			if h := w.At(x, leaf).Total(); h > bestW {
+				bestW = h
+				best = leaf
+			}
+		}
+		copies[x] = []tree.NodeID{best}
+	}
+	fillEmpty(t, w, copies)
+	return placement.NearestAssignment(t, w, copies)
+}
+
+// FullReplication places a copy of each object on every leaf that reads or
+// writes it. Reads become free; every write pays the full Steiner tree of
+// the requester set — the classic write-amplification failure mode.
+func FullReplication(t *tree.Tree, w *workload.W) (*placement.P, error) {
+	copies := make([][]tree.NodeID, w.NumObjects())
+	for x := 0; x < w.NumObjects(); x++ {
+		for _, leaf := range t.Leaves() {
+			if w.At(x, leaf).Total() > 0 {
+				copies[x] = append(copies[x], leaf)
+			}
+		}
+	}
+	fillEmpty(t, w, copies)
+	return placement.NearestAssignment(t, w, copies)
+}
+
+// Random places each object on one uniformly random leaf: the "hash
+// placement" used by distributed hash tables. Deterministic in rng.
+func Random(rng *rand.Rand, t *tree.Tree, w *workload.W) (*placement.P, error) {
+	leaves := t.Leaves()
+	copies := make([][]tree.NodeID, w.NumObjects())
+	for x := 0; x < w.NumObjects(); x++ {
+		copies[x] = []tree.NodeID{leaves[rng.Intn(len(leaves))]}
+	}
+	return placement.NearestAssignment(t, w, copies)
+}
+
+// Greedy is a congestion-aware heuristic: objects are processed in
+// decreasing total-weight order; each starts at the single leaf minimizing
+// the resulting congestion given loads so far, then copies are added one
+// leaf at a time while congestion strictly improves. It is the natural
+// "engineer's algorithm" — polynomial, often good, but with no worst-case
+// guarantee.
+func Greedy(t *tree.Tree, w *workload.W) (*placement.P, error) {
+	type objOrder struct {
+		x int
+		h int64
+	}
+	order := make([]objOrder, 0, w.NumObjects())
+	for x := 0; x < w.NumObjects(); x++ {
+		if w.TotalWeight(x) > 0 {
+			order = append(order, objOrder{x, w.TotalWeight(x)})
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && (order[j].h > order[j-1].h || (order[j].h == order[j-1].h && order[j].x < order[j-1].x)); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	copies := make([][]tree.NodeID, w.NumObjects())
+	evalWith := func(x int, set []tree.NodeID) (placement.Congestion, error) {
+		trial := withFilled(t, w, copies)
+		trial[x] = set
+		p, err := placement.NearestAssignment(t, w, trial)
+		if err != nil {
+			return placement.Congestion{}, err
+		}
+		return placement.Evaluate(t, p).Congestion, nil
+	}
+	for _, o := range order {
+		// Best single host.
+		var bestSet []tree.NodeID
+		var bestC placement.Congestion
+		for _, leaf := range t.Leaves() {
+			c, err := evalWith(o.x, []tree.NodeID{leaf})
+			if err != nil {
+				return nil, err
+			}
+			if bestSet == nil || c.Less(bestC) {
+				bestC = c
+				bestSet = []tree.NodeID{leaf}
+			}
+		}
+		// Grow while strictly improving.
+		for {
+			improved := false
+			for _, leaf := range t.Leaves() {
+				if contains(bestSet, leaf) {
+					continue
+				}
+				cand := append(append([]tree.NodeID(nil), bestSet...), leaf)
+				c, err := evalWith(o.x, cand)
+				if err != nil {
+					return nil, err
+				}
+				if c.Less(bestC) {
+					bestC = c
+					bestSet = cand
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		copies[o.x] = bestSet
+	}
+	fillEmpty(t, w, copies)
+	return placement.NearestAssignment(t, w, copies)
+}
+
+// ByName resolves a baseline by its harness name.
+func ByName(name string, rng *rand.Rand, t *tree.Tree, w *workload.W) (*placement.P, error) {
+	switch name {
+	case "single-home":
+		return SingleHome(t, w)
+	case "full-replication":
+		return FullReplication(t, w)
+	case "random":
+		return Random(rng, t, w)
+	case "greedy":
+		return Greedy(t, w)
+	}
+	return nil, fmt.Errorf("baseline: unknown strategy %q", name)
+}
+
+// Names lists the available baselines in harness order.
+func Names() []string {
+	return []string{"single-home", "full-replication", "random", "greedy"}
+}
+
+func contains(set []tree.NodeID, v tree.NodeID) bool {
+	for _, s := range set {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+func fillEmpty(t *tree.Tree, w *workload.W, copies [][]tree.NodeID) {
+	for x := range copies {
+		if len(copies[x]) == 0 && w.TotalWeight(x) > 0 {
+			copies[x] = []tree.NodeID{t.Leaves()[0]}
+		}
+	}
+}
+
+func withFilled(t *tree.Tree, w *workload.W, copies [][]tree.NodeID) [][]tree.NodeID {
+	out := make([][]tree.NodeID, len(copies))
+	copy(out, copies)
+	fillEmpty(t, w, out)
+	return out
+}

@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbn/internal/core"
+	"hbn/internal/placement"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+func TestAllBaselinesProduceValidLeafPlacements(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 20; trial++ {
+		tr := tree.Random(rng, 8+rng.Intn(12), 4, 0.4, 8)
+		w := workload.Uniform(rng, tr, 4, workload.DefaultGen)
+		for _, name := range Names() {
+			p, err := ByName(name, rand.New(rand.NewSource(int64(trial))), tr, w)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if err := p.Validate(tr, w); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !p.LeafOnly(tr) {
+				t.Fatalf("%s: placed copies on buses", name)
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	tr := tree.Star(3, 4)
+	w := workload.New(1, tr.Len())
+	if _, err := ByName("nope", rand.New(rand.NewSource(1)), tr, w); err == nil {
+		t.Fatal("unknown baseline accepted")
+	}
+}
+
+func TestSingleHomePicksHeaviestLeaf(t *testing.T) {
+	tr := tree.Star(3, 100)
+	w := workload.New(1, tr.Len())
+	w.AddReads(0, 1, 3)
+	w.AddReads(0, 2, 9)
+	p, err := SingleHome(tr, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := p.CopyNodes(0)
+	if len(nodes) != 1 || nodes[0] != 2 {
+		t.Fatalf("copies = %v, want [2]", nodes)
+	}
+}
+
+func TestFullReplicationCopiesEveryRequester(t *testing.T) {
+	tr := tree.Star(4, 100)
+	w := workload.New(1, tr.Len())
+	w.AddReads(0, 1, 1)
+	w.AddWrites(0, 3, 1)
+	p, err := FullReplication(tr, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := p.CopyNodes(0)
+	if len(nodes) != 2 {
+		t.Fatalf("copies = %v", nodes)
+	}
+}
+
+func TestGreedyNeverWorseThanSingleHomeOnSingleObject(t *testing.T) {
+	// For a single object, greedy starts from the best single host —
+	// which includes the single-home choice — and only improves from
+	// there. (With several objects greedy's fixed processing order can
+	// lose; no claim is made there.)
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 10; trial++ {
+		tr := tree.Star(5, 4)
+		w := workload.ReadMostly(rng, tr, 1, 0.05, workload.DefaultGen)
+		g, err := Greedy(tr, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := SingleHome(tr, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gc := placement.Evaluate(tr, g).Congestion
+		sc := placement.Evaluate(tr, s).Congestion
+		if sc.Less(gc) {
+			t.Fatalf("trial %d: greedy %v worse than single-home %v", trial, gc, sc)
+		}
+	}
+}
+
+// The motivating comparison: on producer/consumer workloads the
+// extended-nibble strategy should beat naive single-home placement.
+func TestExtendedNibbleBeatsNaiveBaselinesOnSkewedWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	wins, ties, losses := 0, 0, 0
+	for trial := 0; trial < 15; trial++ {
+		tr := tree.SCICluster(4, 4, 8, 4)
+		w := workload.ProducerConsumer(rng, tr, 8, workload.GenConfig{MaxReads: 30, MaxWrites: 2, Density: 0.7})
+		res, err := core.Solve(tr, w, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := SingleHome(tr, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc := res.Report.Congestion
+		sc := placement.Evaluate(tr, sh).Congestion
+		switch {
+		case nc.Less(sc):
+			wins++
+		case nc.Eq(sc):
+			ties++
+		default:
+			losses++
+		}
+	}
+	if wins <= losses {
+		t.Fatalf("extended-nibble wins %d, ties %d, losses %d against single-home", wins, ties, losses)
+	}
+	t.Logf("vs single-home: %d wins, %d ties, %d losses", wins, ties, losses)
+}

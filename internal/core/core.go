@@ -1,0 +1,224 @@
+// Package core implements the paper's primary contribution: the
+// extended-nibble strategy (Section 3), a polynomial-time algorithm that
+// computes a leaf-only placement of shared data objects on a hierarchical
+// bus network whose congestion is at most 7 times optimal (Theorem 4.3).
+//
+// The pipeline runs the three steps in order:
+//
+//  1. nibble   — optimal placement allowing copies on inner nodes,
+//  2. deletion — every copy ends up serving s(c) ∈ [κ_x, 2κ_x] requests,
+//  3. mapping  — all copies are moved to leaves within load budgets.
+//
+// Objects whose copies already sit only on leaves after Step 2 are
+// finalized untouched: the paper's τ_max ≤ 3·C_opt argument relies on the
+// strategy "not changing the placement" of such objects, so they are
+// excluded from Step 3 and τ_max is taken over the mapped objects only.
+package core
+
+import (
+	"fmt"
+
+	"hbn/internal/deletion"
+	"hbn/internal/mapping"
+	"hbn/internal/nibble"
+	"hbn/internal/placement"
+	"hbn/internal/ratio"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// Options configure the pipeline; the zero value is the paper's algorithm.
+type Options struct {
+	// SkipDeletion bypasses Step 2 (ablation E10). Mapping then runs with
+	// AllowOverload, because Lemma 4.1's guarantee needs Observation 3.2.
+	SkipDeletion bool
+	// SkipSplitting disables only the copy-splitting half of Step 2.
+	SkipSplitting bool
+	// ReassignNearest re-routes every request to its nearest final copy
+	// after Step 3 (never increases any load; ablation E10 measures how
+	// much it helps over the forwarding assignment the analysis bounds).
+	ReassignNearest bool
+	// MappingRoot overrides the (arbitrary) root of Step 3.
+	MappingRoot tree.NodeID
+	// CheckInvariants enables the O(|V|)-per-step Invariant 4.2 checker.
+	CheckInvariants bool
+}
+
+// DefaultOptions returns the paper's algorithm with an automatic mapping
+// root.
+func DefaultOptions() Options {
+	return Options{MappingRoot: tree.None}
+}
+
+// Result carries every intermediate product, so the experiment harness can
+// verify the per-step claims.
+type Result struct {
+	// Nibble is the Step 1 output (copy sets may include buses).
+	Nibble *nibble.Result
+	// NibblePlacement / NibbleReport describe the Step 1 placement with
+	// nearest-copy assignment; its congestion is a lower bound on the
+	// optimum of the leaf-only problem.
+	NibblePlacement *placement.P
+	NibbleReport    *placement.Report
+	// Modified is the Step 2 output.
+	Modified      *placement.P
+	DeletionStats deletion.Stats
+	// MappingTrace describes the Step 3 run (nil if no object needed
+	// mapping).
+	MappingTrace *mapping.Trace
+	// Final is the leaf-only placement (merged per node), and Report its
+	// exact loads.
+	Final  *placement.P
+	Report *placement.Report
+	// LowerBound is a certified lower bound on C_opt:
+	// max(nibble congestion, min(κ_x̂, h_x̂/2)) where x̂ is the object with
+	// maximum write contention among objects the nibble placement put on
+	// inner nodes (Theorem 4.3's case analysis).
+	LowerBound ratio.R
+	// MappedObjects counts objects that went through Step 3.
+	MappedObjects int
+}
+
+// ApproxRatio returns congestion/LowerBound as a float (≥ 1; Theorem 4.3
+// guarantees the true ratio against C_opt is ≤ 7).
+func (r *Result) ApproxRatio() float64 {
+	lb := r.LowerBound.Float()
+	if lb == 0 {
+		if r.Report.Congestion.Num == 0 {
+			return 1
+		}
+		return 0 // no meaningful bound: only happens for zero-demand inputs
+	}
+	return r.Report.Congestion.Float() / lb
+}
+
+// Solve runs the extended-nibble strategy on a hierarchical bus network.
+// The tree must satisfy ValidateHBN and the workload must be leaf-only.
+func Solve(t *tree.Tree, w *workload.W, opts Options) (*Result, error) {
+	return SolveFromNibble(t, w, nil, opts)
+}
+
+// SolveFromNibble is Solve with a precomputed Step-1 result (for example
+// the one the distributed tree machine produced); nib == nil computes it
+// sequentially.
+func SolveFromNibble(t *tree.Tree, w *workload.W, nib *nibble.Result, opts Options) (*Result, error) {
+	if err := t.ValidateHBN(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := w.ValidateHBN(t); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res := &Result{}
+
+	// Step 1: nibble.
+	if nib != nil {
+		res.Nibble = nib
+	} else {
+		res.Nibble = nibble.Place(t, w)
+	}
+	var err error
+	res.NibblePlacement, err = res.Nibble.Placement(t, w)
+	if err != nil {
+		return nil, fmt.Errorf("core: nibble placement: %w", err)
+	}
+	res.NibbleReport = placement.Evaluate(t, res.NibblePlacement)
+
+	// Step 2: deletion.
+	if opts.SkipDeletion {
+		res.Modified = res.NibblePlacement
+	} else {
+		res.Modified, res.DeletionStats, err = deletion.Run(t, w, res.Nibble, deletion.Options{SkipSplitting: opts.SkipSplitting})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
+	// Partition objects: leaf-resident ones are final; the rest are mapped.
+	toMap := placement.New(w.NumObjects())
+	final := placement.New(w.NumObjects())
+	for x := 0; x < w.NumObjects(); x++ {
+		leafOnly := true
+		for _, c := range res.Modified.Copies[x] {
+			if !t.IsLeaf(c.Node) {
+				leafOnly = false
+				break
+			}
+		}
+		if leafOnly {
+			final.Copies[x] = res.Modified.Copies[x]
+		} else {
+			toMap.Copies[x] = res.Modified.Copies[x]
+			res.MappedObjects++
+		}
+	}
+
+	// Step 3: mapping.
+	if res.MappedObjects > 0 {
+		mapped, trace, err := mapping.Run(t, w, toMap, mapping.Options{
+			Root:           opts.MappingRoot,
+			CheckInvariant: opts.CheckInvariants,
+			AllowOverload:  opts.SkipDeletion,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		res.MappingTrace = trace
+		for x := 0; x < w.NumObjects(); x++ {
+			final.Copies[x] = append(final.Copies[x], mapped.Copies[x]...)
+		}
+	}
+
+	res.Final = final.MergePerNode()
+	if opts.ReassignNearest {
+		res.Final, err = res.Final.ReassignNearest(t, w)
+		if err != nil {
+			return nil, fmt.Errorf("core: reassign: %w", err)
+		}
+	}
+	if !res.Final.LeafOnly(t) {
+		return nil, fmt.Errorf("core: internal error: final placement uses inner nodes")
+	}
+	if err := res.Final.Validate(t, w); err != nil {
+		return nil, fmt.Errorf("core: internal error: %w", err)
+	}
+	res.Report = placement.Evaluate(t, res.Final)
+	res.LowerBound = LowerBound(t, w, res.Nibble, res.NibbleReport)
+	return res, nil
+}
+
+// LowerBound computes the certified lower bound on the optimum leaf-only
+// congestion used by Theorem 4.3's proof: the nibble congestion (nibble
+// loads are per-edge minima over ALL placements, leaf-only ones included),
+// strengthened by min(κ_x̂, h_x̂/2) for the object x̂ of maximum write
+// contention among objects with inner-node copies (every optimal placement
+// either replicates x̂ — paying κ_x̂ on a unit-bandwidth leaf switch — or
+// routes at least half of x̂'s requests over one leaf switch).
+func LowerBound(t *tree.Tree, w *workload.W, nib *nibble.Result, nibReport *placement.Report) ratio.R {
+	lb := nibReport.Congestion
+	var bestKappa, bestH int64 = -1, 0
+	for x := 0; x < w.NumObjects(); x++ {
+		inner := false
+		for _, v := range nib.Objects[x].Copies {
+			if !t.IsLeaf(v) {
+				inner = true
+				break
+			}
+		}
+		if !inner {
+			continue
+		}
+		if k := w.Kappa(x); k > bestKappa {
+			bestKappa = k
+			bestH = w.TotalWeight(x)
+		}
+	}
+	if bestKappa > 0 {
+		// min(κ, h/2) = min(2κ, h)/2, kept exact as a rational.
+		num := 2 * bestKappa
+		if bestH < num {
+			num = bestH
+		}
+		lb = ratio.Max(lb, ratio.New(num, 2))
+	}
+	return lb
+}

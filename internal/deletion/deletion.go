@@ -1,0 +1,272 @@
+// Package deletion implements Step 2 of the extended-nibble strategy
+// (Section 3.2, Figure 4 of the paper): rarely used copies are removed so
+// that every surviving copy of object x serves at least κ_x requests, and
+// overloaded copies are split so that none serves more than 2κ_x.
+//
+// Processing is bottom-up over the connected copy subtree T(x): a copy
+// serving fewer than κ_x requests is deleted and its demand is inherited by
+// the copy on its parent; if the root of T(x) is deleted, its demand moves
+// to the nearest surviving copy. Observation 3.2 guarantees the result:
+// every copy serves s(c) ∈ [κ_x, 2κ_x], the load of every edge of T(x)
+// grows by at most κ_x, and every edge load stays within a factor 2 of
+// optimal.
+package deletion
+
+import (
+	"fmt"
+	"sort"
+
+	"hbn/internal/nibble"
+	"hbn/internal/placement"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// Options tune the algorithm for the ablation experiments.
+type Options struct {
+	// SkipSplitting disables the copy-splitting post-pass, leaving copies
+	// that serve more than 2κ_x requests intact (ablation E10).
+	SkipSplitting bool
+}
+
+// Stats reports what the deletion pass did.
+type Stats struct {
+	Deleted int // copies removed because s(c) < κ_x
+	Splits  int // extra copies created by splitting
+	Kept    int // surviving copy records (after splitting)
+}
+
+// Run executes the deletion algorithm on the nibble placement of (t, w).
+// It returns the modified placement (copies may still sit on inner nodes;
+// several split copies may share a node) together with statistics.
+func Run(t *tree.Tree, w *workload.W, nib *nibble.Result, opts Options) (*placement.P, Stats, error) {
+	base, err := nib.Placement(t, w)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := placement.New(w.NumObjects())
+	var stats Stats
+	for x := 0; x < w.NumObjects(); x++ {
+		kappa := w.Kappa(x)
+		copies, err := runObject(t, base.Copies[x], nib.Objects[x], kappa, &stats)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("deletion: object %d: %w", x, err)
+		}
+		if !opts.SkipSplitting {
+			copies = splitAll(copies, kappa, &stats)
+		}
+		out.Copies[x] = copies
+		stats.Kept += len(copies)
+	}
+	return out, stats, nil
+}
+
+// runObject performs the Figure-4 loop for one object. Copies arrive one
+// per node (the nibble placement), already carrying their nearest-copy
+// demand shares.
+func runObject(t *tree.Tree, copies []*placement.Copy, op nibble.ObjectPlacement, kappa int64, stats *Stats) ([]*placement.Copy, error) {
+	if len(copies) == 0 {
+		return nil, nil
+	}
+	// κ_x = 0 (read-only object): the test s(c) < κ_x never fires, and the
+	// nibble placement gives every requester a local copy, so all loads
+	// are zero. We prune zero-traffic copies (a documented, load-neutral
+	// deviation) so Step 3 has nothing pointless to move.
+	if kappa == 0 {
+		var kept []*placement.Copy
+		for _, c := range copies {
+			if c.Served() > 0 {
+				kept = append(kept, c)
+			} else {
+				stats.Deleted++
+			}
+		}
+		return kept, nil
+	}
+
+	// Root T(x) at the object's gravity center (always a member of the
+	// copy set) and process levels bottom-up: the paper defines the root
+	// to sit on level height(T(x)) and round l handles level-l copies.
+	byNode := make(map[tree.NodeID]*placement.Copy, len(copies))
+	for _, c := range copies {
+		byNode[c.Node] = c
+	}
+	if _, ok := byNode[op.Gravity]; !ok {
+		return nil, fmt.Errorf("gravity center %d holds no copy", op.Gravity)
+	}
+	r := t.Rooted(op.Gravity)
+	order := make([]*placement.Copy, len(copies))
+	copy(order, copies)
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := r.Depth[order[i].Node], r.Depth[order[j].Node]
+		if di != dj {
+			return di > dj // deepest (lowest level) first
+		}
+		return order[i].Node < order[j].Node
+	})
+	alive := make(map[tree.NodeID]bool, len(copies))
+	for _, c := range copies {
+		alive[c.Node] = true
+	}
+	for _, c := range order {
+		if c.Served() >= kappa {
+			continue
+		}
+		// Delete c; its demand moves to the parent copy, or — for the root
+		// of T(x) — to the nearest surviving copy.
+		var heir *placement.Copy
+		if c.Node != op.Gravity {
+			p := r.Parent[c.Node]
+			heir = byNode[p]
+			if heir == nil {
+				// The copy subtree is connected and rooted at the gravity
+				// center, so a parent copy always exists.
+				return nil, fmt.Errorf("copy on %d has no parent copy on %d", c.Node, p)
+			}
+		} else {
+			heir = nearestAlive(t, c.Node, byNode, alive)
+			if heir == nil {
+				// The root cannot be the last copy and still serve fewer
+				// than κ_x requests: the root of T(x) would then serve all
+				// h(T) ≥ κ_x requests.
+				return nil, fmt.Errorf("root copy on %d serves %d < κ=%d with no surviving copy", c.Node, c.Served(), kappa)
+			}
+		}
+		heir.Shares = append(heir.Shares, c.Shares...)
+		c.Shares = nil
+		alive[c.Node] = false
+		delete(byNode, c.Node)
+		stats.Deleted++
+	}
+	kept := make([]*placement.Copy, 0, len(byNode))
+	for _, c := range order {
+		if alive[c.Node] && byNode[c.Node] == c {
+			kept = append(kept, c)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Node < kept[j].Node })
+	return kept, nil
+}
+
+func nearestAlive(t *tree.Tree, from tree.NodeID, byNode map[tree.NodeID]*placement.Copy, alive map[tree.NodeID]bool) *placement.Copy {
+	// BFS outwards from `from`; the first surviving copy reached is the
+	// nearest (ties broken by BFS order, then node ID for determinism).
+	type cand struct {
+		node tree.NodeID
+		dist int32
+	}
+	var best *cand
+	seen := make(map[tree.NodeID]bool)
+	queue := []cand{{from, 0}}
+	seen[from] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if best != nil && cur.dist > best.dist {
+			break
+		}
+		if cur.node != from && alive[cur.node] {
+			if best == nil || cur.node < best.node {
+				c := cur
+				best = &c
+			}
+			continue
+		}
+		for _, h := range t.Adj(cur.node) {
+			if !seen[h.To] {
+				seen[h.To] = true
+				queue = append(queue, cand{h.To, cur.dist + 1})
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return byNode[best.node]
+}
+
+// splitAll splits every copy serving more than 2κ_x requests into
+// m = ⌈s/(2κ_x)⌉ copies on the same node, each serving between κ_x and
+// 2κ_x requests (Observation 3.2).
+func splitAll(copies []*placement.Copy, kappa int64, stats *Stats) []*placement.Copy {
+	if kappa == 0 {
+		return copies
+	}
+	var out []*placement.Copy
+	for _, c := range copies {
+		s := c.Served()
+		if s <= 2*kappa {
+			out = append(out, c)
+			continue
+		}
+		m := (s + 2*kappa - 1) / (2 * kappa)
+		parts := splitShares(c.Shares, s, m)
+		for i, p := range parts {
+			nc := &placement.Copy{Object: c.Object, Node: c.Node, Shares: p}
+			out = append(out, nc)
+			if i > 0 {
+				stats.Splits++
+			}
+		}
+	}
+	return out
+}
+
+// splitShares partitions shares totalling s requests into m chunks whose
+// sizes differ by at most one (⌈s/m⌉ or ⌊s/m⌋), cutting individual shares
+// across chunk boundaries where necessary. When a share is cut, writes are
+// placed before reads (a deterministic convention; loads are insensitive
+// to the ordering because path load counts reads+writes uniformly).
+func splitShares(shares []placement.Share, s, m int64) [][]placement.Share {
+	base := s / m
+	rem := s % m
+	parts := make([][]placement.Share, 0, m)
+	target := base
+	if rem > 0 {
+		target = base + 1
+		rem--
+	}
+	var cur []placement.Share
+	var curSize int64
+	push := func() {
+		parts = append(parts, cur)
+		cur = nil
+		curSize = 0
+		target = base
+		if rem > 0 {
+			target = base + 1
+			rem--
+		}
+	}
+	for _, sh := range shares {
+		for sh.Total() > 0 {
+			room := target - curSize
+			if room == 0 {
+				push()
+				continue
+			}
+			take := sh.Total()
+			if take > room {
+				take = room
+			}
+			piece := placement.Share{Node: sh.Node}
+			piece.Writes = min64(sh.Writes, take)
+			piece.Reads = take - piece.Writes
+			sh.Writes -= piece.Writes
+			sh.Reads -= piece.Reads
+			cur = append(cur, piece)
+			curSize += take
+		}
+	}
+	if curSize > 0 || len(cur) > 0 {
+		parts = append(parts, cur)
+	}
+	return parts
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,266 @@
+// Package dynamic implements an online data management strategy for tree
+// networks in the spirit of the dynamic strategies of [10] (Maggs et al.,
+// "Exploiting locality for networks of limited bandwidth"), which the
+// paper's related-work section reports to be 3-competitive on trees. This
+// is the extension experiment (E11): the paper itself only treats the
+// static problem; the dynamic strategy shows what the same machinery does
+// when frequencies are unknown.
+//
+// Model: requests arrive one at a time; the strategy maintains a connected
+// copy set per object and pays, per request, one unit of load on every
+// edge a message crosses (read: requester→nearest copy; write:
+// requester→nearest copy plus the update Steiner tree of the copy set),
+// and one unit per edge crossed by a copy movement (replication or
+// deletion does not move data backwards, only replication costs). The
+// adaptation rule is counter-based: an edge replicates the object across
+// itself after Threshold reads crossed it since the last write, and the
+// copy set contracts towards the writer after each write — the classic
+// read-replicate / write-invalidate dynamics.
+package dynamic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hbn/internal/nibble"
+	"hbn/internal/placement"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// Request is one online access.
+type Request struct {
+	Object int
+	Node   tree.NodeID
+	Write  bool
+}
+
+// Options tune the strategy.
+type Options struct {
+	// Threshold is the number of reads that must cross an edge (since the
+	// last write) before the object is replicated across it. 1 replicates
+	// eagerly.
+	Threshold int
+}
+
+// Strategy is the online state.
+type Strategy struct {
+	t       *tree.Tree
+	opts    Options
+	copies  []map[tree.NodeID]bool // per object, connected
+	readCnt []map[tree.EdgeID]int  // per object: reads crossed since last write
+	// EdgeLoad accumulates all message and copy-movement traffic.
+	EdgeLoad []int64
+	// ServiceLoad counts only request service (excluding copy movement),
+	// for comparability with static placements evaluated on the same
+	// sequence.
+	ServiceLoad []int64
+	requests    int
+}
+
+// New creates a strategy with no copies; each object materializes at its
+// first requester.
+func New(t *tree.Tree, numObjects int, opts Options) *Strategy {
+	if opts.Threshold < 1 {
+		opts.Threshold = 1
+	}
+	s := &Strategy{
+		t:           t,
+		opts:        opts,
+		copies:      make([]map[tree.NodeID]bool, numObjects),
+		readCnt:     make([]map[tree.EdgeID]int, numObjects),
+		EdgeLoad:    make([]int64, t.NumEdges()),
+		ServiceLoad: make([]int64, t.NumEdges()),
+	}
+	for x := range s.copies {
+		s.copies[x] = make(map[tree.NodeID]bool)
+		s.readCnt[x] = make(map[tree.EdgeID]int)
+	}
+	return s
+}
+
+// Copies returns the current copy nodes of object x (sorted).
+func (s *Strategy) Copies(x int) []tree.NodeID {
+	var out []tree.NodeID
+	for v := 0; v < s.t.Len(); v++ {
+		if s.copies[x][tree.NodeID(v)] {
+			out = append(out, tree.NodeID(v))
+		}
+	}
+	return out
+}
+
+// Serve processes one request and returns the service cost (edges
+// crossed for the request itself, not copy movement).
+func (s *Strategy) Serve(r Request) int64 {
+	if r.Object < 0 || r.Object >= len(s.copies) {
+		panic(fmt.Sprintf("dynamic: object %d out of range", r.Object))
+	}
+	s.requests++
+	cx := s.copies[r.Object]
+	if len(cx) == 0 {
+		// First touch: materialize at the requester for free (the object
+		// is created there).
+		cx[r.Node] = true
+		return 0
+	}
+	set := make([]tree.NodeID, 0, len(cx))
+	for v := range cx {
+		set = append(set, v)
+	}
+	nearest, _ := tree.NearestInSet(s.t, set)
+	target := nearest[r.Node]
+	root := s.t.Rooted(target)
+
+	var cost int64
+	var pathEdges []tree.EdgeID
+	root.VisitPath(r.Node, target, func(e tree.EdgeID, _ tree.Dir) {
+		pathEdges = append(pathEdges, e)
+	})
+	for _, e := range pathEdges {
+		s.EdgeLoad[e]++
+		s.ServiceLoad[e]++
+		cost++
+	}
+
+	if !r.Write {
+		// Count the read on every crossed edge; replicate across saturated
+		// edges, walking from the copy set towards the requester so the
+		// set stays connected.
+		for i := len(pathEdges) - 1; i >= 0; i-- {
+			e := pathEdges[i]
+			s.readCnt[r.Object][e]++
+			if s.readCnt[r.Object][e] < s.opts.Threshold {
+				break
+			}
+			// Replicate across e: the endpoint further from target joins.
+			u, v := s.t.Endpoints(e)
+			joiner := u
+			if cx[u] {
+				joiner = v
+			}
+			cx[joiner] = true
+			s.EdgeLoad[e]++ // copy transfer
+			s.readCnt[r.Object][e] = 0
+		}
+		return cost
+	}
+
+	// Write: update broadcast over the Steiner tree of the copy set.
+	if len(set) > 1 {
+		mask, _ := tree.SteinerEdges(root, set)
+		for e, in := range mask {
+			if in {
+				s.EdgeLoad[e]++
+				s.ServiceLoad[e]++
+				cost++
+			}
+		}
+	}
+	// Invalidate: contract the copy set to the single copy nearest the
+	// writer, then migrate it one hop towards the writer (repeated writes
+	// pull the object to the writer). Deletions are free; the migration
+	// moves data across one edge.
+	for v := range cx {
+		delete(cx, v)
+	}
+	if r.Node != target && len(pathEdges) > 0 {
+		// Move one hop from target towards the writer.
+		e := pathEdges[len(pathEdges)-1]
+		hop := s.t.Other(e, target)
+		cx[hop] = true
+		s.EdgeLoad[e]++ // migration transfer
+	} else {
+		cx[target] = true
+	}
+	// Writes reset the read counters of the object.
+	for e := range s.readCnt[r.Object] {
+		delete(s.readCnt[r.Object], e)
+	}
+	return cost
+}
+
+// ServeAll processes a whole sequence and returns the total service cost.
+func (s *Strategy) ServeAll(reqs []Request) int64 {
+	var total int64
+	for _, r := range reqs {
+		total += s.Serve(r)
+	}
+	return total
+}
+
+// MaxEdgeLoad returns the highest total edge load (congestion numerator
+// for unit bandwidths).
+func (s *Strategy) MaxEdgeLoad() int64 {
+	var m int64
+	for _, l := range s.EdgeLoad {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// TotalLoad returns the sum of all edge loads including copy movement.
+func (s *Strategy) TotalLoad() int64 {
+	var m int64
+	for _, l := range s.EdgeLoad {
+		m += l
+	}
+	return m
+}
+
+// RandomSequence draws a request sequence with the given write fraction;
+// per object a small set of interested leaves is chosen so that locality
+// exists to exploit.
+func RandomSequence(rng *rand.Rand, t *tree.Tree, numObjects, n int, writeFrac float64) []Request {
+	leaves := t.Leaves()
+	interested := make([][]tree.NodeID, numObjects)
+	for x := range interested {
+		k := 1 + rng.Intn(min(4, len(leaves)))
+		perm := rng.Perm(len(leaves))
+		for i := 0; i < k; i++ {
+			interested[x] = append(interested[x], leaves[perm[i]])
+		}
+	}
+	reqs := make([]Request, n)
+	for i := range reqs {
+		x := rng.Intn(numObjects)
+		reqs[i] = Request{
+			Object: x,
+			Node:   interested[x][rng.Intn(len(interested[x]))],
+			Write:  rng.Float64() < writeFrac,
+		}
+	}
+	return reqs
+}
+
+// StaticOffline evaluates the clairvoyant static comparator: aggregate the
+// sequence into frequencies, run the (optimal, inner-nodes-allowed) nibble
+// strategy, and return its total load and per-edge loads on the same
+// sequence. This lower-bounds every static placement, so
+// dynamic/static ≥ 1 and the interesting question is how close to 1 the
+// online strategy gets.
+func StaticOffline(t *tree.Tree, numObjects int, reqs []Request) (*placement.Report, error) {
+	w := workload.New(numObjects, t.Len())
+	for _, r := range reqs {
+		if r.Write {
+			w.AddWrites(r.Object, r.Node, 1)
+		} else {
+			w.AddReads(r.Object, r.Node, 1)
+		}
+	}
+	nib := nibble.Place(t, w)
+	p, err := nib.Placement(t, w)
+	if err != nil {
+		return nil, err
+	}
+	return placement.Evaluate(t, p), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must run in quick mode and report REPRODUCED.
+func TestAllExperimentsReproduceInQuickMode(t *testing.T) {
+	results, err := All(Config{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 11 {
+		t.Fatalf("got %d experiments, want 11", len(results))
+	}
+	for _, r := range results {
+		if !r.OK {
+			t.Errorf("%s (%s): %s", r.ID, r.Title, r.Verdict)
+		}
+		if r.Table == nil || len(r.Table.Rows) == 0 {
+			t.Errorf("%s: empty table", r.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	fn, ok := ByID("E1")
+	if !ok || fn == nil {
+		t.Fatal("E1 not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("phantom experiment")
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	fn, _ := ByID("E2")
+	r, err := fn(Config{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteMarkdown(&b, []*Result{r}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"## E2", "**Claim.**", "**Verdict.**", "|---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

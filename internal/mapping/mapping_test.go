@@ -1,0 +1,193 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbn/internal/deletion"
+	"hbn/internal/nibble"
+	"hbn/internal/placement"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// prepare runs steps 1+2 so mapping gets a valid modified placement.
+func prepare(t *testing.T, tr *tree.Tree, w *workload.W) *placement.P {
+	t.Helper()
+	nib := nibble.Place(tr, w)
+	mod, _, err := deletion.Run(tr, w, nib, deletion.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func TestAllCopiesEndOnLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		tr := tree.Random(rng, 5+rng.Intn(30), 5, 0.4, 8)
+		w := workload.Uniform(rng, tr, 4, workload.DefaultGen)
+		mod := prepare(t, tr, w)
+		out, trace, err := Run(tr, w, mod, Options{Root: tree.None})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !out.LeafOnly(tr) {
+			t.Fatalf("trial %d: copies left on inner nodes", trial)
+		}
+		if err := out.Validate(tr, w); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if trace.FreeEdgeFailures != 0 {
+			t.Fatalf("trial %d: %d free-edge failures on valid input", trial, trace.FreeEdgeFailures)
+		}
+	}
+}
+
+// Lemma 4.1 + Invariant 4.2: with invariant checking on, no violation of
+// the corrected invariant and no free-edge failure occurs across random
+// sweeps.
+func TestInvariantHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		tr := tree.Random(rng, 5+rng.Intn(12), 4, 0.4, 6)
+		w := workload.Uniform(rng, tr, 3, workload.DefaultGen)
+		mod := prepare(t, tr, w)
+		_, trace, err := Run(tr, w, mod, Options{Root: tree.None, CheckInvariant: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if trace.InvariantChecks == 0 {
+			t.Fatal("invariant checker did not run")
+		}
+	}
+}
+
+// The mapping must work for EVERY choice of root (the paper allows an
+// arbitrary one).
+func TestArbitraryRoots(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	tr := tree.Random(rng, 12, 4, 0.4, 6)
+	w := workload.Uniform(rng, tr, 3, workload.DefaultGen)
+	for root := 0; root < tr.Len(); root++ {
+		mod := prepare(t, tr, w)
+		out, _, err := Run(tr, w, mod, Options{Root: tree.NodeID(root), CheckInvariant: true})
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		if !out.LeafOnly(tr) {
+			t.Fatalf("root %d: not leaf-only", root)
+		}
+	}
+}
+
+// Lemma 4.5 (the per-edge analysis bound): the final load of every edge is
+// at most 4·L_nib(e) + τ_max. Our Run returns the actual placement whose
+// direct evaluation can only be smaller than the analysis' forwarding
+// accounting.
+func TestLemma45PerEdgeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 80; trial++ {
+		tr := tree.Random(rng, 5+rng.Intn(25), 5, 0.4, 8)
+		w := workload.Uniform(rng, tr, 4, workload.DefaultGen)
+		nib := nibble.Place(tr, w)
+		nibP, err := nib.Placement(tr, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nibRep := placement.Evaluate(tr, nibP)
+		mod := prepare(t, tr, w)
+		out, trace, err := Run(tr, w, mod, Options{Root: tree.None})
+		if err != nil {
+			t.Fatal(err)
+		}
+		finalRep := placement.Evaluate(tr, out.MergePerNode())
+		for e := 0; e < tr.NumEdges(); e++ {
+			bound := 4*nibRep.EdgeLoad[e] + trace.TauMax
+			if finalRep.EdgeLoad[e] > bound {
+				t.Fatalf("trial %d edge %d: load %d > 4·%d + τmax %d",
+					trial, e, finalRep.EdgeLoad[e], nibRep.EdgeLoad[e], trace.TauMax)
+			}
+		}
+		// Lemma 4.6: same bound for buses (doubled loads on both sides).
+		for _, b := range tr.Buses() {
+			bound := 4*nibRep.BusLoadX2[b] + 2*trace.TauMax
+			if finalRep.BusLoadX2[b] > bound {
+				t.Fatalf("trial %d bus %d: load×2 %d > 4·%d + 2τmax %d",
+					trial, b, finalRep.BusLoadX2[b], nibRep.BusLoadX2[b], trace.TauMax)
+			}
+		}
+	}
+}
+
+// Theorem 4.3's movement bound: a single copy moves O(height) times —
+// concretely at most 2·height (up at most height, down at most height).
+func TestMaxCopyMovesBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 50; trial++ {
+		tr := tree.Random(rng, 5+rng.Intn(30), 4, 0.5, 8)
+		w := workload.Uniform(rng, tr, 3, workload.DefaultGen)
+		mod := prepare(t, tr, w)
+		_, trace, err := Run(tr, w, mod, Options{Root: tree.None})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := tr.Rooted(trace.Root).Height
+		if trace.MaxCopyMoves > 2*h {
+			t.Fatalf("trial %d: copy moved %d times, height %d", trial, trace.MaxCopyMoves, h)
+		}
+	}
+}
+
+func TestSingleBusNetwork(t *testing.T) {
+	tr := tree.Star(5, 10)
+	w := workload.New(2, tr.Len())
+	for _, l := range tr.Leaves() {
+		w.AddWrites(0, l, 3)
+		w.AddReads(1, l, 7)
+		w.AddWrites(1, l, 1)
+	}
+	mod := prepare(t, tr, w)
+	out, _, err := Run(tr, w, mod, Options{Root: tree.None, CheckInvariant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.LeafOnly(tr) {
+		t.Fatal("not leaf-only")
+	}
+	if err := out.Validate(tr, w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyPlacement(t *testing.T) {
+	tr := tree.Star(3, 10)
+	w := workload.New(1, tr.Len())
+	mod := placement.New(1)
+	out, trace, err := Run(tr, w, mod, Options{Root: tree.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TotalCopies() != 0 || trace.TauMax != 0 {
+		t.Fatal("empty input not preserved")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	tr := tree.Random(rand.New(rand.NewSource(46)), 20, 4, 0.4, 8)
+	w := workload.Uniform(rand.New(rand.NewSource(47)), tr, 4, workload.DefaultGen)
+	run := func() *placement.Report {
+		mod := prepare(t, tr, w)
+		out, _, err := Run(tr, w, mod, Options{Root: tree.None})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return placement.Evaluate(tr, out.MergePerNode())
+	}
+	a, b := run(), run()
+	for e := range a.EdgeLoad {
+		if a.EdgeLoad[e] != b.EdgeLoad[e] {
+			t.Fatal("nondeterministic mapping")
+		}
+	}
+}

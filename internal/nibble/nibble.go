@@ -1,0 +1,136 @@
+// Package nibble implements Step 1 of the extended-nibble strategy: the
+// nibble strategy of Maggs, Meyer auf der Heide, Vöcking and Westermann
+// (FOCS'97), as restated in Section 3.1 of the paper.
+//
+// For each object x the strategy roots the tree at a gravity center g(T)
+// with respect to the access weights h(v) = r(v)+w(v), and places a copy on
+// a node v iff v = g(T) or h(T(v)) > w(T), where T(v) is the maximal
+// subtree rooted at v and w(T) = κ_x is the total write frequency. The
+// resulting copy set is a connected subtree containing g(T), achieves
+// minimum load on every edge simultaneously (Theorem 3.1), and may place
+// copies on inner nodes — which Steps 2 and 3 repair for bus networks.
+package nibble
+
+import (
+	"fmt"
+
+	"hbn/internal/placement"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// ObjectPlacement is the nibble placement of a single object.
+type ObjectPlacement struct {
+	// Gravity is the chosen gravity center g(T) for the object.
+	Gravity tree.NodeID
+	// Copies is the copy set, sorted by node ID. It always contains
+	// Gravity and forms a connected subtree.
+	Copies []tree.NodeID
+}
+
+// Result is the nibble placement of all objects.
+type Result struct {
+	Objects []ObjectPlacement
+}
+
+// CopySets returns the per-object copy node sets.
+func (r *Result) CopySets() [][]tree.NodeID {
+	out := make([][]tree.NodeID, len(r.Objects))
+	for i := range r.Objects {
+		out[i] = r.Objects[i].Copies
+	}
+	return out
+}
+
+// GravityCenter returns a gravity center of t under the node weights h:
+// a node whose removal splits the tree into components each of total
+// weight at most half of the overall weight. Among all such nodes the one
+// with the smallest ID is returned (the paper allows an arbitrary choice).
+// If the total weight is zero, the lowest-ID leaf is returned.
+func GravityCenter(t *tree.Tree, h []int64) tree.NodeID {
+	if len(h) != t.Len() {
+		panic(fmt.Sprintf("nibble: %d weights for %d nodes", len(h), t.Len()))
+	}
+	var total int64
+	for _, v := range h {
+		if v < 0 {
+			panic("nibble: negative weight")
+		}
+		total += v
+	}
+	if total == 0 {
+		return t.Leaves()[0]
+	}
+	r := t.Rooted(0)
+	sub := r.SubtreeSums(h)
+	best := tree.None
+	for v := 0; v < t.Len(); v++ {
+		id := tree.NodeID(v)
+		// The components created by removing v are the subtrees of its
+		// children plus the "rest of the tree" above it.
+		var maxComp int64 = total - sub[id]
+		for _, h2 := range t.Adj(id) {
+			if h2.To == r.Parent[id] {
+				continue
+			}
+			if sub[h2.To] > maxComp {
+				maxComp = sub[h2.To]
+			}
+		}
+		if 2*maxComp <= total {
+			best = id
+			break // node IDs scanned in increasing order
+		}
+	}
+	if best == tree.None {
+		// Cannot happen: every weighted tree has a gravity center.
+		panic("nibble: no gravity center found")
+	}
+	return best
+}
+
+// PlaceObject computes the nibble copy set for a single object given its
+// per-node weights h and write contention kappa. Objects with no accesses
+// at all receive a single copy on the lowest-ID leaf (a documented
+// convention; any node works since such objects induce no load).
+func PlaceObject(t *tree.Tree, h []int64, kappa int64) ObjectPlacement {
+	g := GravityCenter(t, h)
+	var total int64
+	for _, v := range h {
+		total += v
+	}
+	if total == 0 {
+		return ObjectPlacement{Gravity: g, Copies: []tree.NodeID{g}}
+	}
+	rg := t.Rooted(g)
+	sub := rg.SubtreeSums(h)
+	copies := make([]tree.NodeID, 0, 8)
+	for v := 0; v < t.Len(); v++ {
+		id := tree.NodeID(v)
+		if id == g || sub[id] > kappa {
+			copies = append(copies, id)
+		}
+	}
+	return ObjectPlacement{Gravity: g, Copies: copies}
+}
+
+// Place runs the nibble strategy for every object of w on t.
+func Place(t *tree.Tree, w *workload.W) *Result {
+	if w.NumNodes() != t.Len() {
+		panic(fmt.Sprintf("nibble: workload for %d nodes, tree has %d", w.NumNodes(), t.Len()))
+	}
+	res := &Result{Objects: make([]ObjectPlacement, w.NumObjects())}
+	for x := 0; x < w.NumObjects(); x++ {
+		res.Objects[x] = PlaceObject(t, w.Weights(x), w.Kappa(x))
+	}
+	return res
+}
+
+// Placement materializes the nibble result as a placement with the
+// nearest-copy reference assignment (the paper's convention: "the
+// reference copy c(P,x) is the copy of x stored on the node closest to
+// P"). Because the copy set is a connected subtree, the nearest copy is
+// unique for every node.
+func (r *Result) Placement(t *tree.Tree, w *workload.W) (*placement.P, error) {
+	return placement.NearestAssignment(t, w, r.CopySets())
+}

@@ -1,0 +1,263 @@
+package nibble
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbn/internal/opt"
+	"hbn/internal/placement"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+func star(n int) *tree.Tree { return tree.Star(n, 100) }
+
+func TestGravityCenterSimple(t *testing.T) {
+	// Star, all weight on one leaf: that leaf is the unique center.
+	tr := star(4)
+	h := make([]int64, tr.Len())
+	h[1] = 10
+	if g := GravityCenter(tr, h); g != 1 {
+		t.Fatalf("gravity = %d, want 1", g)
+	}
+	// Balanced weights: the hub qualifies (every leaf subtree holds 1/4).
+	for i := range h {
+		h[i] = 0
+	}
+	for _, l := range tr.Leaves() {
+		h[l] = 5
+	}
+	if g := GravityCenter(tr, h); g != 0 {
+		t.Fatalf("gravity = %d, want hub 0", g)
+	}
+	// Zero weights: lowest-ID leaf.
+	for i := range h {
+		h[i] = 0
+	}
+	if g := GravityCenter(tr, h); g != tr.Leaves()[0] {
+		t.Fatalf("gravity = %d for zero weights", g)
+	}
+}
+
+func TestGravityCenterDefinition(t *testing.T) {
+	// For random trees/weights: removing the chosen center leaves no
+	// component with more than half the weight, and the center is the
+	// smallest-ID node with that property.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		tr := tree.Random(rng, 8+rng.Intn(10), 4, 0.4, 4)
+		h := make([]int64, tr.Len())
+		var total int64
+		for _, l := range tr.Leaves() {
+			h[l] = rng.Int63n(20)
+			total += h[l]
+		}
+		if total == 0 {
+			continue
+		}
+		g := GravityCenter(tr, h)
+		qualifies := func(v tree.NodeID) bool {
+			// Component weights after removing v: BFS per neighbor.
+			for _, start := range tr.Adj(v) {
+				var comp int64
+				seen := map[tree.NodeID]bool{v: true, start.To: true}
+				queue := []tree.NodeID{start.To}
+				comp += h[start.To]
+				for len(queue) > 0 {
+					u := queue[0]
+					queue = queue[1:]
+					for _, nb := range tr.Adj(u) {
+						if !seen[nb.To] {
+							seen[nb.To] = true
+							comp += h[nb.To]
+							queue = append(queue, nb.To)
+						}
+					}
+				}
+				if 2*comp > total {
+					return false
+				}
+			}
+			return true
+		}
+		if !qualifies(g) {
+			t.Fatalf("trial %d: node %d does not qualify as gravity center", trial, g)
+		}
+		for v := tree.NodeID(0); v < g; v++ {
+			if qualifies(v) {
+				t.Fatalf("trial %d: %d qualifies but %d was chosen", trial, v, g)
+			}
+		}
+	}
+}
+
+func TestCopySetConnectedAndContainsGravity(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 100; trial++ {
+		tr := tree.Random(rng, 6+rng.Intn(20), 5, 0.4, 8)
+		w := workload.Uniform(rng, tr, 3, workload.DefaultGen)
+		res := Place(tr, w)
+		for x, op := range res.Objects {
+			if len(op.Copies) == 0 {
+				t.Fatalf("object %d: empty copy set", x)
+			}
+			inSet := map[tree.NodeID]bool{}
+			for _, v := range op.Copies {
+				inSet[v] = true
+			}
+			if !inSet[op.Gravity] {
+				t.Fatalf("object %d: gravity %d not in copy set", x, op.Gravity)
+			}
+			// Connectivity: BFS within the set from the gravity center.
+			seen := map[tree.NodeID]bool{op.Gravity: true}
+			queue := []tree.NodeID{op.Gravity}
+			count := 1
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				for _, h := range tr.Adj(v) {
+					if inSet[h.To] && !seen[h.To] {
+						seen[h.To] = true
+						count++
+						queue = append(queue, h.To)
+					}
+				}
+			}
+			if count != len(inSet) {
+				t.Fatalf("object %d: copy set disconnected (%d of %d reachable)", x, count, len(inSet))
+			}
+		}
+	}
+}
+
+// Theorem 3.1, bullet 3+4: per-object edge loads are at most κ_x
+// everywhere and exactly κ_x on edges inside T(x).
+func TestEdgeLoadsBoundedByKappa(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		tr := tree.Random(rng, 6+rng.Intn(15), 5, 0.4, 8)
+		w := workload.Uniform(rng, tr, 2, workload.DefaultGen)
+		res := Place(tr, w)
+		p, err := res.Placement(tr, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := 0; x < w.NumObjects(); x++ {
+			kappa := w.Kappa(x)
+			loads := placement.PerObjectEdgeLoads(tr, p, x)
+			inSet := map[tree.NodeID]bool{}
+			for _, v := range res.Objects[x].Copies {
+				inSet[v] = true
+			}
+			for e := 0; e < tr.NumEdges(); e++ {
+				u, v := tr.Endpoints(tree.EdgeID(e))
+				if loads[e] > kappa {
+					t.Fatalf("trial %d object %d: edge %d load %d > κ %d", trial, x, e, loads[e], kappa)
+				}
+				if inSet[u] && inSet[v] && loads[e] != kappa {
+					t.Fatalf("trial %d object %d: T(x) edge %d load %d ≠ κ %d", trial, x, e, loads[e], kappa)
+				}
+			}
+		}
+	}
+}
+
+// Theorem 3.1, bullet 1: the nibble placement attains the minimum possible
+// load on every edge simultaneously (verified against exhaustive search on
+// small instances).
+func TestPerEdgeOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	lim := opt.Limits{MaxHosts: 9, MaxRequesters: 5, MaxConfigs: 2000000}
+	for trial := 0; trial < 25; trial++ {
+		tr := tree.Random(rng, 4+rng.Intn(3), 3, 0.3, 4)
+		if tr.Len() > 9 {
+			continue
+		}
+		w := workload.New(1, tr.Len())
+		leaves := tr.Leaves()
+		nReq := 1 + rng.Intn(min(4, len(leaves)))
+		perm := rng.Perm(len(leaves))
+		for i := 0; i < nReq; i++ {
+			w.Set(0, leaves[perm[i]], workload.Access{
+				Reads:  rng.Int63n(6),
+				Writes: rng.Int63n(4),
+			})
+		}
+		if w.TotalWeight(0) == 0 {
+			continue
+		}
+		res := Place(tr, w)
+		p, err := res.Placement(tr, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nibLoads := placement.PerObjectEdgeLoads(tr, p, 0)
+		minLoads, err := opt.PerEdgeMinLoads(tr, w, 0, lim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < tr.NumEdges(); e++ {
+			if nibLoads[e] != minLoads[e] {
+				t.Fatalf("trial %d: edge %d nibble load %d ≠ minimum %d",
+					trial, e, nibLoads[e], minLoads[e])
+			}
+		}
+	}
+}
+
+func TestZeroDemandObjectGetsLeafCopy(t *testing.T) {
+	tr := star(4)
+	w := workload.New(1, tr.Len())
+	res := Place(tr, w)
+	if len(res.Objects[0].Copies) != 1 {
+		t.Fatal("expected single copy")
+	}
+	if !tr.IsLeaf(res.Objects[0].Copies[0]) {
+		t.Fatal("zero-demand copy not on a leaf")
+	}
+}
+
+func TestReadOnlyObjectReplicatesToAllReaders(t *testing.T) {
+	tr := star(5)
+	w := workload.New(1, tr.Len())
+	for _, l := range tr.Leaves()[:3] {
+		w.AddReads(0, l, 4)
+	}
+	res := Place(tr, w)
+	p, err := res.Placement(tr, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := placement.PerObjectEdgeLoads(tr, p, 0)
+	for e, l := range loads {
+		if l != 0 {
+			t.Fatalf("read-only object loads edge %d with %d", e, l)
+		}
+	}
+	inSet := map[tree.NodeID]bool{}
+	for _, v := range res.Objects[0].Copies {
+		inSet[v] = true
+	}
+	for _, l := range tr.Leaves()[:3] {
+		if !inSet[l] {
+			t.Fatalf("reader %d has no local copy", l)
+		}
+	}
+}
+
+func TestPlaceObjectMismatchedWeightsPanics(t *testing.T) {
+	tr := star(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GravityCenter(tr, []int64{1, 2})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,215 @@
+// Package nphard builds the Theorem 2.1 reduction: a PARTITION instance
+// k_1,...,k_n with Σk_i = 2k is encoded as a static placement problem on a
+// 4-ary tree of height 1 (Figure 3) such that a leaf-only placement of
+// congestion at most 4k exists iff the instance has a subset summing to k.
+//
+// The package also provides a pseudo-polynomial subset-sum solver (the
+// ground truth the experiment compares the measured optimum against) and
+// generators for solvable and unsolvable instances.
+package nphard
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// Instance is a PARTITION instance: positive integers to split into two
+// halves of equal sum.
+type Instance struct {
+	Items []int64
+}
+
+// Sum returns the total of all items.
+func (in Instance) Sum() int64 {
+	var s int64
+	for _, k := range in.Items {
+		s += k
+	}
+	return s
+}
+
+// Solvable decides PARTITION exactly with the classic pseudo-polynomial
+// subset-sum dynamic program (bitset over reachable sums).
+func (in Instance) Solvable() bool {
+	sum := in.Sum()
+	if sum%2 != 0 {
+		return false
+	}
+	target := sum / 2
+	words := int(target/64) + 1
+	reach := make([]uint64, words)
+	reach[0] = 1 // sum 0
+	for _, k := range in.Items {
+		if k < 0 {
+			panic("nphard: negative item")
+		}
+		if k > target {
+			continue // can never participate in a half
+		}
+		shiftWords := int(k / 64)
+		shiftBits := uint(k % 64)
+		for w := words - 1; w >= 0; w-- {
+			var v uint64
+			if w-shiftWords >= 0 {
+				v = reach[w-shiftWords] << shiftBits
+				if shiftBits > 0 && w-shiftWords-1 >= 0 {
+					v |= reach[w-shiftWords-1] >> (64 - shiftBits)
+				}
+			}
+			reach[w] |= v
+		}
+	}
+	return reach[target/64]&(1<<uint(target%64)) != 0
+}
+
+// Witness returns a subset with sum exactly half the total, or nil when
+// the instance is unsolvable.
+func (in Instance) Witness() []int {
+	sum := in.Sum()
+	if sum%2 != 0 {
+		return nil
+	}
+	target := sum / 2
+	// parent[s] = index of the item that first reached sum s.
+	parent := make([]int, target+1)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[0] = len(in.Items) // sentinel: reached with no item
+	for idx, k := range in.Items {
+		if k > target {
+			continue
+		}
+		for s := target; s >= k; s-- {
+			if parent[s] == -1 && parent[s-k] != -1 && parent[s-k] != idx {
+				parent[s] = idx
+			}
+		}
+	}
+	if parent[target] == -1 {
+		return nil
+	}
+	var subset []int
+	for s := target; s > 0; {
+		idx := parent[s]
+		subset = append(subset, idx)
+		s -= in.Items[idx]
+	}
+	return subset
+}
+
+// RandomSolvable returns an instance with a planted partition: items are
+// generated in pairs summing to the same value on both sides.
+func RandomSolvable(rng *rand.Rand, n int, maxVal int64) Instance {
+	if n < 2 {
+		panic("nphard: need at least 2 items")
+	}
+	items := make([]int64, 0, n)
+	// Build two halves with equal sums: fill one half randomly, then echo
+	// its total into the other half in random-sized chunks.
+	half := n / 2
+	var sumA int64
+	for i := 0; i < half; i++ {
+		v := 1 + rng.Int63n(maxVal)
+		items = append(items, v)
+		sumA += v
+	}
+	remaining := sumA
+	for i := half; i < n-1 && remaining > int64(n-i); i++ {
+		v := 1 + rng.Int63n(remaining-int64(n-i-1))
+		items = append(items, v)
+		remaining -= v
+	}
+	if remaining > 0 {
+		items = append(items, remaining)
+	}
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	return Instance{Items: items}
+}
+
+// RandomUnsolvable returns an instance with even total sum but no equal
+// partition: one item exceeds half of the total.
+func RandomUnsolvable(rng *rand.Rand, n int, maxVal int64) Instance {
+	if n < 2 {
+		panic("nphard: need at least 2 items")
+	}
+	items := make([]int64, n)
+	var rest int64
+	for i := 1; i < n; i++ {
+		items[i] = 1 + rng.Int63n(maxVal)
+		rest += items[i]
+	}
+	// Dominant item: rest + 2 keeps the total even and strictly above any
+	// possible balance.
+	items[0] = rest + 2
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	return Instance{Items: items}
+}
+
+// Gadget node layout (Figure 3): node 0 is the bus, then the four leaves.
+const (
+	GadgetBus  tree.NodeID = 0
+	GadgetA    tree.NodeID = 1
+	GadgetB    tree.NodeID = 2
+	GadgetS    tree.NodeID = 3
+	GadgetSBar tree.NodeID = 4
+)
+
+// Gadget encodes the instance as the paper's placement problem. It returns
+// the 4-leaf star, the all-write workload (objects 0..n-1 are x_1..x_n and
+// object n is y), and the threshold value k (half the item sum). The
+// instance sum must be even and positive.
+func Gadget(in Instance) (*tree.Tree, *workload.W, int64, error) {
+	sum := in.Sum()
+	if sum <= 0 || sum%2 != 0 {
+		return nil, nil, 0, fmt.Errorf("nphard: gadget needs a positive even item sum, got %d", sum)
+	}
+	k := sum / 2
+	b := tree.NewBuilder()
+	// The bus bandwidth is "sufficiently large such that the load on the
+	// edges is dominating": total load is below 16k+2, so 16k+2 suffices.
+	bus := b.AddBus("bus", 16*k+2)
+	names := []string{"a", "b", "s", "sbar"}
+	for _, nm := range names {
+		p := b.AddProcessor(nm)
+		b.Connect(bus, p, 1)
+	}
+	t, err := b.Build()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	n := len(in.Items)
+	w := workload.New(n+1, t.Len())
+	for i, ki := range in.Items {
+		for _, v := range []tree.NodeID{GadgetA, GadgetB, GadgetS, GadgetSBar} {
+			w.AddWrites(i, v, ki)
+		}
+	}
+	w.AddWrites(n, GadgetA, 4*k+1)
+	w.AddWrites(n, GadgetB, 2*k)
+	return t, w, k, nil
+}
+
+// WitnessPlacement returns, for a solvable instance and its witness
+// subset, the copy host for every object in the congestion-4k placement of
+// the proof: x_i goes to s if i ∈ subset, else to s̄; y goes to a. Object
+// index n (== len(items)) is y.
+func WitnessPlacement(in Instance, subset []int) []tree.NodeID {
+	inSet := make(map[int]bool, len(subset))
+	for _, i := range subset {
+		inSet[i] = true
+	}
+	hosts := make([]tree.NodeID, len(in.Items)+1)
+	for i := range in.Items {
+		if inSet[i] {
+			hosts[i] = GadgetS
+		} else {
+			hosts[i] = GadgetSBar
+		}
+	}
+	hosts[len(in.Items)] = GadgetA
+	return hosts
+}

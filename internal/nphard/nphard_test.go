@@ -1,0 +1,236 @@
+package nphard
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbn/internal/opt"
+	"hbn/internal/placement"
+	"hbn/internal/ratio"
+	"hbn/internal/tree"
+)
+
+func TestSolvableDP(t *testing.T) {
+	cases := []struct {
+		items []int64
+		want  bool
+	}{
+		{[]int64{1, 1}, true},
+		{[]int64{1, 2}, false}, // odd sum
+		{[]int64{3, 1, 1, 2, 2, 1}, true},
+		{[]int64{2, 2, 2}, false},
+		{[]int64{100, 1, 99}, true},
+		{[]int64{8, 2, 2, 2}, false}, // dominant item, even sum
+		{[]int64{5, 5, 5, 5}, true},
+		{[]int64{7, 3, 2}, false}, // even sum 12, but no subset hits 6
+	}
+	for _, c := range cases {
+		in := Instance{Items: c.items}
+		if got := in.Solvable(); got != c.want {
+			t.Errorf("Solvable(%v) = %v, want %v", c.items, got, c.want)
+		}
+	}
+}
+
+func TestSolvableAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(8)
+		items := make([]int64, n)
+		for i := range items {
+			items[i] = 1 + rng.Int63n(12)
+		}
+		in := Instance{Items: items}
+		// Brute force over all subsets.
+		sum := in.Sum()
+		want := false
+		if sum%2 == 0 {
+			for mask := 0; mask < 1<<n; mask++ {
+				var s int64
+				for i := 0; i < n; i++ {
+					if mask&(1<<i) != 0 {
+						s += items[i]
+					}
+				}
+				if s == sum/2 {
+					want = true
+					break
+				}
+			}
+		}
+		if got := in.Solvable(); got != want {
+			t.Fatalf("trial %d: Solvable(%v) = %v, brute force says %v", trial, items, got, want)
+		}
+	}
+}
+
+func TestWitnessSumsToHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 100; trial++ {
+		in := RandomSolvable(rng, 4+rng.Intn(8), 20)
+		subset := in.Witness()
+		if subset == nil {
+			t.Fatalf("trial %d: no witness for solvable instance %v", trial, in.Items)
+		}
+		var s int64
+		seen := map[int]bool{}
+		for _, i := range subset {
+			if seen[i] {
+				t.Fatalf("trial %d: witness reuses item %d", trial, i)
+			}
+			seen[i] = true
+			s += in.Items[i]
+		}
+		if s != in.Sum()/2 {
+			t.Fatalf("trial %d: witness sums to %d, want %d", trial, s, in.Sum()/2)
+		}
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 50; trial++ {
+		solvable := RandomSolvable(rng, 6, 15)
+		if !solvable.Solvable() {
+			t.Fatalf("RandomSolvable produced unsolvable %v", solvable.Items)
+		}
+		if solvable.Sum()%2 != 0 {
+			t.Fatal("odd sum")
+		}
+		unsolvable := RandomUnsolvable(rng, 6, 15)
+		if unsolvable.Solvable() {
+			t.Fatalf("RandomUnsolvable produced solvable %v", unsolvable.Items)
+		}
+		if unsolvable.Sum()%2 != 0 {
+			t.Fatal("gadget requires an even sum even for unsolvable instances")
+		}
+	}
+}
+
+func TestGadgetShape(t *testing.T) {
+	in := Instance{Items: []int64{3, 1, 2, 2}}
+	tr, w, k, err := Gadget(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 4 {
+		t.Fatalf("k = %d, want 4", k)
+	}
+	if tr.NumLeaves() != 4 || tr.Len() != 5 {
+		t.Fatal("gadget is not the 4-leaf star")
+	}
+	if err := tr.ValidateHBN(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ValidateHBN(tr); err != nil {
+		t.Fatal(err)
+	}
+	if w.NumObjects() != 5 {
+		t.Fatalf("objects = %d, want n+1 = 5", w.NumObjects())
+	}
+	// y's rates per the reduction.
+	if got := w.At(4, GadgetA).Writes; got != 4*k+1 {
+		t.Fatalf("hw(a,y) = %d, want %d", got, 4*k+1)
+	}
+	if got := w.At(4, GadgetB).Writes; got != 2*k {
+		t.Fatalf("hw(b,y) = %d", got)
+	}
+	// x_i rates: k_i on every leaf.
+	for i, ki := range in.Items {
+		for _, v := range []tree.NodeID{GadgetA, GadgetB, GadgetS, GadgetSBar} {
+			if got := w.At(i, v).Writes; got != ki {
+				t.Fatalf("hw(%d, x_%d) = %d, want %d", v, i, got, ki)
+			}
+		}
+	}
+	if _, _, _, err := Gadget(Instance{Items: []int64{1, 2}}); err == nil {
+		t.Fatal("odd-sum instance accepted")
+	}
+}
+
+// The witness placement from the proof achieves congestion exactly 4k.
+func TestWitnessPlacementAchieves4k(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 30; trial++ {
+		in := RandomSolvable(rng, 4+rng.Intn(6), 12)
+		tr, w, k, err := Gadget(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts := WitnessPlacement(in, in.Witness())
+		copies := make([][]tree.NodeID, w.NumObjects())
+		for x, h := range hosts {
+			copies[x] = []tree.NodeID{h}
+		}
+		p, err := placement.NearestAssignment(tr, w, copies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := placement.Evaluate(tr, p)
+		if !rep.Congestion.Eq(ratio.New(4*k, 1)) {
+			t.Fatalf("trial %d: witness congestion = %v, want %d", trial, rep.Congestion, 4*k)
+		}
+	}
+}
+
+// Theorem 2.1, both directions, against the exact solver: optimal
+// congestion equals 4k iff the PARTITION instance is solvable, and
+// strictly exceeds 4k otherwise.
+func TestReductionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	lim := opt.Limits{MaxHosts: 4, MaxRequesters: 4, MaxConfigs: 100000, NonRedundant: true}
+	check := func(in Instance, wantSolvable bool) {
+		t.Helper()
+		tr, w, k, err := Gadget(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := opt.ExactCongestion(tr, w, lim, ratio.R{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		threshold := ratio.New(4*k, 1)
+		if wantSolvable {
+			if !sol.Congestion.Eq(threshold) {
+				t.Fatalf("solvable %v: optimum %v ≠ 4k = %d", in.Items, sol.Congestion, 4*k)
+			}
+		} else {
+			if !threshold.Less(sol.Congestion) {
+				t.Fatalf("unsolvable %v: optimum %v ≤ 4k = %d", in.Items, sol.Congestion, 4*k)
+			}
+		}
+	}
+	for trial := 0; trial < 12; trial++ {
+		check(RandomSolvable(rng, 3+rng.Intn(4), 8), true)
+		check(RandomUnsolvable(rng, 3+rng.Intn(4), 8), false)
+	}
+	// A handcrafted pair.
+	check(Instance{Items: []int64{2, 2}}, true)
+	check(Instance{Items: []int64{4, 1, 1}}, false)
+}
+
+// The redundant search agrees on tiny instances (all requests are writes,
+// so non-redundant search is exact — verify that claim empirically).
+func TestRedundantSearchAgreesOnTinyInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	for trial := 0; trial < 5; trial++ {
+		in := RandomSolvable(rng, 3, 4)
+		tr, w, _, err := Gadget(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nrLim := opt.Limits{MaxHosts: 4, MaxRequesters: 4, MaxConfigs: 100000, NonRedundant: true}
+		fullLim := opt.Limits{MaxHosts: 4, MaxRequesters: 4, MaxConfigs: 2000000}
+		nr, err := opt.ExactCongestion(tr, w, nrLim, ratio.R{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := opt.ExactCongestion(tr, w, fullLim, nr.Congestion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !nr.Congestion.Eq(full.Congestion) {
+			t.Fatalf("trial %d: non-redundant %v ≠ redundant %v", trial, nr.Congestion, full.Congestion)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+// Package opt provides exact reference solvers for small instances of the
+// static data management problem, used to certify the experiments:
+//
+//   - ExactCongestion: the true optimum congestion over all (possibly
+//     redundant) leaf-only placements and all reference assignments, by
+//     exhaustive enumeration with branch-and-bound (the comparator for the
+//     7-approximation, Theorem 4.3, and for the NP-hardness gadget,
+//     Theorem 2.1).
+//   - PerEdgeMinLoads: the per-edge minimum load achievable for a single
+//     object when copies may also sit on inner nodes (the comparator for
+//     the nibble optimality, Theorem 3.1).
+//
+// The problem is NP-hard (that is the paper's first result), so these
+// solvers are exponential by necessity and guarded by explicit size caps.
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"hbn/internal/placement"
+	"hbn/internal/ratio"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// Limits cap the exhaustive search.
+type Limits struct {
+	// MaxHosts caps the number of candidate host nodes (leaves, or all
+	// nodes for PerEdgeMinLoads).
+	MaxHosts int
+	// MaxRequesters caps the number of distinct requesters per object.
+	MaxRequesters int
+	// MaxConfigs caps the deduplicated per-object configuration count.
+	MaxConfigs int
+	// NonRedundant restricts the search to single-copy placements. For
+	// write-only workloads this loses no generality (paper, Section 2:
+	// every optimal placement is non-redundant when all requests are
+	// writes), and it makes much larger instances tractable.
+	NonRedundant bool
+}
+
+// DefaultLimits is sized for unit tests: exhaustive but quick.
+var DefaultLimits = Limits{MaxHosts: 6, MaxRequesters: 6, MaxConfigs: 200000}
+
+// Solution is the result of an exact search.
+type Solution struct {
+	Congestion ratio.R
+	// Placement realizes the optimum (nil when the instance has no
+	// demand).
+	Placement *placement.P
+}
+
+// config is one way to place and serve a single object, reduced to the
+// edge-load vector it induces.
+type config struct {
+	loads  []int64
+	copies []tree.NodeID
+	ref    []tree.NodeID // requester index -> serving node
+	maxRel ratio.R
+}
+
+// ExactCongestion computes the optimal leaf-only congestion of (t, w) by
+// exhaustive search. upperBound, if valid, seeds the branch-and-bound (any
+// feasible congestion works; the extended-nibble result is a good seed).
+func ExactCongestion(t *tree.Tree, w *workload.W, lim Limits, upperBound ratio.R) (*Solution, error) {
+	hosts := t.Leaves()
+	return exact(t, w, lim, upperBound, hosts)
+}
+
+func exact(t *tree.Tree, w *workload.W, lim Limits, upperBound ratio.R, hosts []tree.NodeID) (*Solution, error) {
+	if len(hosts) > lim.MaxHosts {
+		return nil, fmt.Errorf("opt: %d candidate hosts exceed limit %d", len(hosts), lim.MaxHosts)
+	}
+	r := t.Rooted(0)
+	var objCfgs [][]config
+	var objIdx []int
+	for x := 0; x < w.NumObjects(); x++ {
+		reqs := w.Requesters(x)
+		if len(reqs) == 0 {
+			continue
+		}
+		if len(reqs) > lim.MaxRequesters {
+			return nil, fmt.Errorf("opt: object %d has %d requesters, limit %d", x, len(reqs), lim.MaxRequesters)
+		}
+		cfgs, err := enumerate(t, r, w, x, reqs, hosts, lim)
+		if err != nil {
+			return nil, err
+		}
+		objCfgs = append(objCfgs, cfgs)
+		objIdx = append(objIdx, x)
+	}
+	if len(objCfgs) == 0 {
+		return &Solution{Congestion: ratio.Zero, Placement: placement.New(w.NumObjects())}, nil
+	}
+
+	// Branch and bound over objects. Objects with fewer configurations
+	// first: they constrain the loads early.
+	order := make([]int, len(objCfgs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(objCfgs[order[a]]) < len(objCfgs[order[b]]) })
+
+	nE := t.NumEdges()
+	acc := make([]int64, nE)
+	chosen := make([]int, len(objCfgs))
+	best := make([]int, len(objCfgs))
+	bestC := upperBound
+	found := false
+	buses := t.Buses()
+	busX2 := make([]int64, t.Len())
+
+	congestionOf := func(loads []int64) ratio.R {
+		c := ratio.Zero
+		for e := 0; e < nE; e++ {
+			c = ratio.Max(c, ratio.New(loads[e], t.EdgeBandwidth(tree.EdgeID(e))))
+		}
+		for i := range busX2 {
+			busX2[i] = 0
+		}
+		for e := 0; e < nE; e++ {
+			u, v := t.Endpoints(tree.EdgeID(e))
+			busX2[u] += loads[e]
+			busX2[v] += loads[e]
+		}
+		for _, b := range buses {
+			c = ratio.Max(c, ratio.New(busX2[b], 2*t.NodeBandwidth(b)))
+		}
+		return c
+	}
+
+	var dfs func(i int)
+	dfs = func(i int) {
+		if i == len(order) {
+			c := congestionOf(acc)
+			if !found || c.Less(bestC) {
+				bestC = c
+				copy(best, chosen)
+				found = true
+			}
+			return
+		}
+		oi := order[i]
+		for ci, cfg := range objCfgs[oi] {
+			// Partial lower bound: the edge congestion of the loads
+			// accumulated so far only grows as more objects are placed, so
+			// exceeding the incumbent (or matching it, once a witness
+			// exists) allows pruning.
+			if bestC.Valid() {
+				prune := false
+				for e := 0; e < nE; e++ {
+					l := acc[e] + cfg.loads[e]
+					if l == 0 {
+						continue
+					}
+					rel := ratio.New(l, t.EdgeBandwidth(tree.EdgeID(e)))
+					if bestC.Less(rel) || (found && rel.Eq(bestC)) {
+						prune = true
+						break
+					}
+				}
+				if prune {
+					continue
+				}
+			}
+			for e := 0; e < nE; e++ {
+				acc[e] += cfg.loads[e]
+			}
+			chosen[oi] = ci
+			dfs(i + 1)
+			for e := 0; e < nE; e++ {
+				acc[e] -= cfg.loads[e]
+			}
+		}
+	}
+	dfs(0)
+	if !found {
+		// The seed upper bound was already optimal or no strictly better
+		// solution exists; re-run without a seed to materialize one.
+		if upperBound.Valid() {
+			return exact(t, w, lim, ratio.R{}, hosts)
+		}
+		return nil, fmt.Errorf("opt: search found no feasible placement")
+	}
+
+	sol := &Solution{Congestion: bestC, Placement: placement.New(w.NumObjects())}
+	for i, x := range objIdx {
+		cfg := objCfgs[i][best[i]]
+		reqs := w.Requesters(x)
+		byNode := map[tree.NodeID]*placement.Copy{}
+		for _, cn := range cfg.copies {
+			byNode[cn] = &placement.Copy{Object: x, Node: cn}
+		}
+		for ri, req := range reqs {
+			a := w.At(x, req)
+			c := byNode[cfg.ref[ri]]
+			c.Shares = append(c.Shares, placement.Share{Node: req, Reads: a.Reads, Writes: a.Writes})
+		}
+		for _, cn := range cfg.copies {
+			sol.Placement.Add(byNode[cn])
+		}
+	}
+	return sol, nil
+}
+
+// enumerate lists every deduplicated (copy set, assignment) configuration
+// for object x hosted on `hosts`.
+func enumerate(t *tree.Tree, r *tree.Rooted, w *workload.W, x int, reqs, hosts []tree.NodeID, lim Limits) ([]config, error) {
+	kappa := w.Kappa(x)
+	nE := t.NumEdges()
+	seen := map[string]bool{}
+	var out []config
+
+	counts := make([]int64, len(reqs))
+	for i, req := range reqs {
+		counts[i] = w.At(x, req).Total()
+	}
+
+	addConfig := func(subset []tree.NodeID, ref []tree.NodeID) {
+		loads := make([]int64, nE)
+		for i, req := range reqs {
+			r.VisitPath(req, ref[i], func(e tree.EdgeID, _ tree.Dir) {
+				loads[e] += counts[i]
+			})
+		}
+		if kappa > 0 && len(subset) > 1 {
+			mask := make([]bool, nE)
+			tree.SteinerEdgesInto(r, subset, mask)
+			for e, in := range mask {
+				if in {
+					loads[e] += kappa
+				}
+			}
+		}
+		key := loadKey(loads)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		cfg := config{loads: loads, copies: append([]tree.NodeID(nil), subset...), ref: append([]tree.NodeID(nil), ref...), maxRel: ratio.Zero}
+		for e := 0; e < nE; e++ {
+			cfg.maxRel = ratio.Max(cfg.maxRel, ratio.New(loads[e], t.EdgeBandwidth(tree.EdgeID(e))))
+		}
+		out = append(out, cfg)
+	}
+
+	maxMask := 1 << len(hosts)
+	for mask := 1; mask < maxMask; mask++ {
+		var subset []tree.NodeID
+		for i := 0; i < len(hosts); i++ {
+			if mask&(1<<i) != 0 {
+				subset = append(subset, hosts[i])
+			}
+		}
+		if lim.NonRedundant && len(subset) > 1 {
+			continue
+		}
+		// Odometer over assignments requester -> subset member.
+		ref := make([]tree.NodeID, len(reqs))
+		idx := make([]int, len(reqs))
+		for {
+			used := map[tree.NodeID]bool{}
+			for i := range reqs {
+				ref[i] = subset[idx[i]]
+				used[ref[i]] = true
+			}
+			// With κ>0, a copy serving nobody only enlarges the Steiner
+			// tree: strictly dominated, skip.
+			dominated := false
+			if kappa > 0 && len(subset) > 1 {
+				for _, s := range subset {
+					if !used[s] {
+						dominated = true
+						break
+					}
+				}
+			}
+			if !dominated {
+				addConfig(subset, ref)
+				if len(out) > lim.MaxConfigs {
+					return nil, fmt.Errorf("opt: object %d exceeds %d configurations", x, lim.MaxConfigs)
+				}
+			}
+			// Advance odometer.
+			k := 0
+			for ; k < len(idx); k++ {
+				idx[k]++
+				if idx[k] < len(subset) {
+					break
+				}
+				idx[k] = 0
+			}
+			if k == len(idx) {
+				break
+			}
+		}
+	}
+	// Cheap configurations first: improves the branch-and-bound ordering.
+	sort.Slice(out, func(a, b int) bool { return out[a].maxRel.Less(out[b].maxRel) })
+	return out, nil
+}
+
+func loadKey(loads []int64) string {
+	buf := make([]byte, 0, len(loads)*4)
+	for _, l := range loads {
+		buf = strconv.AppendInt(buf, l, 36)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
+// PerEdgeMinLoads returns, for object x considered alone and with copies
+// allowed on EVERY node (the tree model of [10]), the minimum achievable
+// load of each edge over all placements and assignments. Theorem 3.1
+// asserts the nibble placement attains all these minima simultaneously.
+func PerEdgeMinLoads(t *tree.Tree, w *workload.W, x int, lim Limits) ([]int64, error) {
+	hosts := make([]tree.NodeID, t.Len())
+	for i := range hosts {
+		hosts[i] = tree.NodeID(i)
+	}
+	if len(hosts) > lim.MaxHosts {
+		return nil, fmt.Errorf("opt: %d nodes exceed host limit %d", len(hosts), lim.MaxHosts)
+	}
+	reqs := w.Requesters(x)
+	if len(reqs) == 0 {
+		return make([]int64, t.NumEdges()), nil
+	}
+	if len(reqs) > lim.MaxRequesters {
+		return nil, fmt.Errorf("opt: object %d has %d requesters, limit %d", x, len(reqs), lim.MaxRequesters)
+	}
+	r := t.Rooted(0)
+	cfgs, err := enumerate(t, r, w, x, reqs, hosts, lim)
+	if err != nil {
+		return nil, err
+	}
+	mins := make([]int64, t.NumEdges())
+	for e := range mins {
+		mins[e] = -1
+	}
+	for _, cfg := range cfgs {
+		for e, l := range cfg.loads {
+			if mins[e] < 0 || l < mins[e] {
+				mins[e] = l
+			}
+		}
+	}
+	return mins, nil
+}

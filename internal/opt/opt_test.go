@@ -1,0 +1,185 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbn/internal/placement"
+	"hbn/internal/ratio"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+func TestExactSingleObjectSingleReader(t *testing.T) {
+	// One reader: optimum is a local copy, congestion 0.
+	tr := tree.Star(3, 10)
+	w := workload.New(1, tr.Len())
+	w.AddReads(0, 1, 100)
+	sol, err := ExactCongestion(tr, w, DefaultLimits, ratio.R{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Congestion.Num != 0 {
+		t.Fatalf("congestion = %v, want 0", sol.Congestion)
+	}
+	if err := sol.Placement.Validate(tr, w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactKnownOptimum(t *testing.T) {
+	// Two writers with 3 and 5 writes on a star. One copy: either on the
+	// heavy leaf (edge load 3 on the light path) or the light leaf (load
+	// 5). Two copies: every write pays the Steiner tree (κ=8 on both
+	// edges). Optimum: copy on the heavy writer's leaf, congestion 3.
+	tr := tree.Star(3, 1000)
+	w := workload.New(1, tr.Len())
+	w.AddWrites(0, 1, 5)
+	w.AddWrites(0, 2, 3)
+	sol, err := ExactCongestion(tr, w, DefaultLimits, ratio.R{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Congestion.Eq(ratio.New(3, 1)) {
+		t.Fatalf("congestion = %v, want 3", sol.Congestion)
+	}
+	nodes := sol.Placement.CopyNodes(0)
+	if len(nodes) != 1 || nodes[0] != 1 {
+		t.Fatalf("copies = %v, want [1]", nodes)
+	}
+}
+
+func TestExactPrefersReplicationForReads(t *testing.T) {
+	// Two heavy readers, one rare writer: replication wins.
+	tr := tree.Star(3, 1000)
+	w := workload.New(1, tr.Len())
+	w.AddReads(0, 1, 50)
+	w.AddReads(0, 2, 50)
+	w.AddWrites(0, 3, 1)
+	sol, err := ExactCongestion(tr, w, DefaultLimits, ratio.R{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copies on 1 and 2: reads local; writer pays path (1) + Steiner κ=1
+	// on edges e1,e2 (+ its own edge for the path): edge loads ≤ 2.
+	if ratio.New(2, 1).Less(sol.Congestion) {
+		t.Fatalf("congestion = %v, want ≤ 2", sol.Congestion)
+	}
+	if len(sol.Placement.CopyNodes(0)) < 2 {
+		t.Fatalf("expected replication, got %v", sol.Placement.CopyNodes(0))
+	}
+}
+
+func TestExactRespectsLimits(t *testing.T) {
+	tr := tree.Star(8, 10)
+	w := workload.New(1, tr.Len())
+	for _, l := range tr.Leaves() {
+		w.AddReads(0, l, 1)
+	}
+	if _, err := ExactCongestion(tr, w, Limits{MaxHosts: 4, MaxRequesters: 8, MaxConfigs: 1000}, ratio.R{}); err == nil {
+		t.Fatal("host limit not enforced")
+	}
+	if _, err := ExactCongestion(tr, w, Limits{MaxHosts: 8, MaxRequesters: 4, MaxConfigs: 1000}, ratio.R{}); err == nil {
+		t.Fatal("requester limit not enforced")
+	}
+}
+
+func TestExactZeroDemand(t *testing.T) {
+	tr := tree.Star(3, 10)
+	w := workload.New(2, tr.Len())
+	sol, err := ExactCongestion(tr, w, DefaultLimits, ratio.R{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Congestion.Num != 0 {
+		t.Fatal("nonzero congestion for zero demand")
+	}
+}
+
+func TestNonRedundantMatchesFullSearchOnWriteOnly(t *testing.T) {
+	// For all-write workloads non-redundant search is exact (paper §2);
+	// cross-check both solvers agree.
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		tr := tree.Star(4, 1000)
+		w := workload.WriteOnly(rng, tr, 2, workload.GenConfig{MaxWrites: 6, Density: 0.8})
+		full, err := ExactCongestion(tr, w, DefaultLimits, ratio.R{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lim := DefaultLimits
+		lim.NonRedundant = true
+		nr, err := ExactCongestion(tr, w, lim, ratio.R{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !full.Congestion.Eq(nr.Congestion) {
+			t.Fatalf("trial %d: full %v ≠ non-redundant %v", trial, full.Congestion, nr.Congestion)
+		}
+	}
+}
+
+func TestSeededUpperBoundGivesSameOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	tr := tree.Star(4, 1000)
+	w := workload.Uniform(rng, tr, 2, workload.GenConfig{MaxReads: 6, MaxWrites: 3, Density: 0.8})
+	unseeded, err := ExactCongestion(tr, w, DefaultLimits, ratio.R{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed with a deliberately loose feasible bound.
+	loose := ratio.New(unseeded.Congestion.Num*10+1, max64(1, unseeded.Congestion.Den))
+	seeded, err := ExactCongestion(tr, w, DefaultLimits, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seeded.Congestion.Eq(unseeded.Congestion) {
+		t.Fatalf("seeded %v ≠ unseeded %v", seeded.Congestion, unseeded.Congestion)
+	}
+	// Seed with the exact optimum itself: a witness must still be found.
+	tight, err := ExactCongestion(tr, w, DefaultLimits, unseeded.Congestion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tight.Congestion.Eq(unseeded.Congestion) {
+		t.Fatalf("tight-seeded %v ≠ unseeded %v", tight.Congestion, unseeded.Congestion)
+	}
+}
+
+func TestExactSolutionPlacementMatchesReportedCongestion(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 20; trial++ {
+		tr := tree.Star(4, 4)
+		w := workload.Uniform(rng, tr, 2, workload.GenConfig{MaxReads: 5, MaxWrites: 3, Density: 0.7})
+		sol, err := ExactCongestion(tr, w, DefaultLimits, ratio.R{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := placement.Evaluate(tr, sol.Placement)
+		if !rep.Congestion.Eq(sol.Congestion) {
+			t.Fatalf("trial %d: reported %v, placement evaluates to %v", trial, sol.Congestion, rep.Congestion)
+		}
+	}
+}
+
+func TestPerEdgeMinLoadsZeroForLocalService(t *testing.T) {
+	tr := tree.Star(3, 10)
+	w := workload.New(1, tr.Len())
+	w.AddReads(0, 1, 9)
+	mins, err := PerEdgeMinLoads(tr, w, 0, DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, m := range mins {
+		if m != 0 {
+			t.Fatalf("edge %d min = %d, want 0 (local copy possible)", e, m)
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

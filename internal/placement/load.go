@@ -1,0 +1,141 @@
+package placement
+
+import (
+	"fmt"
+
+	"hbn/internal/ratio"
+	"hbn/internal/tree"
+)
+
+// Report holds the exact loads induced by a placement.
+type Report struct {
+	// EdgeLoad[e] is the (integer) load of edge e.
+	EdgeLoad []int64
+	// BusLoadX2[v] is twice the load of bus v (bus loads are half-integers;
+	// doubling keeps them exact). Zero for processors.
+	BusLoadX2 []int64
+	// TotalLoad is the sum of all edge loads (the "total communication
+	// load" the related-work section contrasts congestion with).
+	TotalLoad int64
+	// Congestion is the maximum relative load over edges and buses, exact.
+	Congestion ratio.R
+	// Bottleneck describes the resource attaining the congestion.
+	Bottleneck string
+}
+
+// MaxEdgeLoad returns the maximum raw (bandwidth-free) edge load.
+func (rep *Report) MaxEdgeLoad() int64 {
+	var m int64
+	for _, l := range rep.EdgeLoad {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// Evaluate computes the exact loads and congestion of p on t.
+//
+// Per-object cost model (paper Section 1.1): every share (n, reads, writes)
+// assigned to a copy on node u loads each edge of the path n↔u with
+// reads+writes; additionally each edge of the Steiner tree of the copy set
+// of x is loaded with κ_x (one per write request, κ_x in total). Path loads
+// are accumulated with the LCA difference trick, so the cost is O(|X|·|V|)
+// overall rather than O(requests · pathlength).
+func Evaluate(t *tree.Tree, p *P) *Report {
+	r := t.Rooted(0)
+	rep := &Report{
+		EdgeLoad:  make([]int64, t.NumEdges()),
+		BusLoadX2: make([]int64, t.Len()),
+	}
+	diff := make([]int64, t.Len())
+	steiner := make([]bool, t.NumEdges())
+	for x := 0; x < p.NumObjects; x++ {
+		for i := range diff {
+			diff[i] = 0
+		}
+		var kappa int64
+		copyNodes := make([]tree.NodeID, 0, len(p.Copies[x]))
+		for _, c := range p.Copies[x] {
+			copyNodes = append(copyNodes, c.Node)
+			for _, sh := range c.Shares {
+				kappa += sh.Writes
+				n := sh.Total()
+				if n == 0 || sh.Node == c.Node {
+					continue
+				}
+				// Path accumulation: +n at both endpoints, -2n at the LCA;
+				// the edge above v then carries the subtree sum at v.
+				diff[sh.Node] += n
+				diff[c.Node] += n
+				diff[r.LCA(sh.Node, c.Node)] -= 2 * n
+			}
+		}
+		sums := r.SubtreeSums(diff)
+		for _, v := range r.Order {
+			if e := r.ParentEdge[v]; e != tree.NoEdge && sums[v] != 0 {
+				rep.EdgeLoad[e] += sums[v]
+			}
+		}
+		// Update broadcast: κ_x on every Steiner edge of the copy set.
+		if kappa > 0 && len(copyNodes) > 1 {
+			dedup := dedupNodes(copyNodes)
+			if len(dedup) > 1 {
+				for i := range steiner {
+					steiner[i] = false
+				}
+				tree.SteinerEdgesInto(r, dedup, steiner)
+				for e, in := range steiner {
+					if in {
+						rep.EdgeLoad[e] += kappa
+					}
+				}
+			}
+		}
+	}
+	for e, l := range rep.EdgeLoad {
+		rep.TotalLoad += l
+		u, v := t.Endpoints(tree.EdgeID(e))
+		rep.BusLoadX2[u] += l
+		rep.BusLoadX2[v] += l
+	}
+	rep.Congestion = ratio.Zero
+	for e, l := range rep.EdgeLoad {
+		rel := ratio.New(l, t.EdgeBandwidth(tree.EdgeID(e)))
+		if rep.Congestion.Less(rel) {
+			rep.Congestion = rel
+			u, v := t.Endpoints(tree.EdgeID(e))
+			rep.Bottleneck = fmt.Sprintf("edge %d (%s-%s)", e, t.Name(u), t.Name(v))
+		}
+	}
+	for _, b := range t.Buses() {
+		rel := ratio.New(rep.BusLoadX2[b], 2*t.NodeBandwidth(b))
+		if rep.Congestion.Less(rel) {
+			rep.Congestion = rel
+			rep.Bottleneck = fmt.Sprintf("bus %d (%s)", b, t.Name(b))
+		}
+	}
+	return rep
+}
+
+// PerObjectEdgeLoads computes, for a single object's copies, the load each
+// edge carries for that object alone. Used by the per-edge optimality tests
+// of Theorem 3.1.
+func PerObjectEdgeLoads(t *tree.Tree, p *P, x int) []int64 {
+	single := New(p.NumObjects)
+	single.Copies[x] = p.Copies[x]
+	rep := Evaluate(t, single)
+	return rep.EdgeLoad
+}
+
+func dedupNodes(in []tree.NodeID) []tree.NodeID {
+	seen := make(map[tree.NodeID]bool, len(in))
+	out := in[:0:0]
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

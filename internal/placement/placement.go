@@ -1,0 +1,241 @@
+// Package placement represents (possibly redundant) placements of shared
+// data objects and computes the exact load and congestion they induce,
+// following the definitions of Section 1.1 of the paper:
+//
+//   - a read request from node P to object x loads every edge on the path
+//     from P to its reference copy c(P,x) by one;
+//   - a write request loads every edge on the path from P to c(P,x) by one
+//     AND every edge of the Steiner tree connecting the copy set P_x by one
+//     (the update broadcast);
+//   - the load of a bus is half the sum of the loads of its incident edges;
+//   - relative load divides by bandwidth; congestion is the maximum
+//     relative load over all edges and buses.
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"hbn/internal/ratio"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// Share is a portion of one node's demand for one object assigned to a
+// particular copy. The deletion algorithm's splitting step (Observation
+// 3.2) may split a single node's demand across several copies; shares make
+// that representable while keeping loads exact.
+type Share struct {
+	Node   tree.NodeID
+	Reads  int64
+	Writes int64
+}
+
+// Total returns the number of requests in the share.
+func (s Share) Total() int64 { return s.Reads + s.Writes }
+
+// Copy is one copy of an object together with the demand it serves.
+type Copy struct {
+	Object int
+	Node   tree.NodeID
+	Shares []Share
+}
+
+// Served returns s(c): the number of read and write requests served by c.
+func (c *Copy) Served() int64 {
+	var s int64
+	for _, sh := range c.Shares {
+		s += sh.Total()
+	}
+	return s
+}
+
+// P is a placement: for every object, the copies with their assigned
+// demand shares. Invariant: every active (object, node) demand of the
+// originating workload is covered exactly once by the union of shares.
+type P struct {
+	NumObjects int
+	Copies     [][]*Copy // indexed by object
+}
+
+// New returns an empty placement for numObjects objects.
+func New(numObjects int) *P {
+	return &P{NumObjects: numObjects, Copies: make([][]*Copy, numObjects)}
+}
+
+// Add appends a copy.
+func (p *P) Add(c *Copy) {
+	p.Copies[c.Object] = append(p.Copies[c.Object], c)
+}
+
+// CopyNodes returns the distinct nodes holding copies of object x, sorted.
+func (p *P) CopyNodes(x int) []tree.NodeID {
+	seen := map[tree.NodeID]bool{}
+	for _, c := range p.Copies[x] {
+		seen[c.Node] = true
+	}
+	out := make([]tree.NodeID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TotalCopies returns the total number of copy records.
+func (p *P) TotalCopies() int {
+	n := 0
+	for _, cs := range p.Copies {
+		n += len(cs)
+	}
+	return n
+}
+
+// Validate checks that p exactly covers the demand of w: every (object,
+// node) pair's reads and writes appear in shares exactly once, shares are
+// non-negative, and every object with demand has at least one copy.
+func (p *P) Validate(t *tree.Tree, w *workload.W) error {
+	if p.NumObjects != w.NumObjects() {
+		return fmt.Errorf("placement: %d objects, workload has %d", p.NumObjects, w.NumObjects())
+	}
+	for x := 0; x < p.NumObjects; x++ {
+		reads := make(map[tree.NodeID]int64)
+		writes := make(map[tree.NodeID]int64)
+		for _, c := range p.Copies[x] {
+			if c.Object != x {
+				return fmt.Errorf("placement: copy filed under object %d claims object %d", x, c.Object)
+			}
+			if c.Node < 0 || int(c.Node) >= t.Len() {
+				return fmt.Errorf("placement: object %d copy on out-of-range node %d", x, c.Node)
+			}
+			for _, sh := range c.Shares {
+				if sh.Reads < 0 || sh.Writes < 0 {
+					return fmt.Errorf("placement: object %d has negative share %+v", x, sh)
+				}
+				reads[sh.Node] += sh.Reads
+				writes[sh.Node] += sh.Writes
+			}
+		}
+		for v := 0; v < w.NumNodes(); v++ {
+			id := tree.NodeID(v)
+			a := w.At(x, id)
+			if reads[id] != a.Reads || writes[id] != a.Writes {
+				return fmt.Errorf("placement: object %d node %d covers (r=%d,w=%d), workload has (r=%d,w=%d)",
+					x, v, reads[id], writes[id], a.Reads, a.Writes)
+			}
+		}
+		if w.TotalWeight(x) > 0 && len(p.Copies[x]) == 0 {
+			return fmt.Errorf("placement: object %d has demand but no copies", x)
+		}
+	}
+	return nil
+}
+
+// LeafOnly reports whether every copy sits on a leaf of t, the feasibility
+// condition of the hierarchical bus model.
+func (p *P) LeafOnly(t *tree.Tree) bool {
+	for _, cs := range p.Copies {
+		for _, c := range cs {
+			if !t.IsLeaf(c.Node) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MergePerNode merges copies of the same object residing on the same node
+// into a single copy (concatenating shares). The mapping algorithm can
+// strand several split copies on one leaf; merging is load-neutral for
+// path loads and can only shrink Steiner trees.
+func (p *P) MergePerNode() *P {
+	out := New(p.NumObjects)
+	for x := 0; x < p.NumObjects; x++ {
+		byNode := map[tree.NodeID]*Copy{}
+		var order []tree.NodeID
+		for _, c := range p.Copies[x] {
+			m, ok := byNode[c.Node]
+			if !ok {
+				m = &Copy{Object: x, Node: c.Node}
+				byNode[c.Node] = m
+				order = append(order, c.Node)
+			}
+			m.Shares = append(m.Shares, c.Shares...)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, v := range order {
+			out.Add(byNode[v])
+		}
+	}
+	return out
+}
+
+// FromAssignment builds a placement from an explicit copy-set and
+// reference-copy assignment: copies[x] lists the nodes holding object x and
+// ref[x][v] names the copy serving node v (ignored when v has no demand).
+func FromAssignment(t *tree.Tree, w *workload.W, copies [][]tree.NodeID, ref [][]tree.NodeID) (*P, error) {
+	p := New(w.NumObjects())
+	for x := 0; x < w.NumObjects(); x++ {
+		byNode := map[tree.NodeID]*Copy{}
+		for _, v := range copies[x] {
+			if _, dup := byNode[v]; dup {
+				return nil, fmt.Errorf("placement: object %d lists node %d twice", x, v)
+			}
+			byNode[v] = &Copy{Object: x, Node: v}
+		}
+		for v := 0; v < w.NumNodes(); v++ {
+			id := tree.NodeID(v)
+			a := w.At(x, id)
+			if a.Total() == 0 {
+				continue
+			}
+			r := ref[x][v]
+			c, ok := byNode[r]
+			if !ok {
+				return nil, fmt.Errorf("placement: object %d node %d references %d, which holds no copy", x, v, r)
+			}
+			c.Shares = append(c.Shares, Share{Node: id, Reads: a.Reads, Writes: a.Writes})
+		}
+		for _, v := range copies[x] {
+			p.Add(byNode[v])
+		}
+	}
+	return p, nil
+}
+
+// NearestAssignment builds the placement in which every requesting node is
+// served by its nearest copy (the paper's convention for the nibble
+// placement). copies[x] must be non-empty for every object with demand.
+func NearestAssignment(t *tree.Tree, w *workload.W, copies [][]tree.NodeID) (*P, error) {
+	ref := make([][]tree.NodeID, w.NumObjects())
+	for x := range ref {
+		if len(copies[x]) == 0 {
+			if w.TotalWeight(x) == 0 {
+				ref[x] = make([]tree.NodeID, w.NumNodes())
+				continue
+			}
+			return nil, fmt.Errorf("placement: object %d has demand but no copies", x)
+		}
+		nearest, _ := tree.NearestInSet(t, copies[x])
+		ref[x] = nearest
+	}
+	return FromAssignment(t, w, copies, ref)
+}
+
+// ReassignNearest rebuilds p so that every demand share is served by the
+// nearest node currently holding a copy of its object, keeping the copy
+// sets fixed. Used by the ablation experiments: the mapping algorithm's
+// forwarding assignment is what the analysis bounds; nearest-copy
+// reassignment never increases the total communication load (every
+// request's path gets shortest-possible), though individual edges may gain
+// load, so congestion usually — not provably — improves.
+func (p *P) ReassignNearest(t *tree.Tree, w *workload.W) (*P, error) {
+	copies := make([][]tree.NodeID, p.NumObjects)
+	for x := range copies {
+		copies[x] = p.CopyNodes(x)
+	}
+	return NearestAssignment(t, w, copies)
+}
+
+// Ratio re-exported for callers that already import placement.
+type Congestion = ratio.R

@@ -1,0 +1,325 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbn/internal/ratio"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// twoBus builds: top(0) — {left(1), right(2)}; leaves 3,4 under left,
+// 5,6 under right. All switches bandwidth 1 except the two inner switches
+// (bandwidth 2); buses bandwidth 4.
+func twoBus(t *testing.T) *tree.Tree {
+	t.Helper()
+	b := tree.NewBuilder()
+	top := b.AddBus("top", 4)
+	left := b.AddBus("left", 4)
+	right := b.AddBus("right", 4)
+	b.Connect(top, left, 2)
+	b.Connect(top, right, 2)
+	for i := 0; i < 2; i++ {
+		p := b.AddProcessor("")
+		b.Connect(left, p, 1)
+	}
+	for i := 0; i < 2; i++ {
+		p := b.AddProcessor("")
+		b.Connect(right, p, 1)
+	}
+	return b.MustBuildHBN()
+}
+
+func TestEvaluateReadPathLoads(t *testing.T) {
+	tr := twoBus(t)
+	w := workload.New(1, tr.Len())
+	w.AddReads(0, 3, 10) // leaf 3 reads object 0
+	// Single copy on leaf 5: path 3 → 5 has 4 edges.
+	p := New(1)
+	p.Add(&Copy{Object: 0, Node: 5, Shares: []Share{{Node: 3, Reads: 10}}})
+	if err := p.Validate(tr, w); err != nil {
+		t.Fatal(err)
+	}
+	rep := Evaluate(tr, p)
+	e13, _ := tr.EdgeBetween(1, 3)
+	e01, _ := tr.EdgeBetween(0, 1)
+	e02, _ := tr.EdgeBetween(0, 2)
+	e25, _ := tr.EdgeBetween(2, 5)
+	for _, e := range []tree.EdgeID{e13, e01, e02, e25} {
+		if rep.EdgeLoad[e] != 10 {
+			t.Fatalf("edge %d load = %d, want 10", e, rep.EdgeLoad[e])
+		}
+	}
+	e14, _ := tr.EdgeBetween(1, 4)
+	if rep.EdgeLoad[e14] != 0 {
+		t.Fatal("unrelated edge loaded")
+	}
+	// Congestion: leaf switches bw 1 → 10; inner switches bw 2 → 5;
+	// buses: top has 10+10 over 2·4 → 20/8; left 10+10 /8; max is 10.
+	if !rep.Congestion.Eq(ratio.New(10, 1)) {
+		t.Fatalf("congestion = %v, want 10", rep.Congestion)
+	}
+	if rep.TotalLoad != 40 {
+		t.Fatalf("total load = %d", rep.TotalLoad)
+	}
+}
+
+func TestEvaluateWriteSteinerLoads(t *testing.T) {
+	tr := twoBus(t)
+	w := workload.New(1, tr.Len())
+	w.AddWrites(0, 3, 4)
+	// Copies on 3 and 5; requester 3 served locally. Steiner(3,5) = the
+	// 4-edge path; every write also pays it.
+	p := New(1)
+	p.Add(&Copy{Object: 0, Node: 3, Shares: []Share{{Node: 3, Writes: 4}}})
+	p.Add(&Copy{Object: 0, Node: 5})
+	if err := p.Validate(tr, w); err != nil {
+		t.Fatal(err)
+	}
+	rep := Evaluate(tr, p)
+	e13, _ := tr.EdgeBetween(1, 3)
+	if rep.EdgeLoad[e13] != 4 {
+		t.Fatalf("steiner edge load = %d, want 4", rep.EdgeLoad[e13])
+	}
+	e14, _ := tr.EdgeBetween(1, 4)
+	if rep.EdgeLoad[e14] != 0 {
+		t.Fatal("non-steiner edge loaded")
+	}
+}
+
+func TestEvaluateWritePathPlusSteinerOverlap(t *testing.T) {
+	// Per Section 1.1, a write loads its path AND the Steiner tree; an
+	// edge on both gets 2 per write.
+	tr := twoBus(t)
+	w := workload.New(1, tr.Len())
+	w.AddWrites(0, 3, 1)
+	p := New(1)
+	// Copy on 4 serves 3; copies on {4,5} form the Steiner tree.
+	p.Add(&Copy{Object: 0, Node: 4, Shares: []Share{{Node: 3, Writes: 1}}})
+	p.Add(&Copy{Object: 0, Node: 5})
+	rep := Evaluate(tr, p)
+	e14, _ := tr.EdgeBetween(1, 4)
+	// Path 3→4 uses e13,e14; Steiner(4,5) uses e14,e01,e02,e25.
+	if rep.EdgeLoad[e14] != 2 {
+		t.Fatalf("overlapping edge load = %d, want 2 (path + broadcast)", rep.EdgeLoad[e14])
+	}
+	e13, _ := tr.EdgeBetween(1, 3)
+	if rep.EdgeLoad[e13] != 1 {
+		t.Fatalf("path-only edge load = %d, want 1", rep.EdgeLoad[e13])
+	}
+}
+
+func TestBusLoadHalfSumAndBottleneck(t *testing.T) {
+	// Narrow bus: load concentrates there.
+	b := tree.NewBuilder()
+	hub := b.AddBus("hub", 1)
+	for i := 0; i < 3; i++ {
+		p := b.AddProcessor("")
+		b.Connect(hub, p, 1)
+	}
+	tr := b.MustBuildHBN()
+	w := workload.New(1, tr.Len())
+	w.AddReads(0, 1, 6)
+	w.AddReads(0, 2, 6)
+	p := New(1)
+	p.Add(&Copy{Object: 0, Node: 3, Shares: []Share{
+		{Node: 1, Reads: 6}, {Node: 2, Reads: 6},
+	}})
+	rep := Evaluate(tr, p)
+	// Edge loads: e1=6, e2=6, e3=12. Bus load = (6+6+12)/2 = 12; bw 1.
+	if rep.BusLoadX2[hub] != 24 {
+		t.Fatalf("bus load×2 = %d, want 24", rep.BusLoadX2[hub])
+	}
+	if !rep.Congestion.Eq(ratio.New(12, 1)) {
+		t.Fatalf("congestion = %v, want 12 (bus-limited)", rep.Congestion)
+	}
+	if rep.Bottleneck == "" {
+		t.Fatal("no bottleneck reported")
+	}
+}
+
+func TestValidateCatchesMismatches(t *testing.T) {
+	tr := twoBus(t)
+	w := workload.New(1, tr.Len())
+	w.AddReads(0, 3, 5)
+
+	// Missing coverage.
+	p := New(1)
+	p.Add(&Copy{Object: 0, Node: 3})
+	if err := p.Validate(tr, w); err == nil {
+		t.Fatal("uncovered demand accepted")
+	}
+	// Over-coverage.
+	p2 := New(1)
+	p2.Add(&Copy{Object: 0, Node: 3, Shares: []Share{{Node: 3, Reads: 6}}})
+	if err := p2.Validate(tr, w); err == nil {
+		t.Fatal("overcovered demand accepted")
+	}
+	// No copies for demanded object.
+	p3 := New(1)
+	if err := p3.Validate(tr, w); err == nil {
+		t.Fatal("empty placement accepted")
+	}
+	// Wrong object index.
+	p4 := New(1)
+	p4.Copies[0] = append(p4.Copies[0], &Copy{Object: 5, Node: 3})
+	if err := p4.Validate(tr, w); err == nil {
+		t.Fatal("mis-filed copy accepted")
+	}
+	// Negative share.
+	p5 := New(1)
+	p5.Add(&Copy{Object: 0, Node: 3, Shares: []Share{{Node: 3, Reads: -5}}})
+	if err := p5.Validate(tr, w); err == nil {
+		t.Fatal("negative share accepted")
+	}
+}
+
+func TestNearestAssignment(t *testing.T) {
+	tr := twoBus(t)
+	w := workload.New(1, tr.Len())
+	w.AddReads(0, 3, 1)
+	w.AddReads(0, 6, 1)
+	p, err := NearestAssignment(tr, w, [][]tree.NodeID{{3, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(tr, w); err != nil {
+		t.Fatal(err)
+	}
+	// Leaf 3 serves itself; leaf 6 is closer to 5 (distance 2) than to 3.
+	for _, c := range p.Copies[0] {
+		for _, sh := range c.Shares {
+			switch sh.Node {
+			case 3:
+				if c.Node != 3 {
+					t.Fatalf("leaf 3 served by %d", c.Node)
+				}
+			case 6:
+				if c.Node != 5 {
+					t.Fatalf("leaf 6 served by %d, want 5", c.Node)
+				}
+			}
+		}
+	}
+	// Object with demand but no copies must error.
+	if _, err := NearestAssignment(tr, w, [][]tree.NodeID{{}}); err == nil {
+		t.Fatal("no-copy object accepted")
+	}
+}
+
+func TestFromAssignmentErrors(t *testing.T) {
+	tr := twoBus(t)
+	w := workload.New(1, tr.Len())
+	w.AddReads(0, 3, 1)
+	// Reference to a node without a copy.
+	ref := make([][]tree.NodeID, 1)
+	ref[0] = make([]tree.NodeID, tr.Len())
+	ref[0][3] = 6
+	if _, err := FromAssignment(tr, w, [][]tree.NodeID{{5}}, ref); err == nil {
+		t.Fatal("dangling reference accepted")
+	}
+	// Duplicate copy node.
+	if _, err := FromAssignment(tr, w, [][]tree.NodeID{{5, 5}}, ref); err == nil {
+		t.Fatal("duplicate copy accepted")
+	}
+}
+
+func TestMergePerNode(t *testing.T) {
+	tr := twoBus(t)
+	w := workload.New(1, tr.Len())
+	w.AddReads(0, 3, 2)
+	w.AddReads(0, 4, 3)
+	p := New(1)
+	p.Add(&Copy{Object: 0, Node: 5, Shares: []Share{{Node: 3, Reads: 2}}})
+	p.Add(&Copy{Object: 0, Node: 5, Shares: []Share{{Node: 4, Reads: 3}}})
+	m := p.MergePerNode()
+	if len(m.Copies[0]) != 1 {
+		t.Fatalf("merged into %d copies, want 1", len(m.Copies[0]))
+	}
+	if m.Copies[0][0].Served() != 5 {
+		t.Fatalf("merged served = %d", m.Copies[0][0].Served())
+	}
+	if err := m.Validate(tr, w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassignNearestNeverIncreasesTotalLoad(t *testing.T) {
+	tr := twoBus(t)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		w := workload.Uniform(rng, tr, 3, workload.DefaultGen)
+		// Random copy sets and random (legal) assignments.
+		copies := make([][]tree.NodeID, 3)
+		ref := make([][]tree.NodeID, 3)
+		leaves := tr.Leaves()
+		for x := 0; x < 3; x++ {
+			n := 1 + rng.Intn(3)
+			seen := map[tree.NodeID]bool{}
+			for len(copies[x]) < n {
+				l := leaves[rng.Intn(len(leaves))]
+				if !seen[l] {
+					seen[l] = true
+					copies[x] = append(copies[x], l)
+				}
+			}
+			ref[x] = make([]tree.NodeID, tr.Len())
+			for v := range ref[x] {
+				ref[x][v] = copies[x][rng.Intn(len(copies[x]))]
+			}
+		}
+		p, err := FromAssignment(tr, w, copies, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := Evaluate(tr, p)
+		re, err := p.ReassignNearest(tr, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := Evaluate(tr, re)
+		if after.TotalLoad > before.TotalLoad {
+			t.Fatalf("trial %d: reassign increased total load %d → %d",
+				trial, before.TotalLoad, after.TotalLoad)
+		}
+		if err := re.Validate(tr, w); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestLeafOnlyAndCopyNodes(t *testing.T) {
+	tr := twoBus(t)
+	p := New(1)
+	p.Add(&Copy{Object: 0, Node: 3})
+	p.Add(&Copy{Object: 0, Node: 5})
+	if !p.LeafOnly(tr) {
+		t.Fatal("leaf placement reported as non-leaf")
+	}
+	if got := p.CopyNodes(0); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("CopyNodes = %v", got)
+	}
+	p.Add(&Copy{Object: 0, Node: 1})
+	if p.LeafOnly(tr) {
+		t.Fatal("bus placement reported as leaf-only")
+	}
+	if p.TotalCopies() != 3 {
+		t.Fatalf("TotalCopies = %d", p.TotalCopies())
+	}
+}
+
+func TestEvaluateMultiObjectSumsLoads(t *testing.T) {
+	tr := twoBus(t)
+	w := workload.New(2, tr.Len())
+	w.AddReads(0, 3, 5)
+	w.AddReads(1, 3, 7)
+	p := New(2)
+	p.Add(&Copy{Object: 0, Node: 4, Shares: []Share{{Node: 3, Reads: 5}}})
+	p.Add(&Copy{Object: 1, Node: 4, Shares: []Share{{Node: 3, Reads: 7}}})
+	rep := Evaluate(tr, p)
+	e13, _ := tr.EdgeBetween(1, 3)
+	if rep.EdgeLoad[e13] != 12 {
+		t.Fatalf("edge load = %d, want 12", rep.EdgeLoad[e13])
+	}
+}

@@ -1,0 +1,160 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// randomInstance derives a deterministic (tree, workload, placement)
+// triple from a seed: random copy sets on leaves with nearest assignment.
+func randomInstance(seed int64) (*tree.Tree, *workload.W, *P) {
+	rng := rand.New(rand.NewSource(seed))
+	t := tree.Random(rng, 5+rng.Intn(15), 4, 0.4, 8)
+	w := workload.Uniform(rng, t, 1+rng.Intn(3), workload.DefaultGen)
+	leaves := t.Leaves()
+	copies := make([][]tree.NodeID, w.NumObjects())
+	for x := range copies {
+		k := 1 + rng.Intn(3)
+		perm := rng.Perm(len(leaves))
+		for i := 0; i < k; i++ {
+			copies[x] = append(copies[x], leaves[perm[i]])
+		}
+	}
+	p, err := NearestAssignment(t, w, copies)
+	if err != nil {
+		panic(err)
+	}
+	return t, w, p
+}
+
+// Property: Evaluate is superposable per object — evaluating each object
+// alone and summing edge loads equals evaluating the full placement.
+func TestQuickEvaluateSuperposition(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, w, p := randomInstance(seed)
+		full := Evaluate(tr, p)
+		sum := make([]int64, tr.NumEdges())
+		for x := 0; x < w.NumObjects(); x++ {
+			for e, l := range PerObjectEdgeLoads(tr, p, x) {
+				sum[e] += l
+			}
+		}
+		for e := range sum {
+			if sum[e] != full.EdgeLoad[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(211))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: doubling every frequency doubles every load exactly (the cost
+// model is linear in the demand).
+func TestQuickEvaluateLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, w, p := randomInstance(seed)
+		base := Evaluate(tr, p)
+		doubledP := New(p.NumObjects)
+		for x := range p.Copies {
+			for _, c := range p.Copies[x] {
+				dc := &Copy{Object: c.Object, Node: c.Node}
+				for _, sh := range c.Shares {
+					dc.Shares = append(dc.Shares, Share{Node: sh.Node, Reads: 2 * sh.Reads, Writes: 2 * sh.Writes})
+				}
+				doubledP.Add(dc)
+			}
+		}
+		doubled := Evaluate(tr, doubledP)
+		for e := range base.EdgeLoad {
+			if doubled.EdgeLoad[e] != 2*base.EdgeLoad[e] {
+				return false
+			}
+		}
+		_ = w
+		return doubled.TotalLoad == 2*base.TotalLoad
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(212))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bus loads are always half the sum of incident edge loads, and
+// congestion equals the maximum over all declared relative loads.
+func TestQuickBusLoadConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, _, p := randomInstance(seed)
+		rep := Evaluate(tr, p)
+		for v := 0; v < tr.Len(); v++ {
+			var sum int64
+			for _, h := range tr.Adj(tree.NodeID(v)) {
+				sum += rep.EdgeLoad[h.Edge]
+			}
+			if rep.BusLoadX2[v] != sum {
+				return false
+			}
+		}
+		// Congestion must dominate every relative load and be attained.
+		attained := false
+		for e := 0; e < tr.NumEdges(); e++ {
+			rel := float64(rep.EdgeLoad[e]) / float64(tr.EdgeBandwidth(tree.EdgeID(e)))
+			if rel > rep.Congestion.Float()+1e-9 {
+				return false
+			}
+			if rel > rep.Congestion.Float()-1e-9 {
+				attained = true
+			}
+		}
+		for _, b := range tr.Buses() {
+			rel := float64(rep.BusLoadX2[b]) / float64(2*tr.NodeBandwidth(b))
+			if rel > rep.Congestion.Float()+1e-9 {
+				return false
+			}
+			if rel > rep.Congestion.Float()-1e-9 {
+				attained = true
+			}
+		}
+		return attained || rep.Congestion.Num == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(213))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MergePerNode preserves every load exactly.
+func TestQuickMergePreservesLoads(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, _, p := randomInstance(seed)
+		// Split every copy's shares into single-share copies first, so the
+		// merge has real work to do.
+		shattered := New(p.NumObjects)
+		for x := range p.Copies {
+			for _, c := range p.Copies[x] {
+				if len(c.Shares) == 0 {
+					shattered.Add(&Copy{Object: x, Node: c.Node})
+					continue
+				}
+				for _, sh := range c.Shares {
+					shattered.Add(&Copy{Object: x, Node: c.Node, Shares: []Share{sh}})
+				}
+			}
+		}
+		a := Evaluate(tr, p)
+		b := Evaluate(tr, shattered.MergePerNode())
+		for e := range a.EdgeLoad {
+			if a.EdgeLoad[e] != b.EdgeLoad[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(214))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package ratio provides exact non-negative rational arithmetic for
+// congestion values.
+//
+// Congestion is defined as a maximum over resources of load/bandwidth.
+// Loads are integers (or half-integers, for buses) and bandwidths are
+// integers, so every congestion value is an exact rational with a small
+// denominator. Comparing congestion values with floating point would make
+// tests of tight bounds (for example "congestion is exactly 4k" in the
+// NP-hardness gadget) fragile; this package keeps the comparisons exact.
+package ratio
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// R is a non-negative rational number Num/Den with Den > 0.
+// The zero value is 0/1? No: the zero value has Den == 0 and is not valid;
+// use Zero or New. R values produced by this package are normalized
+// (gcd(Num, Den) == 1).
+type R struct {
+	Num int64
+	Den int64
+}
+
+// Zero is the rational 0.
+var Zero = R{Num: 0, Den: 1}
+
+// New returns the normalized rational num/den. It panics if den <= 0 or
+// num < 0; congestion values are never negative.
+func New(num, den int64) R {
+	if den <= 0 {
+		panic(fmt.Sprintf("ratio: non-positive denominator %d", den))
+	}
+	if num < 0 {
+		panic(fmt.Sprintf("ratio: negative numerator %d", num))
+	}
+	g := gcd(num, den)
+	return R{Num: num / g, Den: den / g}
+}
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) R { return New(n, 1) }
+
+// Valid reports whether r was properly constructed (Den > 0).
+func (r R) Valid() bool { return r.Den > 0 }
+
+// Float returns the value as a float64 (for reporting only).
+func (r R) Float() float64 {
+	if r.Den == 0 {
+		return 0
+	}
+	return float64(r.Num) / float64(r.Den)
+}
+
+// Cmp compares r with s exactly: -1 if r < s, 0 if r == s, +1 if r > s.
+// The comparison is performed in 128-bit arithmetic and never overflows.
+func (r R) Cmp(s R) int {
+	if r.Den <= 0 || s.Den <= 0 {
+		panic("ratio: Cmp on invalid rational")
+	}
+	lhsHi, lhsLo := bits.Mul64(uint64(r.Num), uint64(s.Den))
+	rhsHi, rhsLo := bits.Mul64(uint64(s.Num), uint64(r.Den))
+	switch {
+	case lhsHi != rhsHi:
+		if lhsHi < rhsHi {
+			return -1
+		}
+		return 1
+	case lhsLo != rhsLo:
+		if lhsLo < rhsLo {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Less reports whether r < s.
+func (r R) Less(s R) bool { return r.Cmp(s) < 0 }
+
+// Eq reports whether r == s.
+func (r R) Eq(s R) bool { return r.Cmp(s) == 0 }
+
+// LessEq reports whether r <= s.
+func (r R) LessEq(s R) bool { return r.Cmp(s) <= 0 }
+
+// Max returns the larger of r and s.
+func Max(r, s R) R {
+	if r.Cmp(s) >= 0 {
+		return r
+	}
+	return s
+}
+
+// MulInt returns r multiplied by the non-negative integer k.
+func (r R) MulInt(k int64) R {
+	if k < 0 {
+		panic("ratio: MulInt with negative factor")
+	}
+	return New(r.Num*k, r.Den)
+}
+
+// String renders r as "num/den", or just "num" when den == 1.
+func (r R) String() string {
+	if r.Den == 1 {
+		return fmt.Sprintf("%d", r.Num)
+	}
+	return fmt.Sprintf("%d/%d", r.Num, r.Den)
+}
+
+func gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}

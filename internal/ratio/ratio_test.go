@@ -1,0 +1,160 @@
+package ratio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalizes(t *testing.T) {
+	cases := []struct {
+		num, den, wantNum, wantDen int64
+	}{
+		{0, 5, 0, 1},
+		{4, 2, 2, 1},
+		{6, 4, 3, 2},
+		{7, 7, 1, 1},
+		{12, 18, 2, 3},
+	}
+	for _, c := range cases {
+		got := New(c.num, c.den)
+		if got.Num != c.wantNum || got.Den != c.wantDen {
+			t.Errorf("New(%d,%d) = %v, want %d/%d", c.num, c.den, got, c.wantNum, c.wantDen)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	for _, c := range []struct{ num, den int64 }{{1, 0}, {1, -2}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c.num, c.den)
+				}
+			}()
+			New(c.num, c.den)
+		}()
+	}
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b R
+		want int
+	}{
+		{New(1, 2), New(2, 4), 0},
+		{New(1, 3), New(1, 2), -1},
+		{New(3, 2), New(4, 3), 1},
+		{Zero, New(1, 1000000), -1},
+		{New(7, 1), New(7, 1), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("%v.Cmp(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCmpLargeValuesNoOverflow(t *testing.T) {
+	// These products overflow int64; the 128-bit comparison must still be
+	// exact.
+	a := New(math.MaxInt64/2, math.MaxInt64/2-1)
+	b := New(math.MaxInt64/2-1, math.MaxInt64/2-2)
+	// a = n/(n-1), b = (n-1)/(n-2) with n huge: b > a.
+	if !a.Less(b) {
+		t.Errorf("expected %v < %v", a, b)
+	}
+	if b.Less(a) {
+		t.Errorf("expected !(%v < %v)", b, a)
+	}
+}
+
+func TestMaxAndHelpers(t *testing.T) {
+	a, b := New(3, 4), New(5, 8)
+	if got := Max(a, b); !got.Eq(a) {
+		t.Errorf("Max(%v,%v) = %v, want %v", a, b, got, a)
+	}
+	if !b.LessEq(a) || !a.LessEq(a) {
+		t.Error("LessEq misbehaves")
+	}
+	if got := FromInt(5); got.Num != 5 || got.Den != 1 {
+		t.Errorf("FromInt(5) = %v", got)
+	}
+	if got := New(3, 4).MulInt(8); !got.Eq(New(6, 1)) {
+		t.Errorf("3/4 * 8 = %v, want 6", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := New(6, 4).String(); s != "3/2" {
+		t.Errorf("got %q want 3/2", s)
+	}
+	if s := New(8, 4).String(); s != "2" {
+		t.Errorf("got %q want 2", s)
+	}
+}
+
+func TestFloat(t *testing.T) {
+	if f := New(1, 4).Float(); f != 0.25 {
+		t.Errorf("Float = %v", f)
+	}
+	var invalid R
+	if f := invalid.Float(); f != 0 {
+		t.Errorf("invalid.Float() = %v, want 0", f)
+	}
+}
+
+func TestValid(t *testing.T) {
+	var zero R
+	if zero.Valid() {
+		t.Error("zero value must be invalid")
+	}
+	if !Zero.Valid() {
+		t.Error("Zero must be valid")
+	}
+}
+
+// Property: Cmp agrees with exact big-integer cross multiplication for
+// random smallish rationals (products fit int64 here, so direct
+// multiplication is a valid oracle).
+func TestQuickCmpAgainstDirect(t *testing.T) {
+	f := func(an, ad, bn, bd uint16) bool {
+		a := New(int64(an), int64(ad)+1)
+		b := New(int64(bn), int64(bd)+1)
+		direct := 0
+		lhs := a.Num * b.Den
+		rhs := b.Num * a.Den
+		if lhs < rhs {
+			direct = -1
+		} else if lhs > rhs {
+			direct = 1
+		}
+		return a.Cmp(b) == direct
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ordering is transitive and anti-symmetric on random triples.
+func TestQuickOrdering(t *testing.T) {
+	f := func(an, ad, bn, bd, cn, cd uint16) bool {
+		a := New(int64(an), int64(ad)+1)
+		b := New(int64(bn), int64(bd)+1)
+		c := New(int64(cn), int64(cd)+1)
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		if a.Less(b) && b.Less(a) {
+			return false
+		}
+		if a.Eq(b) != (a.Cmp(b) == 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}

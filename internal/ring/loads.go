@@ -1,0 +1,67 @@
+package ring
+
+import (
+	"fmt"
+
+	"hbn/internal/placement"
+)
+
+// LoadsFromPlacement replays the traffic a placement induces — requests to
+// reference copies plus write-update multicasts — on the concrete ring
+// network. Every copy must reside on a processor leaf (run the
+// extended-nibble strategy first).
+//
+// Experiment E8 compares the result against placement.Evaluate on the
+// Figure-2 bus tree: switch and attachment loads match the tree's edge
+// loads exactly; ring circulations match bus loads exactly for unicast
+// traffic and are bounded by them for multicasts (a ringlet delivers a
+// multicast to all its stations in one circulation, which the bus model
+// conservatively charges as half the sum of its Steiner edge loads).
+func LoadsFromPlacement(n *Network, m *BusTreeMapping, p *placement.P) (*Loads, error) {
+	l := n.NewLoads()
+	for x := 0; x < p.NumObjects; x++ {
+		var kappa int64
+		var members []ProcID
+		seen := map[ProcID]bool{}
+		for _, c := range p.Copies[x] {
+			cp, ok := m.NodeProc[c.Node]
+			if !ok {
+				return nil, fmt.Errorf("ring: object %d has a copy on non-processor node %d", x, c.Node)
+			}
+			if !seen[cp] {
+				seen[cp] = true
+				members = append(members, cp)
+			}
+			for _, sh := range c.Shares {
+				kappa += sh.Writes
+				rp, ok := m.NodeProc[sh.Node]
+				if !ok {
+					return nil, fmt.Errorf("ring: object %d has demand on non-processor node %d", x, sh.Node)
+				}
+				n.Unicast(l, rp, cp, sh.Total())
+			}
+		}
+		n.Multicast(l, members, kappa)
+	}
+	return l, nil
+}
+
+// HasMulticasts reports whether the placement generates any multicast
+// updates (an object with positive write contention and more than one copy
+// host). Without multicasts, ring circulations equal bus loads exactly.
+func HasMulticasts(p *placement.P) bool {
+	for x := 0; x < p.NumObjects; x++ {
+		hosts := map[int32]bool{}
+		var kappa int64
+		for _, c := range p.Copies[x] {
+			hosts[int32(c.Node)] = true
+			for _, sh := range c.Shares {
+				kappa += sh.Writes
+			}
+		}
+		if kappa > 0 && len(hosts) > 1 {
+			return true
+		}
+	}
+	return false
+}

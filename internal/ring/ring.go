@@ -1,0 +1,343 @@
+// Package ring models the communication substrate the paper targets:
+// SCI-style hierarchical ring networks (Figure 1). Large SCI systems
+// compose small unidirectional ringlets linked by switches; all stations
+// on a ringlet share its bandwidth, and — because of SCI request–response
+// transactions — a transaction between two stations of a ringlet r can be
+// viewed as one packet circulating all of r. The paper's modeling step
+// (Figure 1 → Figure 2) abstracts each ringlet as a bus and each inter-ring
+// switch as a tree edge; this package implements both sides of that
+// abstraction so experiment E8 can verify it:
+//
+//   - a concrete ring hierarchy with transaction routing that counts ring
+//     circulations, switch crossings and station-attachment crossings;
+//   - BusTree, the exact Figure-2 transformation into a tree.Tree;
+//   - load accounting showing circulations equal bus loads for unicast
+//     traffic and are upper-bounded by bus loads for multicast updates.
+package ring
+
+import (
+	"fmt"
+
+	"hbn/internal/tree"
+)
+
+// RingID identifies a ringlet.
+type RingID int32
+
+// SwitchID identifies an inter-ring switch.
+type SwitchID int32
+
+// ProcID identifies a processor station.
+type ProcID int32
+
+// NoRing is the sentinel parent of the root ring.
+const NoRing RingID = -1
+
+type ringrec struct {
+	name   string
+	bw     int64
+	parent RingID
+	upSw   SwitchID // switch to parent ring (-1 for root)
+	depth  int32
+}
+
+type switchrec struct {
+	parent RingID
+	child  RingID
+	bw     int64
+}
+
+type procrec struct {
+	name string
+	ring RingID
+}
+
+// Network is an immutable hierarchical ring network.
+type Network struct {
+	rings    []ringrec
+	switches []switchrec
+	procs    []procrec
+}
+
+// Builder assembles a Network.
+type Builder struct {
+	n     Network
+	built bool
+}
+
+// NewBuilder returns an empty Builder. The first AddRing creates the root.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddRing adds the root ringlet. It must be called exactly once, first.
+func (b *Builder) AddRing(name string, bw int64) RingID {
+	if len(b.n.rings) != 0 {
+		panic("ring: root ring already exists; use AddRingUnder")
+	}
+	b.n.rings = append(b.n.rings, ringrec{name: name, bw: bw, parent: NoRing, upSw: -1})
+	return 0
+}
+
+// AddRingUnder adds a ringlet connected to parent through a switch of the
+// given bandwidth.
+func (b *Builder) AddRingUnder(parent RingID, name string, ringBW, switchBW int64) RingID {
+	id := RingID(len(b.n.rings))
+	sw := SwitchID(len(b.n.switches))
+	b.n.switches = append(b.n.switches, switchrec{parent: parent, child: id, bw: switchBW})
+	b.n.rings = append(b.n.rings, ringrec{
+		name: name, bw: ringBW, parent: parent, upSw: sw,
+		depth: b.n.rings[parent].depth + 1,
+	})
+	return id
+}
+
+// AddProcessor attaches a processor station to a ringlet.
+func (b *Builder) AddProcessor(r RingID, name string) ProcID {
+	id := ProcID(len(b.n.procs))
+	b.n.procs = append(b.n.procs, procrec{name: name, ring: r})
+	return id
+}
+
+// Build freezes the network.
+func (b *Builder) Build() (*Network, error) {
+	if b.built {
+		return nil, fmt.Errorf("ring: Builder reused")
+	}
+	b.built = true
+	if len(b.n.rings) == 0 {
+		return nil, fmt.Errorf("ring: no rings")
+	}
+	if len(b.n.procs) == 0 {
+		return nil, fmt.Errorf("ring: no processors")
+	}
+	return &b.n, nil
+}
+
+// NumRings returns the ringlet count.
+func (n *Network) NumRings() int { return len(n.rings) }
+
+// NumSwitches returns the inter-ring switch count.
+func (n *Network) NumSwitches() int { return len(n.switches) }
+
+// NumProcs returns the processor count.
+func (n *Network) NumProcs() int { return len(n.procs) }
+
+// ProcRing returns the ringlet a processor is attached to.
+func (n *Network) ProcRing(p ProcID) RingID { return n.procs[p].ring }
+
+// RingParent returns the parent ringlet of r (NoRing for the root).
+func (n *Network) RingParent(r RingID) RingID { return n.rings[r].parent }
+
+// RingDepth returns the depth of r in the ring hierarchy (root = 0).
+func (n *Network) RingDepth(r RingID) int { return int(n.rings[r].depth) }
+
+// RingUpSwitch returns the switch connecting r to its parent (-1 for the
+// root).
+func (n *Network) RingUpSwitch(r RingID) SwitchID { return n.rings[r].upSw }
+
+// Loads accumulates the traffic measured on the concrete ring network.
+type Loads struct {
+	// Circulations[r] counts full packet circulations of ringlet r (each
+	// request–response transaction on r circulates once; each multicast
+	// touching r circulates once).
+	Circulations []int64
+	// SwitchLoad[s] counts packets crossing switch s.
+	SwitchLoad []int64
+	// AttachLoad[p] counts packets entering or leaving processor p's ring
+	// interface.
+	AttachLoad []int64
+}
+
+// NewLoads returns zeroed loads for n.
+func (n *Network) NewLoads() *Loads {
+	return &Loads{
+		Circulations: make([]int64, len(n.rings)),
+		SwitchLoad:   make([]int64, len(n.switches)),
+		AttachLoad:   make([]int64, len(n.procs)),
+	}
+}
+
+// ringPath returns the rings and switches on the route between two rings
+// (both endpoints included in rings).
+func (n *Network) ringPath(a, b RingID) (rings []RingID, switches []SwitchID) {
+	ra, rb := a, b
+	var upA, upB []RingID
+	var swA, swB []SwitchID
+	for n.rings[ra].depth > n.rings[rb].depth {
+		upA = append(upA, ra)
+		swA = append(swA, n.rings[ra].upSw)
+		ra = n.rings[ra].parent
+	}
+	for n.rings[rb].depth > n.rings[ra].depth {
+		upB = append(upB, rb)
+		swB = append(swB, n.rings[rb].upSw)
+		rb = n.rings[rb].parent
+	}
+	for ra != rb {
+		upA = append(upA, ra)
+		swA = append(swA, n.rings[ra].upSw)
+		ra = n.rings[ra].parent
+		upB = append(upB, rb)
+		swB = append(swB, n.rings[rb].upSw)
+		rb = n.rings[rb].parent
+	}
+	rings = append(rings, upA...)
+	rings = append(rings, ra)
+	for i := len(upB) - 1; i >= 0; i-- {
+		rings = append(rings, upB[i])
+	}
+	switches = append(switches, swA...)
+	for i := len(swB) - 1; i >= 0; i-- {
+		switches = append(switches, swB[i])
+	}
+	return rings, switches
+}
+
+// Unicast records count request–response transactions from processor p to
+// processor q. A transaction circulates every ringlet on the route once
+// and crosses every switch on the route once; it also crosses both
+// stations' ring attachments. p == q costs nothing.
+func (n *Network) Unicast(l *Loads, p, q ProcID, count int64) {
+	if p == q || count == 0 {
+		return
+	}
+	rings, switches := n.ringPath(n.procs[p].ring, n.procs[q].ring)
+	for _, r := range rings {
+		l.Circulations[r] += count
+	}
+	for _, s := range switches {
+		l.SwitchLoad[s] += count
+	}
+	l.AttachLoad[p] += count
+	l.AttachLoad[q] += count
+}
+
+// Multicast records count update multicasts delivered to every processor
+// in members (an SCI write update propagated along the ring hierarchy's
+// Steiner tree). Each involved ringlet circulates once per update; each
+// Steiner switch is crossed once; each member attachment is crossed once.
+// Fewer than two distinct member rings and single members cost only
+// attachment crossings between distinct members.
+func (n *Network) Multicast(l *Loads, members []ProcID, count int64) {
+	if count == 0 || len(members) <= 1 {
+		return
+	}
+	// Steiner set of rings: union of pairwise ring paths = rings whose
+	// subtree contains at least one member ring but not all of them, plus
+	// the shallowest common ring. Compute by marking member rings and
+	// walking to the common ancestor.
+	memberRings := map[RingID]bool{}
+	for _, p := range members {
+		memberRings[n.procs[p].ring] = true
+	}
+	if len(memberRings) == 1 {
+		// All members on one ring: one circulation delivers everything.
+		for r := range memberRings {
+			l.Circulations[r] += count
+		}
+		for _, p := range members {
+			l.AttachLoad[p] += count
+		}
+		return
+	}
+	inTree := map[RingID]bool{}
+	inSwitch := map[SwitchID]bool{}
+	// Find the deepest common ancestor by repeatedly intersecting paths:
+	// walk each member ring to the root, counting visits; rings visited by
+	// all members above the deepest full-visit ring are shared.
+	var first RingID = -1
+	for r := range memberRings {
+		if first == -1 || r < first {
+			first = r
+		}
+	}
+	for r := range memberRings {
+		rings, switches := n.ringPath(first, r)
+		for _, rr := range rings {
+			inTree[rr] = true
+		}
+		for _, ss := range switches {
+			inSwitch[ss] = true
+		}
+	}
+	// Trim: the union of paths from `first` may include rings above the
+	// true Steiner tree only if `first` hangs below the common ancestor —
+	// it cannot: every included ring lies on a path between two member
+	// rings (first and r), which is exactly the Steiner union.
+	for r := range inTree {
+		l.Circulations[r] += count
+	}
+	for s := range inSwitch {
+		l.SwitchLoad[s] += count
+	}
+	for _, p := range members {
+		l.AttachLoad[p] += count
+	}
+}
+
+// BusTreeMapping relates the ring network to its Figure-2 bus tree.
+type BusTreeMapping struct {
+	Tree *tree.Tree
+	// RingNode[r] is the bus node of ringlet r; ProcNode[p] the leaf of
+	// processor p; SwitchEdge[s] the tree edge of switch s; AttachEdge[p]
+	// the leaf switch edge of processor p.
+	RingNode   []tree.NodeID
+	ProcNode   []tree.NodeID
+	SwitchEdge []tree.EdgeID
+	AttachEdge []tree.EdgeID
+	// NodeProc inverts ProcNode.
+	NodeProc map[tree.NodeID]ProcID
+}
+
+// BusTree performs the Figure 1 → Figure 2 transformation: every ringlet
+// becomes a bus with the ringlet's bandwidth, every inter-ring switch an
+// edge with the switch bandwidth, and every processor a leaf behind a
+// bandwidth-1 switch.
+func (n *Network) BusTree() (*BusTreeMapping, error) {
+	b := tree.NewBuilder()
+	m := &BusTreeMapping{
+		RingNode:   make([]tree.NodeID, len(n.rings)),
+		ProcNode:   make([]tree.NodeID, len(n.procs)),
+		SwitchEdge: make([]tree.EdgeID, len(n.switches)),
+		AttachEdge: make([]tree.EdgeID, len(n.procs)),
+		NodeProc:   map[tree.NodeID]ProcID{},
+	}
+	for r, rec := range n.rings {
+		m.RingNode[r] = b.AddBus(rec.name, rec.bw)
+	}
+	for s, rec := range n.switches {
+		m.SwitchEdge[s] = b.Connect(m.RingNode[rec.parent], m.RingNode[rec.child], rec.bw)
+	}
+	for p, rec := range n.procs {
+		m.ProcNode[p] = b.AddProcessor(rec.name)
+		m.AttachEdge[p] = b.Connect(m.RingNode[rec.ring], m.ProcNode[p], 1)
+		m.NodeProc[m.ProcNode[p]] = ProcID(p)
+	}
+	t, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := t.ValidateHBN(); err != nil {
+		return nil, err
+	}
+	m.Tree = t
+	return m, nil
+}
+
+// Figure1 builds the exact example of Figures 1/2 in the paper: a top ring
+// with two switches leading to two leaf rings, processors on the leaf
+// rings.
+func Figure1(procsPerRing int, ringBW, switchBW int64) *Network {
+	b := NewBuilder()
+	top := b.AddRing("top-ring", ringBW)
+	left := b.AddRingUnder(top, "left-ring", ringBW, switchBW)
+	right := b.AddRingUnder(top, "right-ring", ringBW, switchBW)
+	for i := 0; i < procsPerRing; i++ {
+		b.AddProcessor(left, fmt.Sprintf("L%d", i))
+		b.AddProcessor(right, fmt.Sprintf("R%d", i))
+	}
+	n, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

@@ -1,0 +1,240 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbn/internal/core"
+	"hbn/internal/placement"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+func TestBuilderAndFigure1(t *testing.T) {
+	n := Figure1(3, 16, 8)
+	if n.NumRings() != 3 || n.NumSwitches() != 2 || n.NumProcs() != 6 {
+		t.Fatalf("figure 1 shape: %d rings, %d switches, %d procs",
+			n.NumRings(), n.NumSwitches(), n.NumProcs())
+	}
+	if n.ProcRing(0) != 1 {
+		t.Fatalf("proc 0 on ring %d", n.ProcRing(0))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("empty network accepted")
+	}
+	b2 := NewBuilder()
+	b2.AddRing("r", 4)
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("processor-less network accepted")
+	}
+	b3 := NewBuilder()
+	r := b3.AddRing("r", 4)
+	b3.AddProcessor(r, "")
+	if _, err := b3.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b3.Build(); err == nil {
+		t.Fatal("builder reuse accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second root ring must panic")
+		}
+	}()
+	b4 := NewBuilder()
+	b4.AddRing("a", 1)
+	b4.AddRing("b", 1)
+}
+
+func TestUnicastSameRing(t *testing.T) {
+	n := Figure1(3, 16, 8)
+	l := n.NewLoads()
+	// L0 (proc 0) and L1 (proc 2) are both on the left ring (procs are
+	// added alternating L/R: 0=L0,1=R0,2=L1,...).
+	n.Unicast(l, 0, 2, 5)
+	if l.Circulations[1] != 5 {
+		t.Fatalf("left ring circulations = %d, want 5", l.Circulations[1])
+	}
+	if l.Circulations[0] != 0 || l.Circulations[2] != 0 {
+		t.Fatal("unrelated rings circulated")
+	}
+	if l.SwitchLoad[0] != 0 || l.SwitchLoad[1] != 0 {
+		t.Fatal("switches crossed for intra-ring transaction")
+	}
+	if l.AttachLoad[0] != 5 || l.AttachLoad[2] != 5 {
+		t.Fatal("attachments not loaded")
+	}
+	// Self-traffic costs nothing.
+	n.Unicast(l, 0, 0, 100)
+	if l.Circulations[1] != 5 {
+		t.Fatal("self-traffic circulated")
+	}
+}
+
+func TestUnicastAcrossRings(t *testing.T) {
+	n := Figure1(2, 16, 8)
+	l := n.NewLoads()
+	// proc 0 = L0 (left ring), proc 1 = R0 (right ring).
+	n.Unicast(l, 0, 1, 3)
+	for r := 0; r < 3; r++ {
+		if l.Circulations[r] != 3 {
+			t.Fatalf("ring %d circulations = %d, want 3", r, l.Circulations[r])
+		}
+	}
+	if l.SwitchLoad[0] != 3 || l.SwitchLoad[1] != 3 {
+		t.Fatal("switch loads wrong")
+	}
+}
+
+func TestMulticast(t *testing.T) {
+	n := Figure1(2, 16, 8)
+	l := n.NewLoads()
+	// Members on left (0, 2) and right (1): Steiner covers all 3 rings.
+	n.Multicast(l, []ProcID{0, 2, 1}, 4)
+	for r := 0; r < 3; r++ {
+		if l.Circulations[r] != 4 {
+			t.Fatalf("ring %d circulations = %d, want 4", r, l.Circulations[r])
+		}
+	}
+	if l.SwitchLoad[0] != 4 || l.SwitchLoad[1] != 4 {
+		t.Fatal("switch loads wrong")
+	}
+	for _, p := range []ProcID{0, 1, 2} {
+		if l.AttachLoad[p] != 4 {
+			t.Fatalf("attach %d = %d", p, l.AttachLoad[p])
+		}
+	}
+	if l.AttachLoad[3] != 0 {
+		t.Fatal("non-member attachment loaded")
+	}
+	// Single-ring multicast: one circulation.
+	l2 := n.NewLoads()
+	n.Multicast(l2, []ProcID{0, 2}, 7)
+	if l2.Circulations[1] != 7 || l2.Circulations[0] != 0 {
+		t.Fatalf("single-ring multicast circulations = %v", l2.Circulations)
+	}
+	// Degenerate multicasts cost nothing.
+	l3 := n.NewLoads()
+	n.Multicast(l3, []ProcID{0}, 9)
+	n.Multicast(l3, nil, 9)
+	for _, c := range l3.Circulations {
+		if c != 0 {
+			t.Fatal("degenerate multicast circulated")
+		}
+	}
+}
+
+func TestBusTreeShape(t *testing.T) {
+	n := Figure1(3, 16, 8)
+	m, err := n.BusTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tree.Len() != 3+6 || m.Tree.NumLeaves() != 6 {
+		t.Fatalf("bus tree has %d nodes, %d leaves", m.Tree.Len(), m.Tree.NumLeaves())
+	}
+	if m.Tree.Kind(m.RingNode[0]) != tree.Bus {
+		t.Fatal("ring not mapped to bus")
+	}
+	if m.Tree.NodeBandwidth(m.RingNode[0]) != 16 {
+		t.Fatal("ring bandwidth lost")
+	}
+	if m.Tree.EdgeBandwidth(m.SwitchEdge[0]) != 8 {
+		t.Fatal("switch bandwidth lost")
+	}
+	if m.Tree.EdgeBandwidth(m.AttachEdge[0]) != 1 {
+		t.Fatal("attachment bandwidth must be 1")
+	}
+	for p := 0; p < n.NumProcs(); p++ {
+		if m.NodeProc[m.ProcNode[p]] != ProcID(p) {
+			t.Fatal("NodeProc inversion broken")
+		}
+	}
+}
+
+// Experiment E8's core assertion: for placements computed by the
+// extended-nibble strategy, the loads measured on the concrete ring
+// network equal the bus-model loads edge-for-edge, and ring circulations
+// equal bus loads for unicast traffic (≤ with multicasts).
+func TestRingBusEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 30; trial++ {
+		// Random ring hierarchy.
+		b := NewBuilder()
+		root := b.AddRing("root", 4+rng.Int63n(16))
+		rings := []RingID{root}
+		nRings := 2 + rng.Intn(5)
+		for i := 0; i < nRings; i++ {
+			parent := rings[rng.Intn(len(rings))]
+			rings = append(rings, b.AddRingUnder(parent, "", 4+rng.Int63n(16), 2+rng.Int63n(8)))
+		}
+		for _, r := range rings {
+			for j := 0; j <= rng.Intn(3); j++ {
+				b.AddProcessor(r, "")
+			}
+		}
+		n, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := n.BusTree()
+		if err != nil {
+			// Ring with no children and no processors becomes a leaf bus:
+			// regenerate.
+			continue
+		}
+		w := workload.Uniform(rng, m.Tree, 4, workload.DefaultGen)
+		res, err := core.Solve(m.Tree, w, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ringLoads, err := LoadsFromPlacement(n, m, res.Final)
+		if err != nil {
+			t.Fatal(err)
+		}
+		busRep := placement.Evaluate(m.Tree, res.Final)
+		for s := 0; s < n.NumSwitches(); s++ {
+			if ringLoads.SwitchLoad[s] != busRep.EdgeLoad[m.SwitchEdge[s]] {
+				t.Fatalf("trial %d: switch %d load %d ≠ bus edge load %d",
+					trial, s, ringLoads.SwitchLoad[s], busRep.EdgeLoad[m.SwitchEdge[s]])
+			}
+		}
+		for p := 0; p < n.NumProcs(); p++ {
+			if ringLoads.AttachLoad[p] != busRep.EdgeLoad[m.AttachEdge[p]] {
+				t.Fatalf("trial %d: attach %d load %d ≠ bus edge load %d",
+					trial, p, ringLoads.AttachLoad[p], busRep.EdgeLoad[m.AttachEdge[p]])
+			}
+		}
+		multicast := HasMulticasts(res.Final)
+		for r := 0; r < n.NumRings(); r++ {
+			circX2 := 2 * ringLoads.Circulations[r]
+			busX2 := busRep.BusLoadX2[m.RingNode[r]]
+			if multicast {
+				if circX2 > busX2 {
+					t.Fatalf("trial %d: ring %d circulations×2 %d exceed bus load×2 %d",
+						trial, r, circX2, busX2)
+				}
+			} else if circX2 != busX2 {
+				t.Fatalf("trial %d: ring %d circulations×2 %d ≠ bus load×2 %d (unicast-only)",
+					trial, r, circX2, busX2)
+			}
+		}
+	}
+}
+
+func TestLoadsFromPlacementRejectsInnerCopies(t *testing.T) {
+	n := Figure1(2, 16, 8)
+	m, err := n.BusTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := placement.New(1)
+	p.Add(&placement.Copy{Object: 0, Node: m.RingNode[0]})
+	if _, err := LoadsFromPlacement(n, m, p); err == nil {
+		t.Fatal("bus-hosted copy accepted")
+	}
+}

@@ -1,0 +1,243 @@
+// Package sim is a slotted store-and-forward simulator for hierarchical
+// ring networks. It exists to demonstrate the paper's motivating claim
+// (Section 1, citing the experimental study [8]): the congestion produced
+// by a data management strategy predicts the delivered performance of the
+// network — a placement with half the congestion finishes its request
+// batch in roughly half the time.
+//
+// The model: every ringlet and every switch is a resource with a per-step
+// capacity equal to its bandwidth. A packet follows a fixed route (the
+// sequence of ring/switch resources between its source and destination
+// processors). In each time step every resource forwards up to its
+// capacity of queued packets, FIFO, deterministically. The makespan — the
+// step at which the last packet arrives — is lower-bounded by the maximum
+// resource congestion and by the maximum route length (dilation), matching
+// the classic congestion+dilation routing bounds [9, 11, 14, 15].
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"hbn/internal/placement"
+	"hbn/internal/ring"
+)
+
+// Resource is one contended unit of the network.
+type Resource struct {
+	Name     string
+	Capacity int64
+}
+
+// Packet is a unit message following Route (resource indices) in order.
+type Packet struct {
+	Route []int32
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	Makespan   int   // steps until the last packet was delivered
+	Delivered  int   // packets delivered (== injected on success)
+	MaxQueue   int   // peak queue length across resources
+	Congestion int64 // max over resources of packets-through / capacity (rounded up)
+	Dilation   int   // longest route
+}
+
+// Run simulates until all packets are delivered or maxSteps elapse. All
+// packets are injected at step 0. The simulation is deterministic: within
+// a step, resources are processed in index order and queues are FIFO with
+// ties broken by injection order.
+func Run(resources []Resource, packets []Packet, maxSteps int) (*Result, error) {
+	for i, r := range resources {
+		if r.Capacity < 1 {
+			return nil, fmt.Errorf("sim: resource %d (%s) has capacity %d", i, r.Name, r.Capacity)
+		}
+	}
+	res := &Result{}
+	// Static congestion/dilation for the report.
+	through := make([]int64, len(resources))
+	for _, p := range packets {
+		if len(p.Route) > res.Dilation {
+			res.Dilation = len(p.Route)
+		}
+		for _, r := range p.Route {
+			if int(r) >= len(resources) || r < 0 {
+				return nil, fmt.Errorf("sim: packet routed through unknown resource %d", r)
+			}
+			through[r]++
+		}
+	}
+	for i, th := range through {
+		c := (th + resources[i].Capacity - 1) / resources[i].Capacity
+		if c > res.Congestion {
+			res.Congestion = c
+		}
+	}
+
+	type flight struct {
+		id  int
+		pos int
+	}
+	queues := make([][]flight, len(resources))
+	remaining := 0
+	for id, p := range packets {
+		if len(p.Route) == 0 {
+			res.Delivered++
+			continue
+		}
+		queues[p.Route[0]] = append(queues[p.Route[0]], flight{id: id})
+		remaining++
+	}
+	for step := 1; remaining > 0; step++ {
+		if step > maxSteps {
+			return nil, fmt.Errorf("sim: %d packets undelivered after %d steps", remaining, maxSteps)
+		}
+		// Two-phase step so a packet moves through at most one resource
+		// per step: first pick the packets each resource serves, then
+		// enqueue them at their next hop.
+		type moved struct {
+			f    flight
+			next int32 // -1 = delivered
+		}
+		var movers []moved
+		for ri := range queues {
+			q := queues[ri]
+			if len(q) == 0 {
+				continue
+			}
+			n := int(resources[ri].Capacity)
+			if n > len(q) {
+				n = len(q)
+			}
+			for _, f := range q[:n] {
+				route := packets[f.id].Route
+				next := int32(-1)
+				if f.pos+1 < len(route) {
+					next = route[f.pos+1]
+				}
+				movers = append(movers, moved{f: flight{id: f.id, pos: f.pos + 1}, next: next})
+			}
+			queues[ri] = append(q[:0], q[n:]...)
+		}
+		for _, mv := range movers {
+			if mv.next < 0 {
+				res.Delivered++
+				remaining--
+				res.Makespan = step
+				continue
+			}
+			queues[mv.next] = append(queues[mv.next], mv.f)
+		}
+		for _, q := range queues {
+			if len(q) > res.MaxQueue {
+				res.MaxQueue = len(q)
+			}
+		}
+	}
+	return res, nil
+}
+
+// RingWorkload compiles the traffic of a leaf-only placement on a ring
+// network into simulator resources and packets. Resources are the rings
+// followed by the switches (attachments are uncontended: each processor
+// injects its own traffic). Write updates are realized as unicasts from
+// the reference copy to every other copy host — the SCI request–response
+// realization of an update multicast.
+func RingWorkload(n *ring.Network, m *ring.BusTreeMapping, p *placement.P) ([]Resource, []Packet, error) {
+	resources := make([]Resource, 0, n.NumRings()+n.NumSwitches())
+	for r := 0; r < n.NumRings(); r++ {
+		resources = append(resources, Resource{
+			Name:     fmt.Sprintf("ring%d", r),
+			Capacity: m.Tree.NodeBandwidth(m.RingNode[r]),
+		})
+	}
+	swBase := n.NumRings()
+	for s := 0; s < n.NumSwitches(); s++ {
+		resources = append(resources, Resource{
+			Name:     fmt.Sprintf("switch%d", s),
+			Capacity: m.Tree.EdgeBandwidth(m.SwitchEdge[s]),
+		})
+	}
+
+	var packets []Packet
+	addUnicast := func(from, to ring.ProcID, count int64) {
+		if from == to {
+			return
+		}
+		route := ringRoute(n, from, to, swBase)
+		for i := int64(0); i < count; i++ {
+			packets = append(packets, Packet{Route: route})
+		}
+	}
+	for x := 0; x < p.NumObjects; x++ {
+		hostSet := map[ring.ProcID]bool{}
+		var hosts []ring.ProcID
+		for _, c := range p.Copies[x] {
+			cp, ok := m.NodeProc[c.Node]
+			if !ok {
+				return nil, nil, fmt.Errorf("sim: copy of object %d on non-processor node %d", x, c.Node)
+			}
+			if !hostSet[cp] {
+				hostSet[cp] = true
+				hosts = append(hosts, cp)
+			}
+		}
+		sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+		for _, c := range p.Copies[x] {
+			cp := m.NodeProc[c.Node]
+			for _, sh := range c.Shares {
+				rp, ok := m.NodeProc[sh.Node]
+				if !ok {
+					return nil, nil, fmt.Errorf("sim: demand on non-processor node %d", sh.Node)
+				}
+				addUnicast(rp, cp, sh.Total())
+				// Update fan-out: each write at the reference copy is
+				// pushed to every other host.
+				if sh.Writes > 0 {
+					for _, h := range hosts {
+						if h != cp {
+							addUnicast(cp, h, sh.Writes)
+						}
+					}
+				}
+			}
+		}
+	}
+	return resources, packets, nil
+}
+
+// ringRoute lists the resources a transaction from p to q traverses:
+// source ring, (switch, ring)* up to the common ring and down to the
+// destination ring.
+func ringRoute(n *ring.Network, p, q ring.ProcID, swBase int) []int32 {
+	type hop struct {
+		ring int32
+		sw   int32 // switch between ring and its parent
+	}
+	var up []hop
+	var down []hop
+	a, b := n.ProcRing(p), n.ProcRing(q)
+	for n.RingDepth(a) > n.RingDepth(b) {
+		up = append(up, hop{ring: int32(a), sw: int32(n.RingUpSwitch(a))})
+		a = n.RingParent(a)
+	}
+	for n.RingDepth(b) > n.RingDepth(a) {
+		down = append(down, hop{ring: int32(b), sw: int32(n.RingUpSwitch(b))})
+		b = n.RingParent(b)
+	}
+	for a != b {
+		up = append(up, hop{ring: int32(a), sw: int32(n.RingUpSwitch(a))})
+		a = n.RingParent(a)
+		down = append(down, hop{ring: int32(b), sw: int32(n.RingUpSwitch(b))})
+		b = n.RingParent(b)
+	}
+	var route []int32
+	for _, h := range up {
+		route = append(route, h.ring, int32(swBase)+h.sw)
+	}
+	route = append(route, int32(a)) // common ring
+	for i := len(down) - 1; i >= 0; i-- {
+		route = append(route, int32(swBase)+down[i].sw, down[i].ring)
+	}
+	return route
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbn/internal/baseline"
+	"hbn/internal/core"
+	"hbn/internal/placement"
+	"hbn/internal/ring"
+	"hbn/internal/workload"
+)
+
+func TestRunSinglePacket(t *testing.T) {
+	res := []Resource{{Name: "a", Capacity: 1}, {Name: "b", Capacity: 1}}
+	pkts := []Packet{{Route: []int32{0, 1}}}
+	r, err := Run(res, pkts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 2 || r.Delivered != 1 {
+		t.Fatalf("makespan=%d delivered=%d", r.Makespan, r.Delivered)
+	}
+	if r.Dilation != 2 || r.Congestion != 1 {
+		t.Fatalf("dilation=%d congestion=%d", r.Dilation, r.Congestion)
+	}
+}
+
+func TestRunContention(t *testing.T) {
+	// 10 packets through one capacity-1 resource: makespan exactly 10.
+	res := []Resource{{Name: "hot", Capacity: 1}}
+	pkts := make([]Packet, 10)
+	for i := range pkts {
+		pkts[i] = Packet{Route: []int32{0}}
+	}
+	r, err := Run(res, pkts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 10 {
+		t.Fatalf("makespan = %d, want 10", r.Makespan)
+	}
+	// Double the capacity: makespan halves.
+	res[0].Capacity = 2
+	r2, err := Run(res, pkts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Makespan != 5 {
+		t.Fatalf("makespan = %d, want 5", r2.Makespan)
+	}
+}
+
+func TestRunMakespanBounds(t *testing.T) {
+	// Random instances: congestion ≤ makespan (and delivery completes).
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 30; trial++ {
+		nRes := 2 + rng.Intn(6)
+		res := make([]Resource, nRes)
+		for i := range res {
+			res[i] = Resource{Capacity: 1 + rng.Int63n(3)}
+		}
+		pkts := make([]Packet, 1+rng.Intn(50))
+		for i := range pkts {
+			hops := 1 + rng.Intn(nRes)
+			route := make([]int32, hops)
+			perm := rng.Perm(nRes)
+			for j := 0; j < hops; j++ {
+				route[j] = int32(perm[j])
+			}
+			pkts[i] = Packet{Route: route}
+		}
+		r, err := Run(res, pkts, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Delivered != len(pkts) {
+			t.Fatalf("trial %d: delivered %d of %d", trial, r.Delivered, len(pkts))
+		}
+		if int64(r.Makespan) < r.Congestion {
+			t.Fatalf("trial %d: makespan %d below congestion %d", trial, r.Makespan, r.Congestion)
+		}
+		if r.Makespan < r.Dilation {
+			t.Fatalf("trial %d: makespan %d below dilation %d", trial, r.Makespan, r.Dilation)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run([]Resource{{Capacity: 0}}, nil, 10); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := Run([]Resource{{Capacity: 1}}, []Packet{{Route: []int32{5}}}, 10); err == nil {
+		t.Fatal("dangling route accepted")
+	}
+	pkts := make([]Packet, 100)
+	for i := range pkts {
+		pkts[i] = Packet{Route: []int32{0}}
+	}
+	if _, err := Run([]Resource{{Capacity: 1}}, pkts, 5); err == nil {
+		t.Fatal("step limit not enforced")
+	}
+}
+
+func TestRunEmptyRoutesDeliverImmediately(t *testing.T) {
+	r, err := Run([]Resource{{Capacity: 1}}, []Packet{{}, {}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Delivered != 2 || r.Makespan != 0 {
+		t.Fatalf("delivered=%d makespan=%d", r.Delivered, r.Makespan)
+	}
+}
+
+// E9's shape: a placement with lower congestion delivers the same request
+// batch in fewer steps. The extended-nibble placement must beat (or match)
+// the random single-home baseline on a skewed workload.
+func TestCongestionPredictsMakespan(t *testing.T) {
+	n := ring.Figure1(4, 4, 4)
+	m, err := n.BusTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(92))
+	w := workload.ProducerConsumer(rng, m.Tree, 6, workload.GenConfig{MaxReads: 20, MaxWrites: 3, Density: 0.8})
+
+	res, err := core.Solve(m.Tree, w, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := baseline.Random(rand.New(rand.NewSource(1)), m.Tree, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runPlacement := func(p *placement.P) int {
+		resources, packets, err := RingWorkload(n, m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run(resources, packets, 1000000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Makespan
+	}
+	nibbleMakespan := runPlacement(res.Final)
+	randomMakespan := runPlacement(rnd)
+	if nibbleMakespan > randomMakespan {
+		t.Fatalf("extended-nibble makespan %d worse than random placement %d",
+			nibbleMakespan, randomMakespan)
+	}
+	t.Logf("makespan: extended-nibble=%d random=%d", nibbleMakespan, randomMakespan)
+}
+
+func TestRingWorkloadRejectsInnerCopies(t *testing.T) {
+	n := ring.Figure1(2, 4, 4)
+	m, err := n.BusTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := placement.New(1)
+	p.Add(&placement.Copy{Object: 0, Node: m.RingNode[0]})
+	if _, _, err := RingWorkload(n, m, p); err == nil {
+		t.Fatal("bus-hosted copy accepted")
+	}
+}
+
+func TestRingWorkloadDeterministic(t *testing.T) {
+	n := ring.Figure1(3, 4, 4)
+	m, err := n.BusTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.Uniform(rand.New(rand.NewSource(93)), m.Tree, 3, workload.DefaultGen)
+	res, err := core.Solve(m.Tree, w, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p1, err := RingWorkload(n, m, res.Final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p2, err := RingWorkload(n, m, res.Final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != len(p2) {
+		t.Fatal("nondeterministic packet count")
+	}
+}

@@ -1,0 +1,138 @@
+// Package stats provides the small numeric and table-rendering helpers the
+// benchmark harness uses to print experiment results.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+	P50, P90       float64
+}
+
+// Summarize computes a Summary; an empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	s.P50 = quantile(sorted, 0.5)
+	s.P90 = quantile(sorted, 0.9)
+	return s
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Table renders aligned plain-text tables (the harness writes them into
+// EXPERIMENTS.md as Markdown).
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{Header: header} }
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteMarkdown emits the table as GitHub-flavored Markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "|%s|\n", strings.Join(sep, "|")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table aligned for terminals.
+func (t *Table) String() string {
+	width := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(width) {
+				b.WriteString(strings.Repeat(" ", width[i]-len(c)))
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	under := make([]string, len(t.Header))
+	for i := range under {
+		under[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(under)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 != 2.5 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Fatal("empty sample")
+	}
+	single := Summarize([]float64{7})
+	if single.P50 != 7 || single.P90 != 7 || single.Min != 7 {
+		t.Fatalf("single = %+v", single)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("b", 42)
+	var md strings.Builder
+	if err := tab.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	out := md.String()
+	if !strings.Contains(out, "| name | value |") || !strings.Contains(out, "| alpha | 1.500 |") {
+		t.Fatalf("markdown:\n%s", out)
+	}
+	if !strings.Contains(out, "|---|---|") {
+		t.Fatal("missing separator")
+	}
+	plain := tab.String()
+	if !strings.Contains(plain, "alpha") || !strings.Contains(plain, "42") {
+		t.Fatalf("plain:\n%s", plain)
+	}
+}

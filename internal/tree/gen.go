@@ -1,0 +1,182 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Gen bundles the topology generators used by the benchmark harness. All
+// generators are deterministic in their seed and produce valid hierarchical
+// bus networks (leaves are processors with bandwidth-1 switches, inner
+// nodes are buses).
+
+// Star returns a single bus with n processor leaves (the shape of the
+// NP-hardness gadget for n = 4). Bus bandwidth is busBW; leaf switches have
+// bandwidth 1.
+func Star(n int, busBW int64) *Tree {
+	if n < 1 {
+		panic("tree: Star needs at least one leaf")
+	}
+	b := NewBuilder()
+	hub := b.AddBus("hub", busBW)
+	for i := 0; i < n; i++ {
+		p := b.AddProcessor(fmt.Sprintf("p%d", i))
+		b.Connect(hub, p, 1)
+	}
+	return b.MustBuildHBN()
+}
+
+// BalancedKAry returns a balanced k-ary bus hierarchy of the given depth:
+// depth levels of buses, with k children per bus; the bottom buses each
+// hold k processor leaves. depth >= 1, k >= 2. Bus and inner-switch
+// bandwidths scale with the subtree size (a common SCI deployment shape):
+// a bus over m processors gets bandwidth max(1, m*busFactor/leafCount...);
+// concretely bandwidth = max(1, int64(m)) when busFactor <= 0, otherwise
+// m*busFactor.
+func BalancedKAry(depth, k int, busFactor int64) *Tree {
+	if depth < 1 || k < 2 {
+		panic("tree: BalancedKAry needs depth >= 1 and k >= 2")
+	}
+	b := NewBuilder()
+	type frame struct {
+		id    NodeID
+		level int
+	}
+	// Number of processors below a bus at level l (levels count down from
+	// depth at the root to 1 at the bottom bus layer): k^l.
+	pow := func(l int) int64 {
+		out := int64(1)
+		for i := 0; i < l; i++ {
+			out *= int64(k)
+		}
+		return out
+	}
+	bw := func(l int) int64 {
+		m := pow(l)
+		if busFactor <= 0 {
+			return m
+		}
+		return m * busFactor
+	}
+	root := b.AddBus("root", bw(depth))
+	stack := []frame{{root, depth}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for c := 0; c < k; c++ {
+			if f.level == 1 {
+				p := b.AddProcessor("")
+				b.Connect(f.id, p, 1)
+			} else {
+				child := b.AddBus("", bw(f.level-1))
+				// Inner switches carry the traffic of the child subtree.
+				b.Connect(f.id, child, bw(f.level-1))
+				stack = append(stack, frame{child, f.level - 1})
+			}
+		}
+	}
+	return b.MustBuildHBN()
+}
+
+// Random returns a random bus hierarchy with approximately targetLeaves
+// processors. Interior shape: starting from a root bus, each bus receives
+// between 2 and maxDeg children; children become buses with probability
+// busProb while the remaining leaf budget allows, otherwise processors.
+// Bus and inner-switch bandwidths are drawn uniformly from [1, maxBW].
+// The generator is deterministic in rng.
+func Random(rng *rand.Rand, targetLeaves, maxDeg int, busProb float64, maxBW int64) *Tree {
+	if targetLeaves < 2 {
+		panic("tree: Random needs targetLeaves >= 2")
+	}
+	if maxDeg < 2 {
+		maxDeg = 2
+	}
+	if maxBW < 1 {
+		maxBW = 1
+	}
+	b := NewBuilder()
+	root := b.AddBus("root", 1+rng.Int63n(maxBW))
+	leaves := 0
+	// openBuses holds buses that still need children (every bus must end up
+	// an inner node with >= 2 adjacent edges to be a valid HBN inner node,
+	// except the root which only needs >= 2 children).
+	type open struct {
+		id       NodeID
+		children int
+	}
+	queue := []open{{root, 2 + rng.Intn(maxDeg-1)}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for c := 0; c < cur.children; c++ {
+			mkBus := rng.Float64() < busProb && leaves+len(queue)*2 < targetLeaves
+			if leaves >= targetLeaves {
+				mkBus = false
+			}
+			if mkBus {
+				child := b.AddBus("", 1+rng.Int63n(maxBW))
+				b.Connect(cur.id, child, 1+rng.Int63n(maxBW))
+				queue = append(queue, open{child, 2 + rng.Intn(maxDeg-1)})
+			} else {
+				p := b.AddProcessor("")
+				b.Connect(cur.id, p, 1)
+				leaves++
+			}
+		}
+		if len(queue) == 0 && leaves < targetLeaves {
+			// Keep growing from a fresh bus under the root until the leaf
+			// budget is met.
+			child := b.AddBus("", 1+rng.Int63n(maxBW))
+			b.Connect(root, child, 1+rng.Int63n(maxBW))
+			queue = append(queue, open{child, 2 + rng.Intn(maxDeg-1)})
+		}
+	}
+	return b.MustBuildHBN()
+}
+
+// Caterpillar returns a path of length buses, each carrying leavesPerBus
+// processors: a deep, skinny hierarchy that maximizes height for a given
+// size (worst case for the height(T) factors in the runtime bounds).
+func Caterpillar(buses, leavesPerBus int, busBW, spineBW int64) *Tree {
+	if buses < 1 || leavesPerBus < 1 {
+		panic("tree: Caterpillar needs buses >= 1 and leavesPerBus >= 1")
+	}
+	if buses == 1 && leavesPerBus == 1 {
+		panic("tree: Caterpillar(1,1) would make the bus a leaf")
+	}
+	b := NewBuilder()
+	var prev NodeID = None
+	for i := 0; i < buses; i++ {
+		bus := b.AddBus(fmt.Sprintf("bus%d", i), busBW)
+		if prev != None {
+			b.Connect(prev, bus, spineBW)
+		}
+		for j := 0; j < leavesPerBus; j++ {
+			p := b.AddProcessor("")
+			b.Connect(bus, p, 1)
+		}
+		prev = bus
+	}
+	return b.MustBuildHBN()
+}
+
+// SCICluster returns the shape of Figure 1/2 of the paper: a top-level
+// ring (bus) connecting switchCount switches, each leading to a leaf ring
+// (bus) with procsPerRing processors. Ring bandwidths model the shared SCI
+// ringlet bandwidth.
+func SCICluster(switchCount, procsPerRing int, ringBW, switchBW int64) *Tree {
+	if switchCount < 1 || procsPerRing < 1 {
+		panic("tree: SCICluster needs switchCount >= 1 and procsPerRing >= 1")
+	}
+	b := NewBuilder()
+	top := b.AddBus("top-ring", ringBW)
+	for i := 0; i < switchCount; i++ {
+		ring := b.AddBus(fmt.Sprintf("ring%d", i), ringBW)
+		b.Connect(top, ring, switchBW)
+		for j := 0; j < procsPerRing; j++ {
+			p := b.AddProcessor(fmt.Sprintf("r%dp%d", i, j))
+			b.Connect(ring, p, 1)
+		}
+	}
+	return b.MustBuildHBN()
+}

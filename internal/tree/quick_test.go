@@ -1,0 +1,192 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomTreeFor derives a deterministic random tree from a seed.
+func randomTreeFor(seed int64) *Tree {
+	rng := rand.New(rand.NewSource(seed))
+	return Random(rng, 5+rng.Intn(25), 5, 0.4, 8)
+}
+
+// Property: for any tree, root and node pair, PathLen is a metric
+// (symmetric, zero iff equal, triangle inequality through any waypoint).
+func TestQuickPathLenIsMetric(t *testing.T) {
+	f := func(seed int64, a, b, c, rootPick uint16) bool {
+		tr := randomTreeFor(seed)
+		n := tr.Len()
+		r := tr.Rooted(NodeID(int(rootPick) % n))
+		u, v, wp := NodeID(int(a)%n), NodeID(int(b)%n), NodeID(int(c)%n)
+		duv := r.PathLen(u, v)
+		if duv != r.PathLen(v, u) {
+			return false
+		}
+		if (duv == 0) != (u == v) {
+			return false
+		}
+		return duv <= r.PathLen(u, wp)+r.PathLen(wp, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(201))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PathLen is invariant under the rooting choice.
+func TestQuickPathLenRootInvariant(t *testing.T) {
+	f := func(seed int64, a, b, r1, r2 uint16) bool {
+		tr := randomTreeFor(seed)
+		n := tr.Len()
+		u, v := NodeID(int(a)%n), NodeID(int(b)%n)
+		ra := tr.Rooted(NodeID(int(r1) % n))
+		rb := tr.Rooted(NodeID(int(r2) % n))
+		return ra.PathLen(u, v) == rb.PathLen(u, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(202))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: VisitPath visits exactly PathLen(u,v) edges, each exactly
+// once, forming a connected walk from u to v.
+func TestQuickVisitPathConsistent(t *testing.T) {
+	f := func(seed int64, a, b, rootPick uint16) bool {
+		tr := randomTreeFor(seed)
+		n := tr.Len()
+		r := tr.Rooted(NodeID(int(rootPick) % n))
+		u, v := NodeID(int(a)%n), NodeID(int(b)%n)
+		seen := map[EdgeID]bool{}
+		cur := u
+		okWalk := true
+		r.VisitPath(u, v, func(e EdgeID, _ Dir) {
+			if seen[e] {
+				okWalk = false
+			}
+			seen[e] = true
+			x, y := tr.Endpoints(e)
+			switch cur {
+			case x:
+				cur = y
+			case y:
+				cur = x
+			default:
+				okWalk = false
+			}
+		})
+		return okWalk && cur == v && len(seen) == r.PathLen(u, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(203))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Steiner tree of a member set is the union of the pairwise
+// paths (checked against the direct pairwise union) and is monotone under
+// adding members.
+func TestQuickSteinerIsPathUnion(t *testing.T) {
+	f := func(seed int64, picks [4]uint16, rootPick uint16) bool {
+		tr := randomTreeFor(seed)
+		n := tr.Len()
+		r := tr.Rooted(NodeID(int(rootPick) % n))
+		members := make([]NodeID, 0, len(picks))
+		for _, p := range picks {
+			members = append(members, NodeID(int(p)%n))
+		}
+		mask, count := SteinerEdges(r, members)
+		union := map[EdgeID]bool{}
+		for i := range members {
+			for j := i + 1; j < len(members); j++ {
+				r.VisitPath(members[i], members[j], func(e EdgeID, _ Dir) {
+					union[e] = true
+				})
+			}
+		}
+		if len(union) != count {
+			return false
+		}
+		for e, in := range mask {
+			if in != union[EdgeID(e)] {
+				return false
+			}
+		}
+		// Monotone: the Steiner tree of a subset is contained in the full.
+		subMask, _ := SteinerEdges(r, members[:3])
+		for e, in := range subMask {
+			if in && !mask[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(204))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NearestInSet returns a member at the true minimum hop
+// distance for every node.
+func TestQuickNearestInSetIsNearest(t *testing.T) {
+	f := func(seed int64, picks [3]uint16) bool {
+		tr := randomTreeFor(seed)
+		n := tr.Len()
+		set := make([]NodeID, 0, 3)
+		for _, p := range picks {
+			set = append(set, NodeID(int(p)%n))
+		}
+		nearest, dist := NearestInSet(tr, set)
+		r := tr.Rooted(0)
+		for v := 0; v < n; v++ {
+			id := NodeID(v)
+			best := -1
+			for _, s := range set {
+				if d := r.PathLen(id, s); best < 0 || d < best {
+					best = d
+				}
+			}
+			if int(dist[id]) != best {
+				return false
+			}
+			if r.PathLen(id, nearest[id]) != best {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(205))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SubtreeSums of all-ones equals subtree node counts, and the
+// root's sum is the tree size regardless of the root choice.
+func TestQuickSubtreeSums(t *testing.T) {
+	f := func(seed int64, rootPick uint16) bool {
+		tr := randomTreeFor(seed)
+		n := tr.Len()
+		r := tr.Rooted(NodeID(int(rootPick) % n))
+		ones := make([]int64, n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		sums := r.SubtreeSums(ones)
+		if sums[r.Root] != int64(n) {
+			return false
+		}
+		// Each node's sum = 1 + sum of children's sums.
+		for v := 0; v < n; v++ {
+			var childTotal int64
+			for _, c := range r.Children(NodeID(v)) {
+				childTotal += sums[c]
+			}
+			if sums[v] != childTotal+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(206))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package tree
+
+import "fmt"
+
+// Rooted is an orientation of a Tree towards a chosen root. It is derived
+// data: building one never mutates the Tree, so different algorithms (for
+// example, the per-object gravity-center rooting of the nibble strategy)
+// can hold different Rooted views of the same Tree concurrently.
+type Rooted struct {
+	T    *Tree
+	Root NodeID
+
+	// Parent[v] is the parent of v (None for the root); ParentEdge[v] is
+	// the edge joining v with its parent (NoEdge for the root).
+	Parent     []NodeID
+	ParentEdge []EdgeID
+
+	// Depth[v] is the number of edges between v and the root.
+	Depth []int32
+
+	// Order is a preorder of the nodes: every node appears after its
+	// parent. Iterating Order in reverse visits children before parents.
+	Order []NodeID
+
+	// Height is the maximum depth.
+	Height int
+}
+
+// Rooted orients the tree towards root using an iterative DFS.
+func (t *Tree) Rooted(root NodeID) *Rooted {
+	n := t.Len()
+	if root < 0 || int(root) >= n {
+		panic(fmt.Sprintf("tree: root %d out of range [0,%d)", root, n))
+	}
+	r := &Rooted{
+		T:          t,
+		Root:       root,
+		Parent:     make([]NodeID, n),
+		ParentEdge: make([]EdgeID, n),
+		Depth:      make([]int32, n),
+		Order:      make([]NodeID, 0, n),
+	}
+	for i := range r.Parent {
+		r.Parent[i] = None
+		r.ParentEdge[i] = NoEdge
+	}
+	stack := make([]NodeID, 0, 64)
+	stack = append(stack, root)
+	visited := make([]bool, n)
+	visited[root] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		r.Order = append(r.Order, v)
+		if d := int(r.Depth[v]); d > r.Height {
+			r.Height = d
+		}
+		for _, h := range t.Adj(v) {
+			if visited[h.To] {
+				continue
+			}
+			visited[h.To] = true
+			r.Parent[h.To] = v
+			r.ParentEdge[h.To] = h.Edge
+			r.Depth[h.To] = r.Depth[v] + 1
+			stack = append(stack, h.To)
+		}
+	}
+	return r
+}
+
+// Level returns the paper's level of v: the root is on level Height and
+// children of level i+1 nodes are on level i, so Level(v) = Height-Depth(v).
+func (r *Rooted) Level(v NodeID) int { return r.Height - int(r.Depth[v]) }
+
+// Children returns the children of v (its neighbors other than the parent).
+func (r *Rooted) Children(v NodeID) []NodeID {
+	var out []NodeID
+	for _, h := range r.T.Adj(v) {
+		if h.To != r.Parent[v] {
+			out = append(out, h.To)
+		}
+	}
+	return out
+}
+
+// LCA returns the lowest common ancestor of u and v.
+func (r *Rooted) LCA(u, v NodeID) NodeID {
+	for r.Depth[u] > r.Depth[v] {
+		u = r.Parent[u]
+	}
+	for r.Depth[v] > r.Depth[u] {
+		v = r.Parent[v]
+	}
+	for u != v {
+		u = r.Parent[u]
+		v = r.Parent[v]
+	}
+	return u
+}
+
+// PathLen returns the number of edges on the unique path from u to v.
+func (r *Rooted) PathLen(u, v NodeID) int {
+	l := r.LCA(u, v)
+	return int(r.Depth[u]) + int(r.Depth[v]) - 2*int(r.Depth[l])
+}
+
+// Dir is the direction in which a path step crosses an edge, relative to
+// the rooting: Up steps move towards the root, Down steps away from it.
+type Dir uint8
+
+const (
+	// Up marks a step from a child to its parent.
+	Up Dir = iota
+	// Down marks a step from a parent to a child.
+	Down
+)
+
+// VisitPath walks the unique path from u to v and calls fn for every edge
+// crossed, in order, together with the direction of the crossing relative
+// to the rooting. If u == v no calls are made.
+func (r *Rooted) VisitPath(u, v NodeID, fn func(e EdgeID, d Dir)) {
+	l := r.LCA(u, v)
+	for x := u; x != l; x = r.Parent[x] {
+		fn(r.ParentEdge[x], Up)
+	}
+	// The downward half must be emitted root-to-leaf; collect then replay.
+	down := make([]EdgeID, 0, int(r.Depth[v])-int(r.Depth[l]))
+	for x := v; x != l; x = r.Parent[x] {
+		down = append(down, r.ParentEdge[x])
+	}
+	for i := len(down) - 1; i >= 0; i-- {
+		fn(down[i], Down)
+	}
+}
+
+// SubtreeSums aggregates the per-node values val bottom-up: the result at v
+// is the sum of val over the maximal subtree rooted at v (the paper's
+// T(v)). val must have length Len().
+func (r *Rooted) SubtreeSums(val []int64) []int64 {
+	n := r.T.Len()
+	if len(val) != n {
+		panic(fmt.Sprintf("tree: SubtreeSums got %d values for %d nodes", len(val), n))
+	}
+	sum := make([]int64, n)
+	copy(sum, val)
+	for i := len(r.Order) - 1; i >= 0; i-- {
+		v := r.Order[i]
+		if p := r.Parent[v]; p != None {
+			sum[p] += sum[v]
+		}
+	}
+	return sum
+}
+
+// NodesByLevel groups the node IDs by paper level; index 0 holds the
+// deepest nodes and index Height holds just the root.
+func (r *Rooted) NodesByLevel() [][]NodeID {
+	out := make([][]NodeID, r.Height+1)
+	for _, v := range r.Order {
+		l := r.Level(v)
+		out[l] = append(out[l], v)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"hbn/internal/tree"
+)
+
+// Generators for the benchmark harness. Every generator takes an explicit
+// *rand.Rand so runs are reproducible, and touches only leaves, so the
+// output is always valid for hierarchical bus networks.
+
+// GenConfig bounds the magnitude of generated frequencies.
+type GenConfig struct {
+	MaxReads  int64   // per (leaf, object) upper bound, inclusive
+	MaxWrites int64   // per (leaf, object) upper bound, inclusive
+	Density   float64 // probability a (leaf, object) pair is active
+}
+
+// DefaultGen is a moderate mixed read/write configuration.
+var DefaultGen = GenConfig{MaxReads: 100, MaxWrites: 20, Density: 0.5}
+
+// Uniform draws, for every active (leaf, object) pair, reads and writes
+// uniformly from [0, MaxReads] and [0, MaxWrites].
+func Uniform(rng *rand.Rand, t *tree.Tree, numObjects int, cfg GenConfig) *W {
+	w := New(numObjects, t.Len())
+	for x := 0; x < numObjects; x++ {
+		for _, leaf := range t.Leaves() {
+			if rng.Float64() >= cfg.Density {
+				continue
+			}
+			w.Set(x, leaf, Access{
+				Reads:  randTo(rng, cfg.MaxReads),
+				Writes: randTo(rng, cfg.MaxWrites),
+			})
+		}
+	}
+	return w
+}
+
+// Zipf draws object popularity from a Zipf distribution with exponent s:
+// object ranks are shuffled per run, and each leaf issues accesses whose
+// volume is proportional to the popularity of the object. Models the
+// skewed sharing that motivates replication.
+func Zipf(rng *rand.Rand, t *tree.Tree, numObjects int, s float64, cfg GenConfig) *W {
+	w := New(numObjects, t.Len())
+	pop := make([]float64, numObjects)
+	perm := rng.Perm(numObjects)
+	for i := range pop {
+		pop[i] = 1 / math.Pow(float64(perm[i]+1), s)
+	}
+	for x := 0; x < numObjects; x++ {
+		for _, leaf := range t.Leaves() {
+			if rng.Float64() >= cfg.Density {
+				continue
+			}
+			r := int64(float64(1+randTo(rng, cfg.MaxReads)) * pop[x])
+			wr := int64(float64(randTo(rng, cfg.MaxWrites)) * pop[x])
+			w.Set(x, leaf, Access{Reads: r, Writes: wr})
+		}
+	}
+	return w
+}
+
+// Hotspot concentrates a fraction hot of each object's total demand on a
+// single random "owner" leaf and spreads the rest uniformly: the classical
+// mostly-local pattern where migration beats replication.
+func Hotspot(rng *rand.Rand, t *tree.Tree, numObjects int, hot float64, cfg GenConfig) *W {
+	w := Uniform(rng, t, numObjects, cfg)
+	leaves := t.Leaves()
+	for x := 0; x < numObjects; x++ {
+		owner := leaves[rng.Intn(len(leaves))]
+		total := w.TotalWeight(x)
+		boost := int64(hot / (1 - hot) * float64(total))
+		if boost < 1 {
+			boost = 1
+		}
+		w.AddReads(x, owner, boost*3/4)
+		w.AddWrites(x, owner, boost/4)
+	}
+	return w
+}
+
+// ProducerConsumer makes one leaf per object the writer (producer) and all
+// other active leaves pure readers: the pattern where the nibble strategy
+// replicates aggressively.
+func ProducerConsumer(rng *rand.Rand, t *tree.Tree, numObjects int, cfg GenConfig) *W {
+	w := New(numObjects, t.Len())
+	leaves := t.Leaves()
+	for x := 0; x < numObjects; x++ {
+		producer := leaves[rng.Intn(len(leaves))]
+		w.Set(x, producer, Access{Writes: 1 + randTo(rng, cfg.MaxWrites)})
+		for _, leaf := range leaves {
+			if leaf == producer || rng.Float64() >= cfg.Density {
+				continue
+			}
+			w.AddReads(x, leaf, 1+randTo(rng, cfg.MaxReads))
+		}
+	}
+	return w
+}
+
+// WriteOnly draws pure write workloads (every request a write). For such
+// workloads every optimal placement is non-redundant (paper, Section 2),
+// which the exact solver exploits.
+func WriteOnly(rng *rand.Rand, t *tree.Tree, numObjects int, cfg GenConfig) *W {
+	w := New(numObjects, t.Len())
+	for x := 0; x < numObjects; x++ {
+		for _, leaf := range t.Leaves() {
+			if rng.Float64() >= cfg.Density {
+				continue
+			}
+			w.Set(x, leaf, Access{Writes: 1 + randTo(rng, cfg.MaxWrites)})
+		}
+	}
+	return w
+}
+
+// ReadMostly draws workloads with a tunable write fraction wf in [0,1]:
+// the knob the approximation-ratio sweeps turn, since κ_x drives all three
+// steps of the extended-nibble strategy.
+func ReadMostly(rng *rand.Rand, t *tree.Tree, numObjects int, wf float64, cfg GenConfig) *W {
+	w := New(numObjects, t.Len())
+	for x := 0; x < numObjects; x++ {
+		for _, leaf := range t.Leaves() {
+			if rng.Float64() >= cfg.Density {
+				continue
+			}
+			vol := 1 + randTo(rng, cfg.MaxReads)
+			wr := int64(float64(vol) * wf)
+			w.Set(x, leaf, Access{Reads: vol - wr, Writes: wr})
+		}
+	}
+	return w
+}
+
+func randTo(rng *rand.Rand, max int64) int64 {
+	if max <= 0 {
+		return 0
+	}
+	return rng.Int63n(max + 1)
+}

@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hbn/internal/tree"
+)
+
+func star(t *testing.T, n int) *tree.Tree {
+	t.Helper()
+	return tree.Star(n, 100)
+}
+
+func TestBasics(t *testing.T) {
+	tr := star(t, 4)
+	w := New(2, tr.Len())
+	if w.NumObjects() != 2 || w.NumNodes() != 5 {
+		t.Fatal("dimensions wrong")
+	}
+	leaf := tr.Leaves()[0]
+	w.Set(0, leaf, Access{Reads: 3, Writes: 2})
+	w.AddReads(0, leaf, 1)
+	w.AddWrites(1, leaf, 7)
+	if a := w.At(0, leaf); a.Reads != 4 || a.Writes != 2 {
+		t.Fatalf("At = %+v", a)
+	}
+	if got := w.Kappa(0); got != 2 {
+		t.Fatalf("Kappa(0) = %d", got)
+	}
+	if got := w.Kappa(1); got != 7 {
+		t.Fatalf("Kappa(1) = %d", got)
+	}
+	if got := w.TotalWeight(0); got != 6 {
+		t.Fatalf("TotalWeight = %d", got)
+	}
+	if got := w.Weights(0)[leaf]; got != 6 {
+		t.Fatalf("Weights = %d", got)
+	}
+	reqs := w.Requesters(0)
+	if len(reqs) != 1 || reqs[0] != leaf {
+		t.Fatalf("Requesters = %v", reqs)
+	}
+	if (Access{Reads: 2, Writes: 3}).Total() != 5 {
+		t.Fatal("Total wrong")
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	tr := star(t, 3)
+	w := New(1, tr.Len())
+	for _, fn := range []func(){
+		func() { w.At(1, 0) },
+		func() { w.At(0, tree.NodeID(tr.Len())) },
+		func() { w.Set(0, 0, Access{Reads: -1}) },
+		func() { New(-1, 3) },
+		func() { New(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestValidateHBN(t *testing.T) {
+	tr := star(t, 3)
+	w := New(1, tr.Len())
+	w.AddReads(0, tr.Leaves()[0], 5)
+	if err := w.ValidateHBN(tr); err != nil {
+		t.Fatal(err)
+	}
+	w.AddWrites(0, 0, 1) // node 0 is the bus
+	if err := w.ValidateHBN(tr); err == nil {
+		t.Fatal("bus demand accepted")
+	}
+	w2 := New(1, 3)
+	if err := w2.ValidateHBN(tr); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr := star(t, 3)
+	w := New(1, tr.Len())
+	w.AddReads(0, tr.Leaves()[0], 5)
+	c := w.Clone()
+	c.AddReads(0, tr.Leaves()[0], 1)
+	if w.At(0, tr.Leaves()[0]).Reads != 5 {
+		t.Fatal("clone aliases original")
+	}
+	if c.At(0, tr.Leaves()[0]).Reads != 6 {
+		t.Fatal("clone missed write")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := star(t, 4)
+	w := Uniform(rand.New(rand.NewSource(3)), tr, 3, DefaultGen)
+	var buf bytes.Buffer
+	if err := Encode(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumObjects() != w.NumObjects() || got.NumNodes() != w.NumNodes() {
+		t.Fatal("dimension mismatch")
+	}
+	for x := 0; x < w.NumObjects(); x++ {
+		for v := 0; v < w.NumNodes(); v++ {
+			if got.At(x, tree.NodeID(v)) != w.At(x, tree.NodeID(v)) {
+				t.Fatalf("entry (%d,%d) differs", x, v)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewBufferString("{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Decode(bytes.NewBufferString(`{"objects":1,"nodes":2,"entries":[{"x":0,"v":0,"r":-4}]}`)); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestGeneratorsLeafOnlyAndDeterministic(t *testing.T) {
+	tr := tree.BalancedKAry(2, 3, 0)
+	type gen struct {
+		name string
+		make func(seed int64) *W
+	}
+	gens := []gen{
+		{"uniform", func(s int64) *W { return Uniform(rand.New(rand.NewSource(s)), tr, 5, DefaultGen) }},
+		{"zipf", func(s int64) *W { return Zipf(rand.New(rand.NewSource(s)), tr, 5, 1.2, DefaultGen) }},
+		{"hotspot", func(s int64) *W { return Hotspot(rand.New(rand.NewSource(s)), tr, 5, 0.7, DefaultGen) }},
+		{"prodcons", func(s int64) *W { return ProducerConsumer(rand.New(rand.NewSource(s)), tr, 5, DefaultGen) }},
+		{"writeonly", func(s int64) *W { return WriteOnly(rand.New(rand.NewSource(s)), tr, 5, DefaultGen) }},
+		{"readmostly", func(s int64) *W { return ReadMostly(rand.New(rand.NewSource(s)), tr, 5, 0.3, DefaultGen) }},
+	}
+	for _, g := range gens {
+		a := g.make(42)
+		if err := a.ValidateHBN(tr); err != nil {
+			t.Errorf("%s: %v", g.name, err)
+		}
+		b := g.make(42)
+		for x := 0; x < a.NumObjects(); x++ {
+			for v := 0; v < a.NumNodes(); v++ {
+				if a.At(x, tree.NodeID(v)) != b.At(x, tree.NodeID(v)) {
+					t.Errorf("%s: nondeterministic at (%d,%d)", g.name, x, v)
+				}
+			}
+		}
+	}
+}
+
+func TestWriteOnlyHasNoReads(t *testing.T) {
+	tr := star(t, 5)
+	w := WriteOnly(rand.New(rand.NewSource(1)), tr, 4, DefaultGen)
+	for x := 0; x < 4; x++ {
+		for v := 0; v < w.NumNodes(); v++ {
+			if w.At(x, tree.NodeID(v)).Reads != 0 {
+				t.Fatal("WriteOnly produced reads")
+			}
+		}
+	}
+}
+
+func TestProducerConsumerSingleWriter(t *testing.T) {
+	tr := star(t, 6)
+	w := ProducerConsumer(rand.New(rand.NewSource(2)), tr, 5, DefaultGen)
+	for x := 0; x < 5; x++ {
+		writers := 0
+		for v := 0; v < w.NumNodes(); v++ {
+			if w.At(x, tree.NodeID(v)).Writes > 0 {
+				writers++
+			}
+		}
+		if writers != 1 {
+			t.Fatalf("object %d has %d writers, want 1", x, writers)
+		}
+	}
+}
+
+// Property: Kappa and TotalWeight are consistent with per-node sums for
+// arbitrary sparse workloads.
+func TestQuickAggregates(t *testing.T) {
+	tr := star(t, 6)
+	f := func(entries []struct {
+		Node uint8
+		R, W uint16
+	}) bool {
+		w := New(1, tr.Len())
+		var kappa, total int64
+		for _, e := range entries {
+			v := tree.NodeID(int(e.Node) % tr.Len())
+			w.AddReads(0, v, int64(e.R))
+			w.AddWrites(0, v, int64(e.W))
+			kappa += int64(e.W)
+			total += int64(e.R) + int64(e.W)
+		}
+		return w.Kappa(0) == kappa && w.TotalWeight(0) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
