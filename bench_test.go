@@ -133,18 +133,52 @@ func BenchmarkMapping1000x64(b *testing.B) {
 	}
 }
 
-func BenchmarkSolveEndToEnd1000x64(b *testing.B) {
+func benchSolve(b *testing.B, parallelism int) {
+	b.Helper()
 	t, w := benchInstance(1000, 64)
+	opts := core.DefaultOptions()
+	opts.Parallelism = parallelism
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Solve(t, w, core.DefaultOptions()); err != nil {
+		if _, err := core.Solve(t, w, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
+// BenchmarkSolveEndToEnd1000x64 runs the full pipeline at the default
+// parallelism (GOMAXPROCS).
+func BenchmarkSolveEndToEnd1000x64(b *testing.B) { benchSolve(b, 0) }
+
+// BenchmarkSolveEndToEnd1000x64Seq pins Parallelism=1 (the sequential
+// reference the equivalence tests compare against).
+func BenchmarkSolveEndToEnd1000x64Seq(b *testing.B) { benchSolve(b, 1) }
+
+// BenchmarkSolveEndToEnd1000x64P8 pins Parallelism=8.
+func BenchmarkSolveEndToEnd1000x64P8(b *testing.B) { benchSolve(b, 8) }
+
+// BenchmarkEvaluate1000x64 measures the steady evaluation path: a reused
+// Evaluator writing into a reused Report — the configuration a server
+// scoring placements under load runs in. Allocations must stay ~0.
 func BenchmarkEvaluate1000x64(b *testing.B) {
+	t, w := benchInstance(1000, 64)
+	res, err := core.Solve(t, w, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := placement.NewEvaluator(t)
+	rep := &placement.Report{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateInto(rep, res.Final)
+	}
+}
+
+// BenchmarkEvaluateCold1000x64 measures the convenience entry point that
+// rebuilds evaluator state per call (minus the tree-cached orientation).
+func BenchmarkEvaluateCold1000x64(b *testing.B) {
 	t, w := benchInstance(1000, 64)
 	res, err := core.Solve(t, w, core.DefaultOptions())
 	if err != nil {
@@ -154,6 +188,23 @@ func BenchmarkEvaluate1000x64(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		placement.Evaluate(t, res.Final)
+	}
+}
+
+// BenchmarkLCACaterpillar measures the O(1) LCA on the topology where the
+// old parent-walk was O(n) per query.
+func BenchmarkLCACaterpillar(b *testing.B) {
+	t := tree.Caterpillar(500, 2, 8, 8)
+	r := t.Rooted0()
+	idx := r.LCAIndex()
+	leaves := t.Leaves()
+	u, v := leaves[0], leaves[len(leaves)-1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if idx.LCA(u, v) == tree.None {
+			b.Fatal("bad LCA")
+		}
 	}
 }
 

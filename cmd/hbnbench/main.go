@@ -1,56 +1,102 @@
 // Command hbnbench runs the reproduction experiment suite (E1–E11, see
-// DESIGN.md) and prints the result tables, either as aligned text for the
-// terminal or as the Markdown recorded in EXPERIMENTS.md.
+// DESIGN.md) and prints the result tables: aligned text for the terminal,
+// the Markdown recorded in EXPERIMENTS.md, or JSON for benchmark
+// trajectories (the BENCH_*.json files).
 //
 // Usage:
 //
 //	hbnbench -experiment all            # run everything
 //	hbnbench -experiment E5 -quick      # one experiment, small sweeps
 //	hbnbench -experiment all -markdown  # EXPERIMENTS.md body on stdout
+//	hbnbench -experiment all -json      # machine-readable, for BENCH_*.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"hbn/internal/experiments"
+	"hbn/internal/stats"
 )
+
+// jsonResult is one experiment's outcome in -json mode.
+type jsonResult struct {
+	ID        string       `json:"id"`
+	Title     string       `json:"title"`
+	Claim     string       `json:"claim"`
+	OK        bool         `json:"ok"`
+	Verdict   string       `json:"verdict"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+	Table     *stats.Table `json:"table"`
+}
+
+type jsonOutput struct {
+	Timestamp  string       `json:"timestamp"`
+	Seed       int64        `json:"seed"`
+	Quick      bool         `json:"quick"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Results    []jsonResult `json:"results"`
+}
 
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "experiment ID (E1..E11) or 'all'")
 		quick      = flag.Bool("quick", false, "shrink sweep sizes")
 		markdown   = flag.Bool("markdown", false, "emit Markdown instead of aligned text")
+		jsonOut    = flag.Bool("json", false, "emit JSON instead of aligned text")
 		seed       = flag.Int64("seed", 2000, "base random seed")
 	)
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
-	var results []*experiments.Result
+	ids := []string{*experiment}
 	if *experiment == "all" {
-		var err error
-		results, err = experiments.All(cfg)
-		if err != nil {
-			fatal(err)
-		}
-	} else {
-		fn, ok := experiments.ByID(*experiment)
+		ids = experiments.IDs()
+	}
+	var (
+		results []*experiments.Result
+		timed   []jsonResult
+	)
+	for _, id := range ids {
+		fn, ok := experiments.ByID(id)
 		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q (want E1..E11 or all)", *experiment))
+			fatal(fmt.Errorf("unknown experiment %q (want E1..E11 or all)", id))
 		}
+		start := time.Now()
 		r, err := fn(cfg)
 		if err != nil {
 			fatal(err)
 		}
-		results = []*experiments.Result{r}
+		results = append(results, r)
+		timed = append(timed, jsonResult{
+			ID: r.ID, Title: r.Title, Claim: r.Claim, OK: r.OK, Verdict: r.Verdict,
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+			Table:     r.Table,
+		})
 	}
 
-	if *markdown {
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOutput{
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			Seed:       *seed,
+			Quick:      *quick,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Results:    timed,
+		}); err != nil {
+			fatal(err)
+		}
+	case *markdown:
 		if err := experiments.WriteMarkdown(os.Stdout, results); err != nil {
 			fatal(err)
 		}
-	} else {
+	default:
 		for _, r := range results {
 			fmt.Printf("=== %s — %s\n", r.ID, r.Title)
 			fmt.Printf("claim: %s\n\n", r.Claim)

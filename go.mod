@@ -1,0 +1,3 @@
+module hbn
+
+go 1.24

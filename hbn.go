@@ -31,6 +31,34 @@
 // the nibble placement (a congestion lower bound), the deletion-trimmed
 // placement and the mapping trace — are exposed on the Result for
 // analysis.
+//
+// # Performance
+//
+// The solver pipeline is object-parallel: nibble placement, deletion,
+// leaf/inner partitioning, load accumulation and validation all shard
+// over a worker pool controlled by Options.Parallelism (0, the default,
+// means GOMAXPROCS; 1 runs sequentially). Parallel runs are bit-identical
+// to sequential ones — every stage writes per-object results into
+// pre-assigned slots and merges integer partials — so Parallelism is
+// purely a throughput knob. Step 3 (mapping) shares load budgets across
+// objects and always runs sequentially.
+//
+// Evaluation is allocation-free on the steady path: callers that score
+// many placements hold an Evaluator, whose rooted orientation (with its
+// O(1) Euler-tour LCA index), difference buffers and Steiner counters
+// persist across calls:
+//
+//	ev := hbn.NewEvaluator(t)
+//	rep := &hbn.Report{}
+//	for _, p := range candidates {
+//	    ev.EvaluateInto(rep, p) // zero allocations once warm
+//	    ...
+//	}
+//
+// Evaluator.EvaluateMany scores a batch, EvaluateTracked/Reevaluate keep
+// per-object load contributions so re-scoring after a few objects changed
+// costs O(changed·|V|), and the package-level Evaluate remains the
+// convenience one-shot entry point.
 package hbn
 
 import (
@@ -83,6 +111,9 @@ type (
 	// OnlineStrategy is the dynamic (online) extension for workloads with
 	// unknown frequencies.
 	OnlineStrategy = dynamic.Strategy
+	// Evaluator scores placements with reusable scratch state; see the
+	// package comment's Performance section.
+	Evaluator = placement.Evaluator
 )
 
 // None is the sentinel "no node" value.
@@ -111,6 +142,17 @@ func SolveWithOptions(t *Tree, w *Workload, opts Options) (*Result, error) {
 // Evaluate computes the exact loads and congestion a placement induces
 // under the paper's cost model (Section 1.1).
 func Evaluate(t *Tree, p *Placement) *Report { return placement.Evaluate(t, p) }
+
+// NewEvaluator returns a reusable evaluator for t — the allocation-free
+// fast path for scoring many placements on one network.
+func NewEvaluator(t *Tree) *Evaluator { return placement.NewEvaluator(t) }
+
+// EvaluateParallel is Evaluate sharding the per-object load accumulation
+// over workers (<= 0 means GOMAXPROCS); the result is bit-identical to
+// Evaluate.
+func EvaluateParallel(t *Tree, p *Placement, workers int) *Report {
+	return placement.EvaluateParallel(t, p, workers)
+}
 
 // SolveDistributed computes the Step-1 nibble placement by running the
 // tree network itself: every node exchanges messages with its neighbors in

@@ -17,10 +17,12 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"hbn/internal/deletion"
 	"hbn/internal/mapping"
 	"hbn/internal/nibble"
+	"hbn/internal/par"
 	"hbn/internal/placement"
 	"hbn/internal/ratio"
 	"hbn/internal/tree"
@@ -42,10 +44,20 @@ type Options struct {
 	MappingRoot tree.NodeID
 	// CheckInvariants enables the O(|V|)-per-step Invariant 4.2 checker.
 	CheckInvariants bool
+	// Parallelism is the number of worker goroutines the per-object stages
+	// (nibble placement, deletion, leaf/inner partition, load
+	// accumulation, validation) shard over. <= 0 means GOMAXPROCS; 1 runs
+	// fully sequentially; values above GOMAXPROCS are capped, since the
+	// stages are CPU-bound and oversubscription only adds scheduling and
+	// scratch overhead. Every stage writes per-object results into
+	// pre-assigned slots and merges integer partials, so the output is
+	// bit-identical for every parallelism degree. Step 3 (mapping) shares
+	// load budgets across objects and always runs sequentially.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's algorithm with an automatic mapping
-// root.
+// root and GOMAXPROCS parallelism.
 func DefaultOptions() Options {
 	return Options{MappingRoot: tree.None}
 }
@@ -109,25 +121,29 @@ func SolveFromNibble(t *tree.Tree, w *workload.W, nib *nibble.Result, opts Optio
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	res := &Result{}
+	workers := par.Workers(opts.Parallelism)
+	if m := runtime.GOMAXPROCS(0); workers > m {
+		workers = m
+	}
 
 	// Step 1: nibble.
 	if nib != nil {
 		res.Nibble = nib
 	} else {
-		res.Nibble = nibble.Place(t, w)
+		res.Nibble = nibble.PlaceParallel(t, w, workers)
 	}
 	var err error
-	res.NibblePlacement, err = res.Nibble.Placement(t, w)
+	res.NibblePlacement, err = res.Nibble.PlacementParallel(t, w, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: nibble placement: %w", err)
 	}
-	res.NibbleReport = placement.Evaluate(t, res.NibblePlacement)
+	res.NibbleReport = placement.EvaluateParallel(t, res.NibblePlacement, workers)
 
-	// Step 2: deletion.
+	// Step 2: deletion, reusing the Step-1 materialization.
 	if opts.SkipDeletion {
 		res.Modified = res.NibblePlacement
 	} else {
-		res.Modified, res.DeletionStats, err = deletion.Run(t, w, res.Nibble, deletion.Options{SkipSplitting: opts.SkipSplitting})
+		res.Modified, res.DeletionStats, err = deletion.RunShared(t, w, res.Nibble, res.NibblePlacement, deletion.Options{SkipSplitting: opts.SkipSplitting, Workers: workers})
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
@@ -136,15 +152,18 @@ func SolveFromNibble(t *tree.Tree, w *workload.W, nib *nibble.Result, opts Optio
 	// Partition objects: leaf-resident ones are final; the rest are mapped.
 	toMap := placement.New(w.NumObjects())
 	final := placement.New(w.NumObjects())
-	for x := 0; x < w.NumObjects(); x++ {
-		leafOnly := true
+	leafOnly := make([]bool, w.NumObjects())
+	par.ForEach(workers, w.NumObjects(), func(_, x int) {
+		leafOnly[x] = true
 		for _, c := range res.Modified.Copies[x] {
 			if !t.IsLeaf(c.Node) {
-				leafOnly = false
+				leafOnly[x] = false
 				break
 			}
 		}
-		if leafOnly {
+	})
+	for x := 0; x < w.NumObjects(); x++ {
+		if leafOnly[x] {
 			final.Copies[x] = res.Modified.Copies[x]
 		} else {
 			toMap.Copies[x] = res.Modified.Copies[x]
@@ -168,9 +187,9 @@ func SolveFromNibble(t *tree.Tree, w *workload.W, nib *nibble.Result, opts Optio
 		}
 	}
 
-	res.Final = final.MergePerNode()
+	res.Final = final.MergePerNodeParallel(t.Len(), workers)
 	if opts.ReassignNearest {
-		res.Final, err = res.Final.ReassignNearest(t, w)
+		res.Final, err = res.Final.ReassignNearestParallel(t, w, workers)
 		if err != nil {
 			return nil, fmt.Errorf("core: reassign: %w", err)
 		}
@@ -178,10 +197,10 @@ func SolveFromNibble(t *tree.Tree, w *workload.W, nib *nibble.Result, opts Optio
 	if !res.Final.LeafOnly(t) {
 		return nil, fmt.Errorf("core: internal error: final placement uses inner nodes")
 	}
-	if err := res.Final.Validate(t, w); err != nil {
+	if err := res.Final.ValidateParallel(t, w, workers); err != nil {
 		return nil, fmt.Errorf("core: internal error: %w", err)
 	}
-	res.Report = placement.Evaluate(t, res.Final)
+	res.Report = placement.EvaluateParallel(t, res.Final, workers)
 	res.LowerBound = LowerBound(t, w, res.Nibble, res.NibbleReport)
 	return res, nil
 }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// The parallel solver must be bit-identical to the sequential one: every
+// stage writes per-object results into pre-assigned slots and merges
+// integer partials, so no worker count may change any output. The matrix
+// covers the generator zoo (including the deep Caterpillar chains whose
+// LCA queries stress the Euler-tour index) across seeds and shapes.
+func TestSolveParallelEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	type instance struct {
+		name string
+		tr   *tree.Tree
+	}
+	var instances []instance
+	instances = append(instances,
+		instance{"star", tree.Star(8, 8)},
+		instance{"kary", tree.BalancedKAry(3, 3, 0)},
+		instance{"caterpillar-deep", tree.Caterpillar(40, 2, 8, 8)},
+		instance{"caterpillar-wide", tree.Caterpillar(6, 8, 16, 16)},
+		instance{"sci", tree.SCICluster(4, 5, 16, 8)},
+	)
+	for i := 0; i < 4; i++ {
+		instances = append(instances, instance{"random", tree.Random(rng, 20+rng.Intn(120), 5, 0.4, 8)})
+	}
+	for _, inst := range instances {
+		for seed := int64(0); seed < 3; seed++ {
+			wrng := rand.New(rand.NewSource(100 + seed))
+			w := workload.Uniform(wrng, inst.tr, 2+int(seed)*3, workload.DefaultGen)
+			seqOpts := DefaultOptions()
+			seqOpts.Parallelism = 1
+			want, err := Solve(inst.tr, w, seqOpts)
+			if err != nil {
+				t.Fatalf("%s seed %d: sequential: %v", inst.name, seed, err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				opts := DefaultOptions()
+				opts.Parallelism = workers
+				got, err := Solve(inst.tr, w, opts)
+				if err != nil {
+					t.Fatalf("%s seed %d workers %d: %v", inst.name, seed, workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s seed %d: Parallelism=%d result differs from sequential", inst.name, seed, workers)
+				}
+			}
+		}
+	}
+}
+
+// The ablation options must stay parallel-safe too (they reroute through
+// different stages: skip-deletion feeds the nibble placement straight to
+// mapping, reassign rebuilds the final assignment).
+func TestSolveParallelEqualsSequentialAblations(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tr := tree.Random(rng, 60, 5, 0.4, 8)
+	w := workload.Uniform(rng, tr, 6, workload.DefaultGen)
+	for _, mut := range []func(*Options){
+		func(o *Options) { o.SkipDeletion = true },
+		func(o *Options) { o.SkipSplitting = true },
+		func(o *Options) { o.ReassignNearest = true },
+	} {
+		seqOpts := DefaultOptions()
+		seqOpts.Parallelism = 1
+		mut(&seqOpts)
+		want, err := Solve(tr, w, seqOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parOpts := DefaultOptions()
+		parOpts.Parallelism = 8
+		mut(&parOpts)
+		got, err := Solve(tr, w, parOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("ablation %+v: parallel result differs from sequential", parOpts)
+		}
+	}
+}

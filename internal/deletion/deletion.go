@@ -10,13 +10,18 @@
 // every copy serves s(c) ∈ [κ_x, 2κ_x], the load of every edge of T(x)
 // grows by at most κ_x, and every edge load stays within a factor 2 of
 // optimal.
+//
+// Objects are processed independently, so Run shards them over a worker
+// pool with per-worker scratch (Options.Workers); parallel runs are
+// bit-identical to sequential ones.
 package deletion
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"hbn/internal/nibble"
+	"hbn/internal/par"
 	"hbn/internal/placement"
 	"hbn/internal/tree"
 	"hbn/internal/workload"
@@ -27,6 +32,8 @@ type Options struct {
 	// SkipSplitting disables the copy-splitting post-pass, leaving copies
 	// that serve more than 2κ_x requests intact (ablation E10).
 	SkipSplitting bool
+	// Workers shards the per-object passes; <= 0 means GOMAXPROCS.
+	Workers int
 }
 
 // Stats reports what the deletion pass did.
@@ -36,35 +43,110 @@ type Stats struct {
 	Kept    int // surviving copy records (after splitting)
 }
 
+// scratch is the reusable per-worker state of the per-object pass.
+type scratch struct {
+	byNode []*placement.Copy // len(t.Len()), nil outside the current object
+	alive  []bool
+	depth  []int32 // distance to the object's gravity center, copy nodes only
+	order  []*placement.Copy
+	seen   []bool
+	queue  []bfsCand
+}
+
+func newScratch(n int) *scratch {
+	return &scratch{
+		byNode: make([]*placement.Copy, n),
+		alive:  make([]bool, n),
+		depth:  make([]int32, n),
+		seen:   make([]bool, n),
+	}
+}
+
+type bfsCand struct {
+	node tree.NodeID
+	dist int32
+}
+
 // Run executes the deletion algorithm on the nibble placement of (t, w).
 // It returns the modified placement (copies may still sit on inner nodes;
 // several split copies may share a node) together with statistics.
 func Run(t *tree.Tree, w *workload.W, nib *nibble.Result, opts Options) (*placement.P, Stats, error) {
-	base, err := nib.Placement(t, w)
+	base, err := nib.PlacementParallel(t, w, par.Workers(opts.Workers))
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	return runOnBase(t, w, nib, base, false, opts)
+}
+
+// RunShared is Run against a caller-provided materialization of the nibble
+// placement (the solver pipeline already holds one), sparing the rebuild.
+// base must be nib's nearest-copy placement on (t, w); it is not modified
+// (the pass works on per-object clones).
+func RunShared(t *tree.Tree, w *workload.W, nib *nibble.Result, base *placement.P, opts Options) (*placement.P, Stats, error) {
+	return runOnBase(t, w, nib, base, true, opts)
+}
+
+func runOnBase(t *tree.Tree, w *workload.W, nib *nibble.Result, base *placement.P, cloneBase bool, opts Options) (*placement.P, Stats, error) {
+	workers := par.Workers(opts.Workers)
 	out := placement.New(w.NumObjects())
-	var stats Stats
-	for x := 0; x < w.NumObjects(); x++ {
+	scr := make([]*scratch, workers)
+	perObj := make([]Stats, w.NumObjects())
+	errs := make([]error, w.NumObjects())
+	par.ForEach(workers, w.NumObjects(), func(wk, x int) {
+		s := scr[wk]
+		if s == nil {
+			s = newScratch(t.Len())
+			scr[wk] = s
+		}
 		kappa := w.Kappa(x)
-		copies, err := runObject(t, base.Copies[x], nib.Objects[x], kappa, &stats)
+		baseCopies := base.Copies[x]
+		if cloneBase {
+			baseCopies = cloneCopies(baseCopies)
+		}
+		copies, err := runObject(t, baseCopies, nib.Objects[x], kappa, &perObj[x], s)
 		if err != nil {
-			return nil, Stats{}, fmt.Errorf("deletion: object %d: %w", x, err)
+			errs[x] = fmt.Errorf("deletion: object %d: %w", x, err)
+			return
 		}
 		if !opts.SkipSplitting {
-			copies = splitAll(copies, kappa, &stats)
+			copies = splitAll(copies, kappa, &perObj[x])
 		}
 		out.Copies[x] = copies
-		stats.Kept += len(copies)
+		perObj[x].Kept += len(copies)
+	})
+	var stats Stats
+	for x := range perObj {
+		if errs[x] != nil {
+			return nil, Stats{}, errs[x]
+		}
+		stats.Deleted += perObj[x].Deleted
+		stats.Splits += perObj[x].Splits
+		stats.Kept += perObj[x].Kept
 	}
 	return out, stats, nil
 }
 
+// cloneCopies deep-copies one object's copy records so the pass can mutate
+// them (inheriting shares, clearing deleted copies) without touching the
+// shared base placement. Share slices are cloned with exact capacity, so
+// later appends to an heir reallocate instead of writing into the
+// original's backing array.
+func cloneCopies(in []*placement.Copy) []*placement.Copy {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]*placement.Copy, len(in))
+	for i, c := range in {
+		out[i] = &placement.Copy{Object: c.Object, Node: c.Node, Shares: slices.Clone(c.Shares)}
+	}
+	return out
+}
+
 // runObject performs the Figure-4 loop for one object. Copies arrive one
 // per node (the nibble placement), already carrying their nearest-copy
-// demand shares.
-func runObject(t *tree.Tree, copies []*placement.Copy, op nibble.ObjectPlacement, kappa int64, stats *Stats) ([]*placement.Copy, error) {
+// demand shares. The scratch arrays are all-reset on entry and re-reset
+// before returning on every path.
+func runObject(t *tree.Tree, copies []*placement.Copy, op nibble.ObjectPlacement, kappa int64, stats *Stats, s *scratch) ([]*placement.Copy, error) {
 	if len(copies) == 0 {
 		return nil, nil
 	}
@@ -87,27 +169,37 @@ func runObject(t *tree.Tree, copies []*placement.Copy, op nibble.ObjectPlacement
 	// Root T(x) at the object's gravity center (always a member of the
 	// copy set) and process levels bottom-up: the paper defines the root
 	// to sit on level height(T(x)) and round l handles level-l copies.
-	byNode := make(map[tree.NodeID]*placement.Copy, len(copies))
-	for _, c := range copies {
-		byNode[c.Node] = c
-	}
-	if _, ok := byNode[op.Gravity]; !ok {
-		return nil, fmt.Errorf("gravity center %d holds no copy", op.Gravity)
-	}
-	r := t.Rooted(op.Gravity)
-	order := make([]*placement.Copy, len(copies))
-	copy(order, copies)
-	sort.Slice(order, func(i, j int) bool {
-		di, dj := r.Depth[order[i].Node], r.Depth[order[j].Node]
-		if di != dj {
-			return di > dj // deepest (lowest level) first
+	// The orientation towards the gravity center is derived from the
+	// shared node-0 rooting instead of a per-object re-rooting: the depth
+	// of v is its hop distance to g (O(1) via the LCA index), and the
+	// parent of v is its next hop towards g.
+	reset := func() {
+		for _, c := range copies {
+			s.byNode[c.Node] = nil
+			s.alive[c.Node] = false
 		}
-		return order[i].Node < order[j].Node
-	})
-	alive := make(map[tree.NodeID]bool, len(copies))
-	for _, c := range copies {
-		alive[c.Node] = true
 	}
+	r0 := t.Rooted0()
+	lca := r0.LCAIndex()
+	g := op.Gravity
+	for _, c := range copies {
+		s.byNode[c.Node] = c
+		s.alive[c.Node] = true
+		l := lca.LCA(c.Node, g)
+		s.depth[c.Node] = r0.Depth[c.Node] + r0.Depth[g] - 2*r0.Depth[l]
+	}
+	if s.byNode[g] == nil {
+		reset()
+		return nil, fmt.Errorf("gravity center %d holds no copy", g)
+	}
+	order := append(s.order[:0], copies...)
+	s.order = order
+	slices.SortFunc(order, func(a, b *placement.Copy) int {
+		if da, db := s.depth[a.Node], s.depth[b.Node]; da != db {
+			return int(db - da) // deepest (lowest level) first
+		}
+		return int(a.Node - b.Node)
+	})
 	for _, c := range order {
 		if c.Served() >= kappa {
 			continue
@@ -115,57 +207,70 @@ func runObject(t *tree.Tree, copies []*placement.Copy, op nibble.ObjectPlacement
 		// Delete c; its demand moves to the parent copy, or — for the root
 		// of T(x) — to the nearest surviving copy.
 		var heir *placement.Copy
-		if c.Node != op.Gravity {
-			p := r.Parent[c.Node]
-			heir = byNode[p]
+		if c.Node != g {
+			p := nextHopToward(t, r0, lca, c.Node, g)
+			heir = s.byNode[p]
 			if heir == nil {
 				// The copy subtree is connected and rooted at the gravity
 				// center, so a parent copy always exists.
+				reset()
 				return nil, fmt.Errorf("copy on %d has no parent copy on %d", c.Node, p)
 			}
 		} else {
-			heir = nearestAlive(t, c.Node, byNode, alive)
+			heir = nearestAlive(t, c.Node, s)
 			if heir == nil {
 				// The root cannot be the last copy and still serve fewer
 				// than κ_x requests: the root of T(x) would then serve all
 				// h(T) ≥ κ_x requests.
+				reset()
 				return nil, fmt.Errorf("root copy on %d serves %d < κ=%d with no surviving copy", c.Node, c.Served(), kappa)
 			}
 		}
 		heir.Shares = append(heir.Shares, c.Shares...)
 		c.Shares = nil
-		alive[c.Node] = false
-		delete(byNode, c.Node)
+		s.alive[c.Node] = false
+		s.byNode[c.Node] = nil
 		stats.Deleted++
 	}
-	kept := make([]*placement.Copy, 0, len(byNode))
+	var kept []*placement.Copy
 	for _, c := range order {
-		if alive[c.Node] && byNode[c.Node] == c {
+		if s.alive[c.Node] && s.byNode[c.Node] == c {
 			kept = append(kept, c)
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool { return kept[i].Node < kept[j].Node })
+	slices.SortFunc(kept, func(a, b *placement.Copy) int { return int(a.Node - b.Node) })
+	reset()
 	return kept, nil
 }
 
-func nearestAlive(t *tree.Tree, from tree.NodeID, byNode map[tree.NodeID]*placement.Copy, alive map[tree.NodeID]bool) *placement.Copy {
-	// BFS outwards from `from`; the first surviving copy reached is the
-	// nearest (ties broken by BFS order, then node ID for determinism).
-	type cand struct {
-		node tree.NodeID
-		dist int32
+// nextHopToward returns the neighbor of v on the unique path to g, using
+// the shared node-0 orientation: when v is not an ancestor of g the path
+// starts upward, otherwise it descends into the child subtree containing g
+// (the child c with LCA(c, g) = c).
+func nextHopToward(t *tree.Tree, r0 *tree.Rooted, lca *tree.LCAIndex, v, g tree.NodeID) tree.NodeID {
+	if lca.LCA(v, g) != v {
+		return r0.Parent[v]
 	}
-	var best *cand
-	seen := make(map[tree.NodeID]bool)
-	queue := []cand{{from, 0}}
-	seen[from] = true
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	for _, h := range t.Adj(v) {
+		if h.To != r0.Parent[v] && lca.LCA(h.To, g) == h.To {
+			return h.To
+		}
+	}
+	panic(fmt.Sprintf("deletion: no hop from %d towards %d", v, g))
+}
+
+// nearestAlive finds the surviving copy nearest to from (ties: smallest
+// node ID) by BFS over the tree, using the scratch visit marks and queue.
+func nearestAlive(t *tree.Tree, from tree.NodeID, s *scratch) *placement.Copy {
+	var best *bfsCand
+	queue := append(s.queue[:0], bfsCand{from, 0})
+	s.seen[from] = true
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		if best != nil && cur.dist > best.dist {
 			break
 		}
-		if cur.node != from && alive[cur.node] {
+		if cur.node != from && s.alive[cur.node] {
 			if best == nil || cur.node < best.node {
 				c := cur
 				best = &c
@@ -173,16 +278,20 @@ func nearestAlive(t *tree.Tree, from tree.NodeID, byNode map[tree.NodeID]*placem
 			continue
 		}
 		for _, h := range t.Adj(cur.node) {
-			if !seen[h.To] {
-				seen[h.To] = true
-				queue = append(queue, cand{h.To, cur.dist + 1})
+			if !s.seen[h.To] {
+				s.seen[h.To] = true
+				queue = append(queue, bfsCand{h.To, cur.dist + 1})
 			}
 		}
 	}
+	for _, c := range queue {
+		s.seen[c.node] = false
+	}
+	s.queue = queue[:0]
 	if best == nil {
 		return nil
 	}
-	return byNode[best.node]
+	return s.byNode[best.node]
 }
 
 // splitAll splits every copy serving more than 2κ_x requests into

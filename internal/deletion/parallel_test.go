@@ -1,0 +1,74 @@
+package deletion
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+
+	"hbn/internal/nibble"
+	"hbn/internal/placement"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// The per-object deletion pass must be bit-identical for every worker
+// count, and RunShared must neither differ from Run nor mutate the shared
+// base placement.
+func TestRunParallelEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	trees := []*tree.Tree{
+		tree.Caterpillar(25, 2, 8, 8),
+		tree.BalancedKAry(3, 3, 0),
+	}
+	for i := 0; i < 5; i++ {
+		trees = append(trees, tree.Random(rng, 10+rng.Intn(80), 5, 0.4, 8))
+	}
+	for ti, tr := range trees {
+		w := workload.Uniform(rng, tr, 5, workload.DefaultGen)
+		nib := nibble.Place(tr, w)
+		wantP, wantStats, err := Run(tr, w, nib, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("tree %d: %v", ti, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			gotP, gotStats, err := Run(tr, w, nib, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("tree %d workers %d: %v", ti, workers, err)
+			}
+			if gotStats != wantStats {
+				t.Fatalf("tree %d workers %d: stats %+v != %+v", ti, workers, gotStats, wantStats)
+			}
+			if !reflect.DeepEqual(gotP, wantP) {
+				t.Fatalf("tree %d workers %d: placement differs", ti, workers)
+			}
+		}
+		base, err := nib.Placement(tr, w)
+		if err != nil {
+			t.Fatalf("tree %d: %v", ti, err)
+		}
+		snapshot := clonePlacementForTest(base)
+		gotP, gotStats, err := RunShared(tr, w, nib, base, Options{Workers: 4})
+		if err != nil {
+			t.Fatalf("tree %d: RunShared: %v", ti, err)
+		}
+		if gotStats != wantStats || !reflect.DeepEqual(gotP, wantP) {
+			t.Fatalf("tree %d: RunShared differs from Run", ti)
+		}
+		if !reflect.DeepEqual(base, snapshot) {
+			t.Fatalf("tree %d: RunShared mutated the shared base placement", ti)
+		}
+	}
+}
+
+func clonePlacementForTest(p *placement.P) *placement.P {
+	out := placement.New(p.NumObjects)
+	for x, cs := range p.Copies {
+		for _, c := range cs {
+			out.Copies[x] = append(out.Copies[x], &placement.Copy{
+				Object: c.Object, Node: c.Node, Shares: slices.Clone(c.Shares),
+			})
+		}
+	}
+	return out
+}

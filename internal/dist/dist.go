@@ -1,0 +1,305 @@
+// Package dist implements the distributed computation of the Step-1 nibble
+// placement (Section 3.1 of the paper): the tree network computes its own
+// placement by exchanging messages between neighboring nodes in synchronous
+// rounds. Every node initially knows only its local read/write frequencies;
+// at the end every node knows, for every object, whether it holds a copy.
+//
+// The computation runs four sweeps over the tree, each pipelined over the
+// objects (a node forwards object x's message as soon as x's inputs have
+// arrived, at most one object per neighbor per round), so each sweep takes
+// |X| + height rounds instead of |X| · height:
+//
+//  1. up:   convergecast of (h(T(v)), w(T(v))) — subtree access and write
+//     sums per object, towards the coordinator (node 0);
+//  2. down:  broadcast of (h(T), κ_x) — the totals every node needs to test
+//     the gravity-center condition locally;
+//  3. up:   convergecast of the minimum-ID gravity-center candidate in each
+//     subtree (each node also records which child subtree, if any, reported
+//     each candidate, which later orients it towards the gravity center);
+//  4. down:  broadcast of the elected gravity center g(T) = the global
+//     minimum-ID candidate.
+//
+// After sweep 4 every node v decides copy membership for object x locally:
+// v holds a copy iff v = g or h(T_g(v)) > κ_x, where the subtree sum with
+// respect to the g-rooting is derived from sweep-1/3 state without further
+// communication — if g lies in the 0-rooted subtree of child c of v then
+// h(T_g(v)) = h(T) − h(T_0(c)), otherwise h(T_g(v)) = h(T_0(v)).
+//
+// The result is bit-identical to the sequential nibble.Place: the candidate
+// test and the minimum-ID tie-break reproduce nibble.GravityCenter exactly.
+package dist
+
+import (
+	"fmt"
+
+	"hbn/internal/nibble"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// Stats reports the communication cost of the distributed run.
+type Stats struct {
+	// Rounds is the number of synchronous rounds across all four sweeps.
+	Rounds int
+	// Messages is the total number of point-to-point neighbor messages.
+	Messages int
+}
+
+// NibblePlacement computes the Step-1 nibble placement by simulating the
+// synchronous message-passing execution on t itself. It fails if the
+// computation does not finish within maxRounds rounds.
+func NibblePlacement(t *tree.Tree, w *workload.W, maxRounds int) (*nibble.Result, *Stats, error) {
+	if w.NumNodes() != t.Len() {
+		return nil, nil, fmt.Errorf("dist: workload for %d nodes, tree has %d", w.NumNodes(), t.Len())
+	}
+	n := t.Len()
+	numObj := w.NumObjects()
+	r := t.Rooted(0) // the message-flow orientation; node 0 coordinates
+	st := &Stats{}
+
+	// Per-(object, node) distributed state, indexed x*n + v. sub/wsub are
+	// the sweep-1 aggregates computed at each node; minCand is the sweep-3
+	// aggregate (None = no candidate in the subtree).
+	sub := make([]int64, numObj*n)
+	wsub := make([]int64, numObj*n)
+	minCand := make([]tree.NodeID, numObj*n)
+
+	for x := 0; x < numObj; x++ {
+		base := x * n
+		for v := 0; v < n; v++ {
+			a := w.At(x, tree.NodeID(v))
+			sub[base+v] = a.Total()
+			wsub[base+v] = a.Writes
+			minCand[base+v] = tree.None
+		}
+	}
+
+	children := make([][]tree.NodeID, n)
+	for v := 0; v < n; v++ {
+		children[v] = r.Children(tree.NodeID(v))
+	}
+
+	// --- Sweep 1: pipelined convergecast of (sub, wsub). ---
+	combineSums := func(x int, v tree.NodeID) {
+		base := x * n
+		for _, c := range children[v] {
+			sub[base+int(v)] += sub[base+int(c)]
+			wsub[base+int(v)] += wsub[base+int(c)]
+		}
+	}
+	if err := convergecast(t, r, children, numObj, maxRounds, st, combineSums); err != nil {
+		return nil, st, err
+	}
+
+	// --- Sweep 2: pipelined broadcast of the totals (h(T), κ_x). ---
+	// The totals are the coordinator's sweep-1 aggregates; the broadcast
+	// only moves knowledge, so the simulation tracks rounds and messages.
+	if err := broadcast(t, children, numObj, maxRounds, st); err != nil {
+		return nil, st, err
+	}
+	total := make([]int64, numObj)
+	kappa := make([]int64, numObj)
+	for x := 0; x < numObj; x++ {
+		total[x] = sub[x*n]
+		kappa[x] = wsub[x*n]
+	}
+
+	// Every node now tests the gravity-center condition locally: removing v
+	// splits the tree into the child subtrees (sums known from sweep 1) and
+	// the rest of the tree (h(T) − h(T_0(v)), known from sweep 2). For
+	// zero-demand objects the convention of nibble.GravityCenter applies:
+	// only leaves are candidates, so the election yields the lowest-ID leaf.
+	isCand := func(x int, v tree.NodeID) bool {
+		base := x * n
+		if total[x] == 0 {
+			return t.IsLeaf(v)
+		}
+		maxComp := total[x] - sub[base+int(v)]
+		for _, c := range children[v] {
+			if s := sub[base+int(c)]; s > maxComp {
+				maxComp = s
+			}
+		}
+		return 2*maxComp <= total[x]
+	}
+
+	// --- Sweep 3: pipelined convergecast of the min-ID candidate. ---
+	combineMin := func(x int, v tree.NodeID) {
+		base := x * n
+		best := tree.None
+		if isCand(x, v) {
+			best = v
+		}
+		for _, c := range children[v] {
+			if m := minCand[base+int(c)]; m != tree.None && (best == tree.None || m < best) {
+				best = m
+			}
+		}
+		minCand[base+int(v)] = best
+	}
+	if err := convergecast(t, r, children, numObj, maxRounds, st, combineMin); err != nil {
+		return nil, st, err
+	}
+
+	// --- Sweep 4: pipelined broadcast of the elected gravity center. ---
+	if err := broadcast(t, children, numObj, maxRounds, st); err != nil {
+		return nil, st, err
+	}
+
+	// Local copy decision at every node (no further messages).
+	res := &nibble.Result{Objects: make([]nibble.ObjectPlacement, numObj)}
+	for x := 0; x < numObj; x++ {
+		base := x * n
+		g := minCand[base] // coordinator's aggregate = global min candidate
+		if g == tree.None {
+			// Cannot happen: every weighted tree has a gravity center and
+			// zero-demand objects elect a leaf.
+			return nil, st, fmt.Errorf("dist: object %d elected no gravity center", x)
+		}
+		op := nibble.ObjectPlacement{Gravity: g}
+		if total[x] == 0 {
+			op.Copies = []tree.NodeID{g}
+			res.Objects[x] = op
+			continue
+		}
+		for v := 0; v < n; v++ {
+			id := tree.NodeID(v)
+			var subG int64 // h(T_g(v))
+			switch {
+			case id == g:
+				subG = total[x]
+			default:
+				subG = sub[base+v]
+				for _, c := range children[id] {
+					// g lies below child c iff c's sweep-3 aggregate is g
+					// (g is the global minimum, so it is also the minimum of
+					// any subtree containing it).
+					if minCand[base+int(c)] == g {
+						subG = total[x] - sub[base+int(c)]
+						break
+					}
+				}
+			}
+			if id == g || subG > kappa[x] {
+				op.Copies = append(op.Copies, id)
+			}
+		}
+		res.Objects[x] = op
+	}
+	return res, st, nil
+}
+
+// convergecast simulates a pipelined bottom-up sweep: each non-coordinator
+// node sends one message per round to its parent, forwarding object x as
+// soon as all children have delivered x. combine(x, v) folds the children's
+// object-x state into v's; it runs when v's object-x aggregate is complete,
+// which for the coordinator ends the sweep for x.
+func convergecast(t *tree.Tree, r *tree.Rooted, children [][]tree.NodeID, numObj, maxRounds int, st *Stats, combine func(int, tree.NodeID)) error {
+	n := t.Len()
+	if n == 1 || numObj == 0 {
+		for x := 0; x < numObj; x++ {
+			combine(x, r.Root)
+		}
+		return nil
+	}
+	// childrenLeft[x*n+v] counts children of v that have not delivered
+	// object x yet; nextSend[v] is the next object v forwards upward.
+	childrenLeft := make([]int32, numObj*n)
+	for x := 0; x < numObj; x++ {
+		for v := 0; v < n; v++ {
+			childrenLeft[x*n+v] = int32(len(children[v]))
+		}
+	}
+	nextSend := make([]int, n)
+	type delivery struct {
+		parent tree.NodeID
+		x      int
+	}
+	remaining := (n - 1) * numObj // messages still to be sent overall
+	var pending []delivery
+	for remaining > 0 {
+		if st.Rounds >= maxRounds {
+			return fmt.Errorf("dist: convergecast did not finish within %d rounds", maxRounds)
+		}
+		st.Rounds++
+		pending = pending[:0]
+		for v := 0; v < n; v++ {
+			id := tree.NodeID(v)
+			if id == r.Root {
+				continue
+			}
+			x := nextSend[v]
+			if x >= numObj || childrenLeft[x*n+v] != 0 {
+				continue
+			}
+			combine(x, id) // v's aggregate for x is now complete; forward it
+			pending = append(pending, delivery{r.Parent[id], x})
+			nextSend[v]++
+			st.Messages++
+			remaining--
+		}
+		// Synchronous semantics: messages sent this round are visible to the
+		// receivers only from the next round on.
+		for _, d := range pending {
+			childrenLeft[d.x*n+int(d.parent)]--
+		}
+	}
+	for x := 0; x < numObj; x++ {
+		combine(x, r.Root)
+	}
+	return nil
+}
+
+// broadcast simulates a pipelined top-down sweep: each inner node puts one
+// object per round on the bus to its children (one message per child edge),
+// forwarding object x the round after receiving it; the coordinator holds
+// all objects from the start.
+func broadcast(t *tree.Tree, children [][]tree.NodeID, numObj, maxRounds int, st *Stats) error {
+	n := t.Len()
+	if n == 1 || numObj == 0 {
+		return nil
+	}
+	// received[x*n+v] reports whether v knows object x's payload.
+	received := make([]bool, numObj*n)
+	for x := 0; x < numObj; x++ {
+		received[x*n] = true // node 0 is the coordinator
+	}
+	nextSend := make([]int, n)
+	remaining := 0 // sends still owed: one per (inner node, object)
+	for v := 0; v < n; v++ {
+		if len(children[v]) > 0 {
+			remaining += numObj
+		}
+	}
+	type delivery struct {
+		node tree.NodeID
+		x    int
+	}
+	var pending []delivery
+	for remaining > 0 {
+		if st.Rounds >= maxRounds {
+			return fmt.Errorf("dist: broadcast did not finish within %d rounds", maxRounds)
+		}
+		st.Rounds++
+		pending = pending[:0]
+		for v := 0; v < n; v++ {
+			if len(children[v]) == 0 {
+				continue
+			}
+			x := nextSend[v]
+			if x >= numObj || !received[x*n+v] {
+				continue
+			}
+			for _, c := range children[v] {
+				pending = append(pending, delivery{c, x})
+				st.Messages++
+			}
+			nextSend[v]++
+			remaining--
+		}
+		for _, d := range pending {
+			received[d.x*n+int(d.node)] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package dist
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hbn/internal/nibble"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// The distributed computation must reproduce the sequential nibble result
+// bit for bit on every topology, including zero-demand objects.
+func TestMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []*tree.Tree{
+		tree.Star(5, 8),
+		tree.BalancedKAry(3, 2, 0),
+		tree.Caterpillar(12, 2, 8, 8),
+		tree.SCICluster(3, 4, 16, 8),
+	}
+	for i := 0; i < 8; i++ {
+		cases = append(cases, tree.Random(rng, 5+rng.Intn(40), 5, 0.4, 8))
+	}
+	for ci, tr := range cases {
+		for _, objs := range []int{1, 3, 9} {
+			w := workload.Uniform(rng, tr, objs, workload.GenConfig{MaxReads: 9, MaxWrites: 5, Density: 0.5})
+			want := nibble.Place(tr, w)
+			got, st, err := NibblePlacement(tr, w, 1000000)
+			if err != nil {
+				t.Fatalf("case %d objs %d: %v", ci, objs, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("case %d objs %d: distributed result differs\n got %+v\nwant %+v", ci, objs, got.Objects, want.Objects)
+			}
+			if st.Rounds <= 0 || st.Messages <= 0 {
+				t.Fatalf("case %d objs %d: implausible stats %+v", ci, objs, st)
+			}
+		}
+	}
+}
+
+// Zero-demand objects must elect the lowest-ID leaf, like the sequential
+// convention.
+func TestZeroDemand(t *testing.T) {
+	tr := tree.Caterpillar(4, 2, 8, 8)
+	w := workload.New(2, tr.Len())
+	w.AddReads(1, tr.Leaves()[2], 5)
+	got, _, err := NibblePlacement(tr, w, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := nibble.Place(tr, w)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v want %+v", got.Objects, want.Objects)
+	}
+	if got.Objects[0].Gravity != tr.Leaves()[0] {
+		t.Fatalf("zero-demand object elected %d, want lowest-ID leaf %d", got.Objects[0].Gravity, tr.Leaves()[0])
+	}
+}
+
+// Rounds must scale like |X| + height (pipelining), not |X| · height.
+func TestRoundsPipelined(t *testing.T) {
+	tr := tree.Caterpillar(30, 2, 8, 8)
+	h := tr.Rooted(0).Height
+	rng := rand.New(rand.NewSource(3))
+	for _, objs := range []int{1, 16, 64} {
+		w := workload.Uniform(rng, tr, objs, workload.DefaultGen)
+		_, st, err := NibblePlacement(tr, w, 1000000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lim := 8 * (objs + h); st.Rounds > lim {
+			t.Fatalf("objs=%d height=%d: %d rounds > %d — not pipelined", objs, h, st.Rounds, lim)
+		}
+	}
+}
+
+// The round budget must be honored.
+func TestMaxRounds(t *testing.T) {
+	tr := tree.Caterpillar(10, 2, 8, 8)
+	w := workload.Uniform(rand.New(rand.NewSource(1)), tr, 8, workload.DefaultGen)
+	if _, _, err := NibblePlacement(tr, w, 3); err == nil {
+		t.Fatal("expected round-budget error")
+	}
+}
+
+// A single-processor network needs no communication at all.
+func TestSingleNode(t *testing.T) {
+	b := tree.NewBuilder()
+	b.AddProcessor("p0")
+	tr := b.MustBuildHBN()
+	w := workload.New(1, 1)
+	w.AddReads(0, 0, 3)
+	got, st, err := NibblePlacement(tr, w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 0 || st.Messages != 0 {
+		t.Fatalf("single node exchanged messages: %+v", st)
+	}
+	want := nibble.Place(tr, w)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v want %+v", got.Objects, want.Objects)
+	}
+}

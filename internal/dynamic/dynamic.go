@@ -16,11 +16,21 @@
 // itself after Threshold reads crossed it since the last write, and the
 // copy set contracts towards the writer after each write — the classic
 // read-replicate / write-invalidate dynamics.
+//
+// The serving path is engineered for throughput: the tree's shared node-0
+// orientation (with its O(1) LCA index) replaces the per-request rooting,
+// nearest-copy tables are maintained incrementally (relaxation on
+// replicate, one BFS on write contraction), read counters reset by
+// generation stamp, and all per-request buffers are reused — a read
+// request costs O(path length) amortized instead of O(|V|) plus
+// allocations. The tradeoff is memory: each touched object keeps O(|V|)
+// nearest tables, plus O(|E|) read counters once it sees remote reads.
 package dynamic
 
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"hbn/internal/nibble"
 	"hbn/internal/placement"
@@ -45,10 +55,23 @@ type Options struct {
 
 // Strategy is the online state.
 type Strategy struct {
-	t       *tree.Tree
-	opts    Options
-	copies  []map[tree.NodeID]bool // per object, connected
-	readCnt []map[tree.EdgeID]int  // per object: reads crossed since last write
+	t    *tree.Tree
+	r    *tree.Rooted
+	opts Options
+
+	// Per-object copy-set state. isCopy/copyList are allocated lazily at
+	// the object's first touch.
+	isCopy    [][]bool
+	copyList  [][]tree.NodeID
+	nearest   [][]tree.NodeID // nearest copy per node, maintained incrementally
+	ndist     [][]int32
+	readCnt   [][]int32  // reads per edge since the last write…
+	readGen   [][]uint32 // …valid only when the stamp matches curGen
+	curGen    []uint32
+	pathBuf   []tree.EdgeID
+	steinerCt []int32
+	queue     []tree.NodeID
+
 	// EdgeLoad accumulates all message and copy-movement traffic.
 	EdgeLoad []int64
 	// ServiceLoad counts only request service (excluding copy movement),
@@ -64,120 +87,218 @@ func New(t *tree.Tree, numObjects int, opts Options) *Strategy {
 	if opts.Threshold < 1 {
 		opts.Threshold = 1
 	}
-	s := &Strategy{
+	return &Strategy{
 		t:           t,
+		r:           t.Rooted0(),
 		opts:        opts,
-		copies:      make([]map[tree.NodeID]bool, numObjects),
-		readCnt:     make([]map[tree.EdgeID]int, numObjects),
+		isCopy:      make([][]bool, numObjects),
+		copyList:    make([][]tree.NodeID, numObjects),
+		nearest:     make([][]tree.NodeID, numObjects),
+		ndist:       make([][]int32, numObjects),
+		readCnt:     make([][]int32, numObjects),
+		readGen:     make([][]uint32, numObjects),
+		curGen:      make([]uint32, numObjects),
+		steinerCt:   make([]int32, t.Len()),
 		EdgeLoad:    make([]int64, t.NumEdges()),
 		ServiceLoad: make([]int64, t.NumEdges()),
 	}
-	for x := range s.copies {
-		s.copies[x] = make(map[tree.NodeID]bool)
-		s.readCnt[x] = make(map[tree.EdgeID]int)
-	}
-	return s
 }
 
 // Copies returns the current copy nodes of object x (sorted).
 func (s *Strategy) Copies(x int) []tree.NodeID {
-	var out []tree.NodeID
-	for v := 0; v < s.t.Len(); v++ {
-		if s.copies[x][tree.NodeID(v)] {
-			out = append(out, tree.NodeID(v))
-		}
+	if len(s.copyList[x]) == 0 {
+		return nil
 	}
+	out := slices.Clone(s.copyList[x])
+	slices.Sort(out)
 	return out
 }
 
 // Serve processes one request and returns the service cost (edges
 // crossed for the request itself, not copy movement).
 func (s *Strategy) Serve(r Request) int64 {
-	if r.Object < 0 || r.Object >= len(s.copies) {
+	if r.Object < 0 || r.Object >= len(s.isCopy) {
 		panic(fmt.Sprintf("dynamic: object %d out of range", r.Object))
 	}
 	s.requests++
-	cx := s.copies[r.Object]
-	if len(cx) == 0 {
+	x := r.Object
+	if len(s.copyList[x]) == 0 {
 		// First touch: materialize at the requester for free (the object
 		// is created there).
-		cx[r.Node] = true
+		s.materialize(x, r.Node)
 		return 0
 	}
-	set := make([]tree.NodeID, 0, len(cx))
-	for v := range cx {
-		set = append(set, v)
-	}
-	nearest, _ := tree.NearestInSet(s.t, set)
-	target := nearest[r.Node]
-	root := s.t.Rooted(target)
-
-	var cost int64
-	var pathEdges []tree.EdgeID
-	root.VisitPath(r.Node, target, func(e tree.EdgeID, _ tree.Dir) {
-		pathEdges = append(pathEdges, e)
-	})
-	for _, e := range pathEdges {
+	target := s.nearest[x][r.Node]
+	path := s.r.AppendPath(s.pathBuf[:0], r.Node, target)
+	s.pathBuf = path
+	cost := int64(len(path))
+	for _, e := range path {
 		s.EdgeLoad[e]++
 		s.ServiceLoad[e]++
-		cost++
 	}
 
 	if !r.Write {
 		// Count the read on every crossed edge; replicate across saturated
 		// edges, walking from the copy set towards the requester so the
 		// set stays connected.
-		for i := len(pathEdges) - 1; i >= 0; i-- {
-			e := pathEdges[i]
-			s.readCnt[r.Object][e]++
-			if s.readCnt[r.Object][e] < s.opts.Threshold {
+		for i := len(path) - 1; i >= 0; i-- {
+			e := path[i]
+			c := s.readCount(x, e) + 1
+			s.setReadCount(x, e, c)
+			if int(c) < s.opts.Threshold {
 				break
 			}
 			// Replicate across e: the endpoint further from target joins.
 			u, v := s.t.Endpoints(e)
 			joiner := u
-			if cx[u] {
+			if s.isCopy[x][u] {
 				joiner = v
 			}
-			cx[joiner] = true
+			s.addCopy(x, joiner)
 			s.EdgeLoad[e]++ // copy transfer
-			s.readCnt[r.Object][e] = 0
+			s.setReadCount(x, e, 0)
 		}
 		return cost
 	}
 
 	// Write: update broadcast over the Steiner tree of the copy set.
-	if len(set) > 1 {
-		mask, _ := tree.SteinerEdges(root, set)
-		for e, in := range mask {
-			if in {
-				s.EdgeLoad[e]++
-				s.ServiceLoad[e]++
-				cost++
-			}
-		}
+	if len(s.copyList[x]) > 1 {
+		cost += s.steinerLoads(x)
 	}
 	// Invalidate: contract the copy set to the single copy nearest the
 	// writer, then migrate it one hop towards the writer (repeated writes
 	// pull the object to the writer). Deletions are free; the migration
 	// moves data across one edge.
-	for v := range cx {
-		delete(cx, v)
-	}
-	if r.Node != target && len(pathEdges) > 0 {
+	home := target
+	if r.Node != target && len(path) > 0 {
 		// Move one hop from target towards the writer.
-		e := pathEdges[len(pathEdges)-1]
-		hop := s.t.Other(e, target)
-		cx[hop] = true
+		e := path[len(path)-1]
+		home = s.t.Other(e, target)
 		s.EdgeLoad[e]++ // migration transfer
-	} else {
-		cx[target] = true
 	}
+	s.contract(x, home)
 	// Writes reset the read counters of the object.
-	for e := range s.readCnt[r.Object] {
-		delete(s.readCnt[r.Object], e)
+	s.curGen[x]++
+	return cost
+}
+
+// materialize creates object x's first copy on home and initializes its
+// nearest tables. The node-indexed tables are allocated at first touch;
+// the edge-indexed read counters only when the object first sees a remote
+// read (see readCount) — purely local or write-dominated objects never
+// pay for them.
+func (s *Strategy) materialize(x int, home tree.NodeID) {
+	n := s.t.Len()
+	if s.isCopy[x] == nil {
+		s.isCopy[x] = make([]bool, n)
+		s.nearest[x] = make([]tree.NodeID, n)
+		s.ndist[x] = make([]int32, n)
+		s.curGen[x] = 1
+	}
+	s.isCopy[x][home] = true
+	s.copyList[x] = append(s.copyList[x][:0], home)
+	s.rebuildNearest(x, home)
+}
+
+// contract reduces object x's copy set to the single copy on home.
+func (s *Strategy) contract(x int, home tree.NodeID) {
+	for _, v := range s.copyList[x] {
+		s.isCopy[x][v] = false
+	}
+	s.isCopy[x][home] = true
+	s.copyList[x] = append(s.copyList[x][:0], home)
+	s.rebuildNearest(x, home)
+}
+
+// rebuildNearest recomputes the nearest tables from a single source.
+func (s *Strategy) rebuildNearest(x int, home tree.NodeID) {
+	nearest, dist := s.nearest[x], s.ndist[x]
+	for i := range dist {
+		nearest[i] = home
+		dist[i] = -1
+	}
+	dist[home] = 0
+	queue := append(s.queue[:0], home)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, h := range s.t.Adj(v) {
+			if dist[h.To] < 0 {
+				dist[h.To] = dist[v] + 1
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	s.queue = queue[:0]
+}
+
+// addCopy inserts joiner into object x's copy set and relaxes the nearest
+// tables from it: only nodes that get strictly closer update, so ties keep
+// their previous reference copy (deterministically).
+func (s *Strategy) addCopy(x int, joiner tree.NodeID) {
+	if s.isCopy[x][joiner] {
+		return
+	}
+	s.isCopy[x][joiner] = true
+	s.copyList[x] = append(s.copyList[x], joiner)
+	nearest, dist := s.nearest[x], s.ndist[x]
+	nearest[joiner] = joiner
+	dist[joiner] = 0
+	queue := append(s.queue[:0], joiner)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, h := range s.t.Adj(v) {
+			if dist[h.To] > dist[v]+1 {
+				dist[h.To] = dist[v] + 1
+				nearest[h.To] = joiner
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	s.queue = queue[:0]
+}
+
+// steinerLoads adds one unit to every Steiner edge of object x's copy set
+// (the update broadcast) and returns the number of edges loaded. An edge
+// is a Steiner edge iff both of its sides hold a copy — the copy count
+// below it (one bottom-up pass over the packed traversal) is neither zero
+// nor the full set.
+func (s *Strategy) steinerLoads(x int) int64 {
+	cnt := s.steinerCt
+	clear(cnt)
+	total := int32(len(s.copyList[x]))
+	for _, v := range s.copyList[x] {
+		cnt[v] = 1
+	}
+	var cost int64
+	steps := s.r.Steps()
+	for i := len(steps) - 1; i >= 1; i-- {
+		st := steps[i]
+		if c := cnt[st.V]; c > 0 {
+			if c < total {
+				s.EdgeLoad[st.Edge]++
+				s.ServiceLoad[st.Edge]++
+				cost++
+			}
+			cnt[st.Parent] += c
+		}
 	}
 	return cost
+}
+
+func (s *Strategy) readCount(x int, e tree.EdgeID) int32 {
+	if s.readCnt[x] == nil || s.readGen[x][e] != s.curGen[x] {
+		return 0
+	}
+	return s.readCnt[x][e]
+}
+
+func (s *Strategy) setReadCount(x int, e tree.EdgeID, c int32) {
+	if s.readCnt[x] == nil {
+		s.readCnt[x] = make([]int32, s.t.NumEdges())
+		s.readGen[x] = make([]uint32, s.t.NumEdges())
+	}
+	s.readGen[x][e] = s.curGen[x]
+	s.readCnt[x][e] = c
 }
 
 // ServeAll processes a whole sequence and returns the total service cost.
@@ -235,12 +356,93 @@ func RandomSequence(rng *rand.Rand, t *tree.Tree, numObjects, n int, writeFrac f
 	return reqs
 }
 
+// OfflineTracker maintains the clairvoyant static comparator — the
+// (optimal, inner-nodes-allowed) nibble placement for the aggregated
+// frequencies — incrementally: Record folds requests into the frequency
+// table and marks their objects dirty; Report re-places and re-evaluates
+// only the dirty objects, in O(dirty · |V|) instead of O(|X| · |V|) per
+// request batch. The online strategy's experiments evaluate the
+// comparator after every batch, so this is what keeps them off the
+// full-tree cost path.
+type OfflineTracker struct {
+	t     *tree.Tree
+	w     *workload.W
+	ev    *placement.Evaluator
+	p     *placement.P
+	scr   *nibble.Scratch
+	dirty []bool
+	queue []int
+}
+
+// NewOfflineTracker creates a tracker for numObjects objects on t.
+func NewOfflineTracker(t *tree.Tree, numObjects int) *OfflineTracker {
+	return &OfflineTracker{
+		t:     t,
+		w:     workload.New(numObjects, t.Len()),
+		ev:    placement.NewEvaluator(t),
+		scr:   nibble.NewScratch(t),
+		dirty: make([]bool, numObjects),
+	}
+}
+
+// Record folds one request into the aggregated frequencies.
+func (ot *OfflineTracker) Record(r Request) {
+	if r.Write {
+		ot.w.AddWrites(r.Object, r.Node, 1)
+	} else {
+		ot.w.AddReads(r.Object, r.Node, 1)
+	}
+	if !ot.dirty[r.Object] {
+		ot.dirty[r.Object] = true
+		ot.queue = append(ot.queue, r.Object)
+	}
+}
+
+// Workload exposes the aggregated frequencies recorded so far (read-only).
+func (ot *OfflineTracker) Workload() *workload.W { return ot.w }
+
+// Report returns the static comparator's exact loads for the requests
+// recorded so far. The first call places and evaluates every object; later
+// calls refresh only the objects touched since the previous Report.
+func (ot *OfflineTracker) Report() (*placement.Report, error) {
+	if ot.p == nil {
+		nib := nibble.Place(ot.t, ot.w)
+		p, err := nib.Placement(ot.t, ot.w)
+		if err != nil {
+			return nil, err
+		}
+		ot.p = p
+		ot.clearDirty()
+		return ot.ev.EvaluateTracked(p), nil
+	}
+	for _, x := range ot.queue {
+		op := nibble.PlaceObjectScratch(ot.scr, ot.t, ot.w, x)
+		cs, err := placement.NearestObjectAssignment(ot.t, ot.w, x, op.Copies)
+		if err != nil {
+			return nil, err
+		}
+		ot.p.Copies[x] = cs
+	}
+	rep := ot.ev.Reevaluate(ot.p, ot.queue)
+	ot.clearDirty()
+	return rep, nil
+}
+
+func (ot *OfflineTracker) clearDirty() {
+	for _, x := range ot.queue {
+		ot.dirty[x] = false
+	}
+	ot.queue = ot.queue[:0]
+}
+
 // StaticOffline evaluates the clairvoyant static comparator: aggregate the
 // sequence into frequencies, run the (optimal, inner-nodes-allowed) nibble
 // strategy, and return its total load and per-edge loads on the same
 // sequence. This lower-bounds every static placement, so
 // dynamic/static ≥ 1 and the interesting question is how close to 1 the
-// online strategy gets.
+// online strategy gets. For one-shot evaluation this computes the report
+// directly; callers re-evaluating after every batch use OfflineTracker,
+// which amortizes via tracked per-object loads.
 func StaticOffline(t *tree.Tree, numObjects int, reqs []Request) (*placement.Report, error) {
 	w := workload.New(numObjects, t.Len())
 	for _, r := range reqs {

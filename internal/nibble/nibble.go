@@ -14,6 +14,7 @@ package nibble
 import (
 	"fmt"
 
+	"hbn/internal/par"
 	"hbn/internal/placement"
 	"hbn/internal/tree"
 	"hbn/internal/workload"
@@ -42,12 +43,33 @@ func (r *Result) CopySets() [][]tree.NodeID {
 	return out
 }
 
+// Scratch holds the reusable per-worker state of the nibble strategy: the
+// shared (read-only) 0-rooted orientation and the weight/subtree buffers.
+// One Scratch serves many PlaceObject calls without allocating; it is not
+// safe for concurrent use.
+type Scratch struct {
+	r0  *tree.Rooted
+	h   []int64
+	sub []int64
+}
+
+// NewScratch returns a Scratch for t. Workers may share r0 (it is only
+// read), so PlaceParallel builds one orientation and hands it to every
+// worker's scratch.
+func NewScratch(t *tree.Tree) *Scratch { return newScratchShared(t.Rooted0()) }
+
+func newScratchShared(r0 *tree.Rooted) *Scratch { return &Scratch{r0: r0} }
+
 // GravityCenter returns a gravity center of t under the node weights h:
 // a node whose removal splits the tree into components each of total
 // weight at most half of the overall weight. Among all such nodes the one
 // with the smallest ID is returned (the paper allows an arbitrary choice).
 // If the total weight is zero, the lowest-ID leaf is returned.
 func GravityCenter(t *tree.Tree, h []int64) tree.NodeID {
+	return NewScratch(t).gravityCenter(t, h)
+}
+
+func (s *Scratch) gravityCenter(t *tree.Tree, h []int64) tree.NodeID {
 	if len(h) != t.Len() {
 		panic(fmt.Sprintf("nibble: %d weights for %d nodes", len(h), t.Len()))
 	}
@@ -61,8 +83,9 @@ func GravityCenter(t *tree.Tree, h []int64) tree.NodeID {
 	if total == 0 {
 		return t.Leaves()[0]
 	}
-	r := t.Rooted(0)
-	sub := r.SubtreeSums(h)
+	r := s.r0
+	s.sub = r.SubtreeSumsInto(h, s.sub)
+	sub := s.sub
 	best := tree.None
 	for v := 0; v < t.Len(); v++ {
 		id := tree.NodeID(v)
@@ -94,7 +117,11 @@ func GravityCenter(t *tree.Tree, h []int64) tree.NodeID {
 // at all receive a single copy on the lowest-ID leaf (a documented
 // convention; any node works since such objects induce no load).
 func PlaceObject(t *tree.Tree, h []int64, kappa int64) ObjectPlacement {
-	g := GravityCenter(t, h)
+	return NewScratch(t).placeObject(t, h, kappa)
+}
+
+func (s *Scratch) placeObject(t *tree.Tree, h []int64, kappa int64) ObjectPlacement {
+	g := s.gravityCenter(t, h)
 	var total int64
 	for _, v := range h {
 		total += v
@@ -102,8 +129,20 @@ func PlaceObject(t *tree.Tree, h []int64, kappa int64) ObjectPlacement {
 	if total == 0 {
 		return ObjectPlacement{Gravity: g, Copies: []tree.NodeID{g}}
 	}
-	rg := t.Rooted(g)
-	sub := rg.SubtreeSums(h)
+	// Convert the 0-rooted subtree sums (left in s.sub by gravityCenter)
+	// into g-rooted ones in place instead of re-rooting the whole tree:
+	// re-rooting at g only changes the sums on the ancestor chain of g,
+	// where the g-rooted subtree of a is everything except the 0-rooted
+	// subtree of a's child towards g.
+	r0 := s.r0
+	sub := s.sub
+	prevOrig := sub[g]
+	sub[g] = total
+	for a := r0.Parent[g]; a != tree.None; a = r0.Parent[a] {
+		orig := sub[a]
+		sub[a] = total - prevOrig
+		prevOrig = orig
+	}
 	copies := make([]tree.NodeID, 0, 8)
 	for v := 0; v < t.Len(); v++ {
 		id := tree.NodeID(v)
@@ -114,15 +153,40 @@ func PlaceObject(t *tree.Tree, h []int64, kappa int64) ObjectPlacement {
 	return ObjectPlacement{Gravity: g, Copies: copies}
 }
 
+// PlaceObjectScratch computes the nibble copy set of w's object x using a
+// reusable Scratch — the per-object entry point for incremental callers
+// that re-place a few objects after their frequencies changed.
+func PlaceObjectScratch(s *Scratch, t *tree.Tree, w *workload.W, x int) ObjectPlacement {
+	s.h = w.WeightsInto(x, s.h)
+	return s.placeObject(t, s.h, w.Kappa(x))
+}
+
 // Place runs the nibble strategy for every object of w on t.
 func Place(t *tree.Tree, w *workload.W) *Result {
+	return PlaceParallel(t, w, 1)
+}
+
+// PlaceParallel is Place sharding objects over workers (<= 0 means
+// GOMAXPROCS) with per-worker scratch. Objects are placed independently
+// into their result slots, so the output is bit-identical to sequential
+// placement.
+func PlaceParallel(t *tree.Tree, w *workload.W, workers int) *Result {
 	if w.NumNodes() != t.Len() {
 		panic(fmt.Sprintf("nibble: workload for %d nodes, tree has %d", w.NumNodes(), t.Len()))
 	}
+	workers = par.Workers(workers)
+	r0 := t.Rooted0()
+	scr := make([]*Scratch, workers)
 	res := &Result{Objects: make([]ObjectPlacement, w.NumObjects())}
-	for x := 0; x < w.NumObjects(); x++ {
-		res.Objects[x] = PlaceObject(t, w.Weights(x), w.Kappa(x))
-	}
+	par.ForEach(workers, w.NumObjects(), func(wk, x int) {
+		s := scr[wk]
+		if s == nil {
+			s = newScratchShared(r0)
+			scr[wk] = s
+		}
+		s.h = w.WeightsInto(x, s.h)
+		res.Objects[x] = s.placeObject(t, s.h, w.Kappa(x))
+	})
 	return res
 }
 
@@ -133,4 +197,10 @@ func Place(t *tree.Tree, w *workload.W) *Result {
 // unique for every node.
 func (r *Result) Placement(t *tree.Tree, w *workload.W) (*placement.P, error) {
 	return placement.NearestAssignment(t, w, r.CopySets())
+}
+
+// PlacementParallel is Placement sharding the per-object assignment over
+// workers (<= 0 means GOMAXPROCS).
+func (r *Result) PlacementParallel(t *tree.Tree, w *workload.W, workers int) (*placement.P, error) {
+	return placement.NearestAssignmentParallel(t, w, r.CopySets(), workers)
 }

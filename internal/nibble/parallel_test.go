@@ -1,0 +1,35 @@
+package nibble
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// PlaceParallel must be bit-identical to Place for every worker count —
+// objects are placed into pre-assigned slots with per-worker scratch.
+func TestPlaceParallelEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	trees := []*tree.Tree{
+		tree.Star(9, 8),
+		tree.Caterpillar(30, 2, 8, 8),
+	}
+	for i := 0; i < 5; i++ {
+		trees = append(trees, tree.Random(rng, 10+rng.Intn(100), 5, 0.4, 8))
+	}
+	for ti, tr := range trees {
+		for _, objs := range []int{1, 7, 33} {
+			w := workload.Uniform(rng, tr, objs, workload.DefaultGen)
+			want := Place(tr, w)
+			for _, workers := range []int{2, 4, 8} {
+				got := PlaceParallel(tr, w, workers)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("tree %d objs %d workers %d: parallel nibble differs", ti, objs, workers)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package par is the worker pool behind the object-parallel solver
+// stages. The unit of work everywhere is one shared data object: nibble
+// placement, deletion, partitioning and load accumulation are all
+// per-object independent, so they shard over objects with per-worker
+// scratch state and deterministic (slot-indexed) result placement —
+// parallel runs produce bit-identical output to sequential ones.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested parallelism degree: values <= 0 mean
+// runtime.GOMAXPROCS(0).
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach invokes fn(worker, i) for every i in [0,n), distributing indices
+// over min(workers, n) goroutines in contiguous chunks claimed from a
+// shared counter. worker identifies the executing worker (0 <= worker <
+// workers) so fn can address per-worker scratch without locking. With
+// workers <= 1 (or n <= 1) everything runs on the calling goroutine and no
+// goroutines are spawned — the sequential path stays allocation- and
+// scheduler-free. A panic in any fn is re-raised on the caller after all
+// workers have stopped.
+func ForEach(workers, n int, fn func(worker, i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	chunk := n / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[any]
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &r)
+				}
+			}()
+			for panicked.Load() == nil {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(worker, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(*r)
+	}
+}

@@ -1,0 +1,63 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 33} {
+		for _, n := range []int{0, 1, 5, 100, 1000} {
+			var hits atomic.Int64
+			seen := make([]atomic.Int32, n)
+			ForEach(workers, n, func(worker, i int) {
+				if worker < 0 || worker >= max(1, workers) {
+					t.Errorf("worker id %d out of range", worker)
+				}
+				seen[i].Add(1)
+				hits.Add(1)
+			})
+			if int(hits.Load()) != n {
+				t.Fatalf("workers=%d n=%d: %d invocations", workers, n, hits.Load())
+			}
+			for i := range seen {
+				if seen[i].Load() != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, seen[i].Load())
+				}
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic to propagate")
+		}
+	}()
+	ForEach(4, 100, func(_, i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

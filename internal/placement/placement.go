@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"hbn/internal/par"
 	"hbn/internal/ratio"
 	"hbn/internal/tree"
 	"hbn/internal/workload"
@@ -95,38 +96,76 @@ func (p *P) TotalCopies() int {
 // node) pair's reads and writes appear in shares exactly once, shares are
 // non-negative, and every object with demand has at least one copy.
 func (p *P) Validate(t *tree.Tree, w *workload.W) error {
+	return p.ValidateParallel(t, w, 1)
+}
+
+// ValidateParallel is Validate sharding the per-object checks over workers
+// (<= 0 means GOMAXPROCS). The reported error is the same one sequential
+// validation finds first.
+func (p *P) ValidateParallel(t *tree.Tree, w *workload.W, workers int) error {
 	if p.NumObjects != w.NumObjects() {
 		return fmt.Errorf("placement: %d objects, workload has %d", p.NumObjects, w.NumObjects())
 	}
-	for x := 0; x < p.NumObjects; x++ {
-		reads := make(map[tree.NodeID]int64)
-		writes := make(map[tree.NodeID]int64)
-		for _, c := range p.Copies[x] {
-			if c.Object != x {
-				return fmt.Errorf("placement: copy filed under object %d claims object %d", x, c.Object)
+	workers = par.Workers(workers)
+	type scratch struct {
+		reads, writes []int64
+	}
+	scr := make([]*scratch, workers)
+	errs := make([]error, p.NumObjects)
+	par.ForEach(workers, p.NumObjects, func(wk, x int) {
+		s := scr[wk]
+		if s == nil {
+			size := t.Len()
+			if w.NumNodes() > size {
+				size = w.NumNodes()
 			}
-			if c.Node < 0 || int(c.Node) >= t.Len() {
-				return fmt.Errorf("placement: object %d copy on out-of-range node %d", x, c.Node)
-			}
-			for _, sh := range c.Shares {
-				if sh.Reads < 0 || sh.Writes < 0 {
-					return fmt.Errorf("placement: object %d has negative share %+v", x, sh)
-				}
-				reads[sh.Node] += sh.Reads
-				writes[sh.Node] += sh.Writes
-			}
+			s = &scratch{reads: make([]int64, size), writes: make([]int64, size)}
+			scr[wk] = s
 		}
-		for v := 0; v < w.NumNodes(); v++ {
-			id := tree.NodeID(v)
-			a := w.At(x, id)
-			if reads[id] != a.Reads || writes[id] != a.Writes {
-				return fmt.Errorf("placement: object %d node %d covers (r=%d,w=%d), workload has (r=%d,w=%d)",
-					x, v, reads[id], writes[id], a.Reads, a.Writes)
+		errs[x] = p.validateObject(t, w, x, s.reads, s.writes)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateObject checks one object against scratch tally arrays of length
+// t.Len(); the arrays must be all-zero on entry and are re-zeroed before
+// returning (on every path).
+func (p *P) validateObject(t *tree.Tree, w *workload.W, x int, reads, writes []int64) (err error) {
+	defer func() {
+		clear(reads)
+		clear(writes)
+	}()
+	for _, c := range p.Copies[x] {
+		if c.Object != x {
+			return fmt.Errorf("placement: copy filed under object %d claims object %d", x, c.Object)
+		}
+		if c.Node < 0 || int(c.Node) >= t.Len() {
+			return fmt.Errorf("placement: object %d copy on out-of-range node %d", x, c.Node)
+		}
+		for _, sh := range c.Shares {
+			if sh.Reads < 0 || sh.Writes < 0 {
+				return fmt.Errorf("placement: object %d has negative share %+v", x, sh)
 			}
+			if sh.Node < 0 || int(sh.Node) >= len(reads) {
+				return fmt.Errorf("placement: object %d share on out-of-range node %d", x, sh.Node)
+			}
+			reads[sh.Node] += sh.Reads
+			writes[sh.Node] += sh.Writes
 		}
-		if w.TotalWeight(x) > 0 && len(p.Copies[x]) == 0 {
-			return fmt.Errorf("placement: object %d has demand but no copies", x)
+	}
+	for v, a := range w.Row(x) {
+		if reads[v] != a.Reads || writes[v] != a.Writes {
+			return fmt.Errorf("placement: object %d node %d covers (r=%d,w=%d), workload has (r=%d,w=%d)",
+				x, v, reads[v], writes[v], a.Reads, a.Writes)
 		}
+	}
+	if w.TotalWeight(x) > 0 && len(p.Copies[x]) == 0 {
+		return fmt.Errorf("placement: object %d has demand but no copies", x)
 	}
 	return nil
 }
@@ -149,25 +188,110 @@ func (p *P) LeafOnly(t *tree.Tree) bool {
 // strand several split copies on one leaf; merging is load-neutral for
 // path loads and can only shrink Steiner trees.
 func (p *P) MergePerNode() *P {
+	return p.MergePerNodeParallel(0, 1)
+}
+
+// MergePerNodeParallel is MergePerNode sharding the per-object merges over
+// workers (<= 0 means GOMAXPROCS). numNodes bounds the node IDs appearing
+// in p (pass t.Len(); 0 derives it from the copies).
+func (p *P) MergePerNodeParallel(numNodes, workers int) *P {
+	if numNodes == 0 {
+		for _, cs := range p.Copies {
+			for _, c := range cs {
+				if int(c.Node) >= numNodes {
+					numNodes = int(c.Node) + 1
+				}
+			}
+		}
+	}
 	out := New(p.NumObjects)
-	for x := 0; x < p.NumObjects; x++ {
-		byNode := map[tree.NodeID]*Copy{}
-		var order []tree.NodeID
+	workers = par.Workers(workers)
+	byNodes := make([][]*Copy, workers)
+	par.ForEach(workers, p.NumObjects, func(wk, x int) {
+		byNode := byNodes[wk]
+		if byNode == nil {
+			byNode = make([]*Copy, numNodes)
+			byNodes[wk] = byNode
+		}
+		merged := make([]*Copy, 0, len(p.Copies[x]))
 		for _, c := range p.Copies[x] {
-			m, ok := byNode[c.Node]
-			if !ok {
+			m := byNode[c.Node]
+			if m == nil {
 				m = &Copy{Object: x, Node: c.Node}
 				byNode[c.Node] = m
-				order = append(order, c.Node)
+				merged = append(merged, m)
 			}
 			m.Shares = append(m.Shares, c.Shares...)
 		}
-		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-		for _, v := range order {
-			out.Add(byNode[v])
+		for _, m := range merged {
+			byNode[m.Node] = nil
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i].Node < merged[j].Node })
+		if len(merged) > 0 {
+			out.Copies[x] = merged
+		}
+	})
+	return out
+}
+
+// assignObject builds object x's copy list from its copy-node set and a
+// reference assignment (ref[v] names the copy serving node v; ignored when
+// v has no demand). byNode and counts are scratch of length >= t.Len(),
+// all-nil/zero on entry and reset before returning on every path.
+func assignObject(t *tree.Tree, w *workload.W, x int, copyNodes []tree.NodeID, ref []tree.NodeID, byNode []*Copy, counts []int32) ([]*Copy, error) {
+	out := make([]*Copy, 0, len(copyNodes))
+	reset := func() {
+		for _, c := range out {
+			byNode[c.Node] = nil
+			counts[c.Node] = 0
 		}
 	}
-	return out
+	for _, v := range copyNodes {
+		if v < 0 || int(v) >= len(byNode) {
+			reset()
+			return nil, fmt.Errorf("placement: object %d lists out-of-range node %d", x, v)
+		}
+		if byNode[v] != nil {
+			reset()
+			return nil, fmt.Errorf("placement: object %d lists node %d twice", x, v)
+		}
+		c := &Copy{Object: x, Node: v}
+		byNode[v] = c
+		out = append(out, c)
+	}
+	// The first pass sizes each copy's share list exactly (incrementally
+	// grown share appends dominated this function's cost), the second
+	// fills them.
+	row := w.Row(x)
+	for v, a := range row {
+		if a.Total() == 0 {
+			continue
+		}
+		r := ref[v]
+		var c *Copy
+		if r >= 0 && int(r) < len(byNode) {
+			c = byNode[r]
+		}
+		if c == nil {
+			reset()
+			return nil, fmt.Errorf("placement: object %d node %d references %d, which holds no copy", x, v, r)
+		}
+		counts[c.Node]++
+	}
+	for _, c := range out {
+		if n := counts[c.Node]; n > 0 {
+			c.Shares = make([]Share, 0, n)
+		}
+	}
+	for v, a := range row {
+		if a.Total() == 0 {
+			continue
+		}
+		c := byNode[ref[v]]
+		c.Shares = append(c.Shares, Share{Node: tree.NodeID(v), Reads: a.Reads, Writes: a.Writes})
+	}
+	reset()
+	return out, nil
 }
 
 // FromAssignment builds a placement from an explicit copy-set and
@@ -175,29 +299,15 @@ func (p *P) MergePerNode() *P {
 // ref[x][v] names the copy serving node v (ignored when v has no demand).
 func FromAssignment(t *tree.Tree, w *workload.W, copies [][]tree.NodeID, ref [][]tree.NodeID) (*P, error) {
 	p := New(w.NumObjects())
+	byNode := make([]*Copy, t.Len())
+	counts := make([]int32, t.Len())
 	for x := 0; x < w.NumObjects(); x++ {
-		byNode := map[tree.NodeID]*Copy{}
-		for _, v := range copies[x] {
-			if _, dup := byNode[v]; dup {
-				return nil, fmt.Errorf("placement: object %d lists node %d twice", x, v)
-			}
-			byNode[v] = &Copy{Object: x, Node: v}
+		cs, err := assignObject(t, w, x, copies[x], ref[x], byNode, counts)
+		if err != nil {
+			return nil, err
 		}
-		for v := 0; v < w.NumNodes(); v++ {
-			id := tree.NodeID(v)
-			a := w.At(x, id)
-			if a.Total() == 0 {
-				continue
-			}
-			r := ref[x][v]
-			c, ok := byNode[r]
-			if !ok {
-				return nil, fmt.Errorf("placement: object %d node %d references %d, which holds no copy", x, v, r)
-			}
-			c.Shares = append(c.Shares, Share{Node: id, Reads: a.Reads, Writes: a.Writes})
-		}
-		for _, v := range copies[x] {
-			p.Add(byNode[v])
+		if len(cs) > 0 {
+			p.Copies[x] = cs
 		}
 	}
 	return p, nil
@@ -207,19 +317,66 @@ func FromAssignment(t *tree.Tree, w *workload.W, copies [][]tree.NodeID, ref [][
 // served by its nearest copy (the paper's convention for the nibble
 // placement). copies[x] must be non-empty for every object with demand.
 func NearestAssignment(t *tree.Tree, w *workload.W, copies [][]tree.NodeID) (*P, error) {
-	ref := make([][]tree.NodeID, w.NumObjects())
-	for x := range ref {
-		if len(copies[x]) == 0 {
-			if w.TotalWeight(x) == 0 {
-				ref[x] = make([]tree.NodeID, w.NumNodes())
-				continue
-			}
-			return nil, fmt.Errorf("placement: object %d has demand but no copies", x)
+	return NearestAssignmentParallel(t, w, copies, 1)
+}
+
+// NearestObjectAssignment builds a single object's copy list with
+// nearest-copy assignment — the per-object entry point for incremental
+// callers that refresh one object of a larger placement.
+func NearestObjectAssignment(t *tree.Tree, w *workload.W, x int, copyNodes []tree.NodeID) ([]*Copy, error) {
+	if len(copyNodes) == 0 {
+		if w.TotalWeight(x) == 0 {
+			return nil, nil
 		}
-		nearest, _ := tree.NearestInSet(t, copies[x])
-		ref[x] = nearest
+		return nil, fmt.Errorf("placement: object %d has demand but no copies", x)
 	}
-	return FromAssignment(t, w, copies, ref)
+	var f tree.NearestFinder
+	nearest, _ := f.Find(t, copyNodes)
+	return assignObject(t, w, x, copyNodes, nearest, make([]*Copy, t.Len()), make([]int32, t.Len()))
+}
+
+// NearestAssignmentParallel is NearestAssignment sharding the per-object
+// multi-source BFS and share assignment over workers (<= 0 means
+// GOMAXPROCS), with per-worker scratch. The output is bit-identical to
+// the sequential build.
+func NearestAssignmentParallel(t *tree.Tree, w *workload.W, copies [][]tree.NodeID, workers int) (*P, error) {
+	workers = par.Workers(workers)
+	type scratch struct {
+		byNode []*Copy
+		counts []int32
+		finder tree.NearestFinder
+	}
+	scr := make([]*scratch, workers)
+	p := New(w.NumObjects())
+	errs := make([]error, w.NumObjects())
+	par.ForEach(workers, w.NumObjects(), func(wk, x int) {
+		s := scr[wk]
+		if s == nil {
+			s = &scratch{byNode: make([]*Copy, t.Len()), counts: make([]int32, t.Len())}
+			scr[wk] = s
+		}
+		if len(copies[x]) == 0 {
+			if w.TotalWeight(x) > 0 {
+				errs[x] = fmt.Errorf("placement: object %d has demand but no copies", x)
+			}
+			return
+		}
+		nearest, _ := s.finder.Find(t, copies[x])
+		cs, err := assignObject(t, w, x, copies[x], nearest, s.byNode, s.counts)
+		if err != nil {
+			errs[x] = err
+			return
+		}
+		if len(cs) > 0 {
+			p.Copies[x] = cs
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
 }
 
 // ReassignNearest rebuilds p so that every demand share is served by the
@@ -230,11 +387,17 @@ func NearestAssignment(t *tree.Tree, w *workload.W, copies [][]tree.NodeID) (*P,
 // request's path gets shortest-possible), though individual edges may gain
 // load, so congestion usually — not provably — improves.
 func (p *P) ReassignNearest(t *tree.Tree, w *workload.W) (*P, error) {
+	return p.ReassignNearestParallel(t, w, 1)
+}
+
+// ReassignNearestParallel is ReassignNearest sharding the per-object
+// assignment over workers (<= 0 means GOMAXPROCS).
+func (p *P) ReassignNearestParallel(t *tree.Tree, w *workload.W, workers int) (*P, error) {
 	copies := make([][]tree.NodeID, p.NumObjects)
 	for x := range copies {
 		copies[x] = p.CopyNodes(x)
 	}
-	return NearestAssignment(t, w, copies)
+	return NearestAssignmentParallel(t, w, copies, workers)
 }
 
 // Ratio re-exported for callers that already import placement.

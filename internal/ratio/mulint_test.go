@@ -1,0 +1,52 @@
+package ratio
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression: Num*k used to be computed in raw int64 arithmetic, so values
+// that reduce to a small rational could still overflow. MulInt must
+// pre-reduce k against the denominator and only then multiply.
+func TestMulIntReducesBeforeMultiplying(t *testing.T) {
+	// (1<<40)/(1<<24) * (1<<24): the naive product 1<<64 overflows, the
+	// reduced one is exactly 1<<40.
+	r := New(1<<40, 1<<24)
+	got := r.MulInt(1 << 24)
+	if want := New(1<<40, 1); !got.Eq(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// Mixed reduction: 9/6 * 4 = 6.
+	if got := New(9, 6).MulInt(4); !got.Eq(New(6, 1)) {
+		t.Fatalf("got %v, want 6", got)
+	}
+	// Plain small products unchanged.
+	if got := New(7, 3).MulInt(6); !got.Eq(New(14, 1)) {
+		t.Fatalf("got %v, want 14", got)
+	}
+	if got := Zero.MulInt(1 << 62); !got.Eq(Zero) {
+		t.Fatalf("got %v, want 0", got)
+	}
+}
+
+func TestMulIntOverflowPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on int64 overflow")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "overflows int64") {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	New(1<<40, 1).MulInt(1 << 30)
+}
+
+func TestMulIntNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative factor")
+		}
+	}()
+	New(1, 2).MulInt(-1)
+}

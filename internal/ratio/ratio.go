@@ -11,6 +11,7 @@ package ratio
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 )
 
@@ -93,12 +94,23 @@ func Max(r, s R) R {
 	return s
 }
 
-// MulInt returns r multiplied by the non-negative integer k.
+// MulInt returns r multiplied by the non-negative integer k. The factor
+// is first reduced against the denominator, so products whose reduced
+// value fits in int64 never overflow; a product that overflows even after
+// reduction panics with a descriptive message instead of silently
+// wrapping (congestion arithmetic must stay exact).
 func (r R) MulInt(k int64) R {
 	if k < 0 {
 		panic("ratio: MulInt with negative factor")
 	}
-	return New(r.Num*k, r.Den)
+	g := gcd(k, r.Den)
+	k /= g
+	den := r.Den / g
+	hi, lo := bits.Mul64(uint64(r.Num), uint64(k))
+	if hi != 0 || lo > uint64(math.MaxInt64) {
+		panic(fmt.Sprintf("ratio: %s * %d overflows int64", r, k*g))
+	}
+	return New(int64(lo), den)
 }
 
 // String renders r as "num/den", or just "num" when den == 1.

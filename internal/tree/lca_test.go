@@ -1,0 +1,104 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The O(1) Euler-tour LCA must agree with the parent-chasing reference on
+// every pair, for shallow and for pathological deep topologies.
+func TestLCAEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	trees := []*Tree{
+		Star(6, 8),
+		BalancedKAry(3, 3, 0),
+		Caterpillar(40, 2, 8, 8), // deep chain: worst case for the walk
+		Caterpillar(1, 3, 8, 8),
+	}
+	for i := 0; i < 6; i++ {
+		trees = append(trees, Random(rng, 4+rng.Intn(60), 5, 0.4, 8))
+	}
+	for ti, tr := range trees {
+		n := tr.Len()
+		roots := []NodeID{0, NodeID(n / 2), NodeID(n - 1)}
+		for _, root := range roots {
+			r := tr.Rooted(root)
+			for trial := 0; trial < 300; trial++ {
+				u := NodeID(rng.Intn(n))
+				v := NodeID(rng.Intn(n))
+				got, want := r.LCA(u, v), r.lcaWalk(u, v)
+				if got != want {
+					t.Fatalf("tree %d root %d: LCA(%d,%d) = %d, walk says %d", ti, root, u, v, got, want)
+				}
+				if got2 := r.LCA(v, u); got2 != got {
+					t.Fatalf("tree %d root %d: LCA not symmetric: (%d,%d)=%d, (%d,%d)=%d", ti, root, u, v, got, v, u, got2)
+				}
+			}
+			// Exhaustive on small trees.
+			if n <= 24 {
+				for u := 0; u < n; u++ {
+					for v := 0; v < n; v++ {
+						if got, want := r.LCA(NodeID(u), NodeID(v)), r.lcaWalk(NodeID(u), NodeID(v)); got != want {
+							t.Fatalf("tree %d root %d: LCA(%d,%d) = %d, walk says %d", ti, root, u, v, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// AppendPath must report exactly the edges VisitPath visits, in order.
+func TestAppendPathMatchesVisitPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := Random(rng, 40, 4, 0.4, 8)
+	r := tr.Rooted(0)
+	buf := make([]EdgeID, 0, 64)
+	for trial := 0; trial < 500; trial++ {
+		u := NodeID(rng.Intn(tr.Len()))
+		v := NodeID(rng.Intn(tr.Len()))
+		var want []EdgeID
+		r.VisitPath(u, v, func(e EdgeID, _ Dir) { want = append(want, e) })
+		buf = r.AppendPath(buf[:0], u, v)
+		if len(buf) != len(want) {
+			t.Fatalf("AppendPath(%d,%d) has %d edges, VisitPath %d", u, v, len(buf), len(want))
+		}
+		for i := range buf {
+			if buf[i] != want[i] {
+				t.Fatalf("AppendPath(%d,%d)[%d] = %d, VisitPath %d", u, v, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+// RootedInto must produce the same orientation as a fresh Rooted when its
+// storage is recycled across different roots and different trees.
+func TestRootedIntoReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var reused *Rooted
+	for trial := 0; trial < 30; trial++ {
+		tr := Random(rng, 4+rng.Intn(50), 5, 0.4, 8)
+		root := NodeID(rng.Intn(tr.Len()))
+		reused = tr.RootedInto(root, reused)
+		fresh := tr.Rooted(root)
+		if reused.Root != fresh.Root || reused.Height != fresh.Height {
+			t.Fatalf("trial %d: root/height mismatch", trial)
+		}
+		for v := 0; v < tr.Len(); v++ {
+			if reused.Parent[v] != fresh.Parent[v] || reused.ParentEdge[v] != fresh.ParentEdge[v] || reused.Depth[v] != fresh.Depth[v] {
+				t.Fatalf("trial %d: node %d orientation mismatch", trial, v)
+			}
+		}
+		for i := range fresh.Order {
+			if reused.Order[i] != fresh.Order[i] {
+				t.Fatalf("trial %d: order mismatch at %d", trial, i)
+			}
+		}
+		// The recycled LCA index must be rebuilt for the new orientation.
+		u := NodeID(rng.Intn(tr.Len()))
+		v := NodeID(rng.Intn(tr.Len()))
+		if reused.LCA(u, v) != fresh.LCA(u, v) {
+			t.Fatalf("trial %d: recycled LCA differs", trial)
+		}
+	}
+}

@@ -1,11 +1,18 @@
 package tree
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
 
 // Rooted is an orientation of a Tree towards a chosen root. It is derived
 // data: building one never mutates the Tree, so different algorithms (for
 // example, the per-object gravity-center rooting of the nibble strategy)
-// can hold different Rooted views of the same Tree concurrently.
+// can hold different Rooted views of the same Tree concurrently. All
+// methods are safe for concurrent use; the LCA index is built lazily on
+// first use and shared by all callers.
 type Rooted struct {
 	T    *Tree
 	Root NodeID
@@ -24,30 +31,120 @@ type Rooted struct {
 
 	// Height is the maximum depth.
 	Height int
+
+	// lca is the lazily built constant-time LCA index (Euler tour plus a
+	// sparse table); nil until the first LCA/PathLen/VisitPath query.
+	lca   atomic.Pointer[LCAIndex]
+	lcaMu sync.Mutex
+
+	// steps is the lazily built packed traversal (see Steps).
+	steps   atomic.Pointer[packedOrder]
+	stepsMu sync.Mutex
+
+	stack []NodeID // DFS scratch, reused by RootedInto
+}
+
+// Step is one oriented edge of the rooting: node V, its parent (as node
+// and as preorder position) and the edge between them, stored packed so
+// traversals touch one cache line stream instead of four parallel arrays.
+type Step struct {
+	V, Parent NodeID
+	Edge      EdgeID
+	ParentPos int32
+}
+
+type packedOrder struct {
+	steps []Step
+	pos   []int32 // node -> preorder position
+}
+
+// Steps returns the packed preorder traversal: Steps()[i] describes
+// Order[i] and its parent edge; entry 0 (the root) holds {Root, None,
+// NoEdge, 0}. Iterating Steps backwards visits children before parents —
+// the access pattern of every bottom-up accumulation — with sequential
+// memory reads; buffers indexed by preorder position (see Pos) make the
+// per-node reads of such folds sequential too. Built lazily, shared,
+// read-only.
+func (r *Rooted) Steps() []Step {
+	return r.packed().steps
+}
+
+// Pos returns the node → preorder-position map matching Steps. Built
+// lazily, shared, read-only.
+func (r *Rooted) Pos() []int32 {
+	return r.packed().pos
+}
+
+func (r *Rooted) packed() *packedOrder {
+	if p := r.steps.Load(); p != nil {
+		return p
+	}
+	r.stepsMu.Lock()
+	defer r.stepsMu.Unlock()
+	if p := r.steps.Load(); p != nil {
+		return p
+	}
+	p := &packedOrder{
+		steps: make([]Step, len(r.Order)),
+		pos:   make([]int32, len(r.Order)),
+	}
+	for i, v := range r.Order {
+		p.pos[v] = int32(i)
+	}
+	for i, v := range r.Order {
+		s := Step{V: v, Parent: r.Parent[v], Edge: r.ParentEdge[v]}
+		if s.Parent != None {
+			s.ParentPos = p.pos[s.Parent]
+		}
+		p.steps[i] = s
+	}
+	r.steps.Store(p)
+	return p
 }
 
 // Rooted orients the tree towards root using an iterative DFS.
 func (t *Tree) Rooted(root NodeID) *Rooted {
+	return t.RootedInto(root, nil)
+}
+
+// RootedInto is Rooted reusing the storage of a previous orientation r
+// (which may be of a different tree; nil allocates fresh). The returned
+// value is r when r is non-nil. Re-rooting invalidates the old contents,
+// including the lazy LCA index, so the caller must own r exclusively —
+// this is the allocation-free path for algorithms that repeatedly re-root
+// a worker-local orientation. (The solver pipeline itself now derives its
+// per-object gravity rootings from the shared Rooted0 without re-rooting;
+// see nibble.placeObject and deletion.nextHopToward.)
+func (t *Tree) RootedInto(root NodeID, r *Rooted) *Rooted {
 	n := t.Len()
 	if root < 0 || int(root) >= n {
 		panic(fmt.Sprintf("tree: root %d out of range [0,%d)", root, n))
 	}
-	r := &Rooted{
-		T:          t,
-		Root:       root,
-		Parent:     make([]NodeID, n),
-		ParentEdge: make([]EdgeID, n),
-		Depth:      make([]int32, n),
-		Order:      make([]NodeID, 0, n),
+	if r == nil {
+		r = &Rooted{}
 	}
+	r.T = t
+	r.Root = root
+	r.Height = 0
+	r.lca.Store(nil)
+	r.steps.Store(nil)
+	if cap(r.Parent) < n {
+		r.Parent = make([]NodeID, n)
+		r.ParentEdge = make([]EdgeID, n)
+		r.Depth = make([]int32, n)
+		r.Order = make([]NodeID, 0, n)
+		r.stack = make([]NodeID, 0, 64)
+	}
+	r.Parent = r.Parent[:n]
+	r.ParentEdge = r.ParentEdge[:n]
+	r.Depth = r.Depth[:n]
+	r.Order = r.Order[:0]
 	for i := range r.Parent {
 		r.Parent[i] = None
 		r.ParentEdge[i] = NoEdge
+		r.Depth[i] = 0
 	}
-	stack := make([]NodeID, 0, 64)
-	stack = append(stack, root)
-	visited := make([]bool, n)
-	visited[root] = true
+	stack := append(r.stack[:0], root)
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -56,16 +153,18 @@ func (t *Tree) Rooted(root NodeID) *Rooted {
 			r.Height = d
 		}
 		for _, h := range t.Adj(v) {
-			if visited[h.To] {
+			// h.To was already discovered iff it is the root or has a
+			// parent assigned; Parent doubles as the visited mark.
+			if h.To == root || r.Parent[h.To] != None {
 				continue
 			}
-			visited[h.To] = true
 			r.Parent[h.To] = v
 			r.ParentEdge[h.To] = h.Edge
 			r.Depth[h.To] = r.Depth[v] + 1
 			stack = append(stack, h.To)
 		}
 	}
+	r.stack = stack[:0]
 	return r
 }
 
@@ -84,8 +183,138 @@ func (r *Rooted) Children(v NodeID) []NodeID {
 	return out
 }
 
-// LCA returns the lowest common ancestor of u and v.
+// LCAIndex answers LCA queries in O(1): the tour visits 2n-1 nodes, the
+// LCA of u and v is the minimum-depth tour entry between their first
+// occurrences, and the sparse table answers that range-minimum query with
+// two lookups. Built once per Rooted, in O(n log n) time and space.
+// Obtain one from Rooted.LCAIndex; it is immutable and safe to share.
+type LCAIndex struct {
+	first []int32  // node -> first tour position
+	node  []NodeID // tour position -> node
+	depth []int32  // tour position -> depth (copied for locality)
+	table []int32  // levels * m sparse minima, level k spanning 2^k entries
+	m     int
+}
+
+// LCAIndex returns the orientation's shared constant-time LCA index,
+// building it on first use. Query-heavy loops hold the index directly to
+// skip the per-call atomic lookup of Rooted.LCA.
+func (r *Rooted) LCAIndex() *LCAIndex {
+	if idx := r.lca.Load(); idx != nil {
+		return idx
+	}
+	r.lcaMu.Lock()
+	defer r.lcaMu.Unlock()
+	if idx := r.lca.Load(); idx != nil {
+		return idx
+	}
+	idx := r.buildLCA()
+	r.lca.Store(idx)
+	return idx
+}
+
+func (r *Rooted) buildLCA() *LCAIndex {
+	t := r.T
+	n := t.Len()
+	m := 2*n - 1
+	idx := &LCAIndex{
+		first: make([]int32, n),
+		node:  make([]NodeID, 0, m),
+		depth: make([]int32, 0, m),
+		m:     m,
+	}
+	for i := range idx.first {
+		idx.first[i] = -1
+	}
+	// Euler tour: every node is appended on first visit and again after
+	// each child's subtree completes.
+	type frame struct {
+		v    NodeID
+		next int // adjacency index to resume from
+	}
+	stack := make([]frame, 1, 64)
+	stack[0] = frame{r.Root, 0}
+	idx.first[r.Root] = 0
+	idx.node = append(idx.node, r.Root)
+	idx.depth = append(idx.depth, 0)
+	for len(stack) > 0 {
+		fi := len(stack) - 1
+		v := stack[fi].v
+		adj := t.Adj(v)
+		descended := false
+		for stack[fi].next < len(adj) {
+			h := adj[stack[fi].next]
+			stack[fi].next++
+			if h.To == r.Parent[v] {
+				continue
+			}
+			idx.first[h.To] = int32(len(idx.node))
+			idx.node = append(idx.node, h.To)
+			idx.depth = append(idx.depth, r.Depth[h.To])
+			stack = append(stack, frame{h.To, 0})
+			descended = true
+			break
+		}
+		if !descended {
+			stack = stack[:fi]
+			if fi > 0 {
+				p := stack[fi-1].v
+				idx.node = append(idx.node, p)
+				idx.depth = append(idx.depth, r.Depth[p])
+			}
+		}
+	}
+	// Sparse table over tour positions; level k entry i minimizes depth on
+	// [i, i+2^k). Ties resolve to the earlier position — any minimum-depth
+	// entry in a query range is the LCA, so the choice is irrelevant.
+	levels := 1
+	for 1<<levels <= m {
+		levels++
+	}
+	idx.table = make([]int32, levels*m)
+	for i := 0; i < m; i++ {
+		idx.table[i] = int32(i)
+	}
+	for k := 1; k < levels; k++ {
+		half := 1 << (k - 1)
+		prev := idx.table[(k-1)*m : k*m]
+		row := idx.table[k*m : (k+1)*m]
+		for i := 0; i+(1<<k) <= m; i++ {
+			a, b := prev[i], prev[i+half]
+			if idx.depth[b] < idx.depth[a] {
+				a = b
+			}
+			row[i] = a
+		}
+	}
+	return idx
+}
+
+// LCA returns the lowest common ancestor of u and v in O(1), via the
+// lazily built Euler-tour index. The first call per orientation pays the
+// O(n log n) build.
 func (r *Rooted) LCA(u, v NodeID) NodeID {
+	return r.LCAIndex().LCA(u, v)
+}
+
+// LCA answers one query in O(1): two sparse-table lookups.
+func (idx *LCAIndex) LCA(u, v NodeID) NodeID {
+	i, j := idx.first[u], idx.first[v]
+	if i > j {
+		i, j = j, i
+	}
+	k := bits.Len32(uint32(j-i+1)) - 1
+	a := idx.table[k*idx.m+int(i)]
+	b := idx.table[k*idx.m+int(j)-(1<<k)+1]
+	if idx.depth[b] < idx.depth[a] {
+		a = b
+	}
+	return idx.node[a]
+}
+
+// lcaWalk is the O(depth) parent-chasing LCA, kept as the reference
+// implementation for the equivalence tests.
+func (r *Rooted) lcaWalk(u, v NodeID) NodeID {
 	for r.Depth[u] > r.Depth[v] {
 		u = r.Parent[u]
 	}
@@ -134,15 +363,42 @@ func (r *Rooted) VisitPath(u, v NodeID, fn func(e EdgeID, d Dir)) {
 	}
 }
 
+// AppendPath appends the edges of the unique path from u to v, in path
+// order, to dst and returns the extended slice. It is the allocation-free
+// counterpart of VisitPath for callers that keep a reusable buffer.
+func (r *Rooted) AppendPath(dst []EdgeID, u, v NodeID) []EdgeID {
+	l := r.LCA(u, v)
+	for x := u; x != l; x = r.Parent[x] {
+		dst = append(dst, r.ParentEdge[x])
+	}
+	mark := len(dst)
+	for x := v; x != l; x = r.Parent[x] {
+		dst = append(dst, r.ParentEdge[x])
+	}
+	for i, j := mark, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst
+}
+
 // SubtreeSums aggregates the per-node values val bottom-up: the result at v
 // is the sum of val over the maximal subtree rooted at v (the paper's
 // T(v)). val must have length Len().
 func (r *Rooted) SubtreeSums(val []int64) []int64 {
+	return r.SubtreeSumsInto(val, nil)
+}
+
+// SubtreeSumsInto is SubtreeSums writing into sum (reused when its
+// capacity suffices; nil allocates). val and sum may not alias.
+func (r *Rooted) SubtreeSumsInto(val, sum []int64) []int64 {
 	n := r.T.Len()
 	if len(val) != n {
 		panic(fmt.Sprintf("tree: SubtreeSums got %d values for %d nodes", len(val), n))
 	}
-	sum := make([]int64, n)
+	if cap(sum) < n {
+		sum = make([]int64, n)
+	}
+	sum = sum[:n]
 	copy(sum, val)
 	for i := len(r.Order) - 1; i >= 0; i-- {
 		v := r.Order[i]

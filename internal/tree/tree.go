@@ -4,12 +4,18 @@
 //
 // A Tree is immutable once built (see Builder). Algorithms that need a
 // rooted orientation derive a Rooted view, which carries parent pointers,
-// depths, levels and a preorder traversal; the nibble strategy roots the
-// tree at a per-object gravity center, so rooted views are cheap and
-// independent of the Tree itself.
+// depths, levels, a preorder traversal and a lazily built O(1) LCA index;
+// the nibble strategy roots the tree at a per-object gravity center, so
+// rooted views are cheap and independent of the Tree itself. The canonical
+// node-0 orientation is cached on the Tree (Rooted0) because every
+// evaluation pass and gravity-center search uses it.
 package tree
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // NodeID identifies a node of a Tree. IDs are dense, starting at 0, in the
 // order nodes were added to the Builder.
@@ -75,6 +81,29 @@ type Tree struct {
 	leaves []NodeID
 	buses  []NodeID
 	maxDeg int
+
+	rooted0   atomic.Pointer[Rooted]
+	rooted0Mu sync.Mutex
+}
+
+// Rooted0 returns the tree's shared orientation towards node 0, built
+// lazily on first use. The returned value is read-only and shared by all
+// callers (safe: Rooted methods never mutate after construction and the
+// lazy LCA index build is synchronized); it must never be passed to
+// RootedInto. Hot paths that would otherwise re-derive the canonical
+// orientation per call use this.
+func (t *Tree) Rooted0() *Rooted {
+	if r := t.rooted0.Load(); r != nil {
+		return r
+	}
+	t.rooted0Mu.Lock()
+	defer t.rooted0Mu.Unlock()
+	if r := t.rooted0.Load(); r != nil {
+		return r
+	}
+	r := t.Rooted(0)
+	t.rooted0.Store(r)
+	return r
 }
 
 // Len returns the number of nodes |P ∪ B|.

@@ -57,6 +57,17 @@ func (w *W) idx(x int, v tree.NodeID) int {
 // At returns the access frequencies of node v for object x.
 func (w *W) At(x int, v tree.NodeID) Access { return w.acc[w.idx(x, v)] }
 
+// Row returns object x's dense per-node access row, indexed by NodeID.
+// The returned slice aliases the workload's storage and must not be
+// modified; it exists so per-object hot loops avoid the per-node index
+// arithmetic of At.
+func (w *W) Row(x int) []Access {
+	if x < 0 || x >= w.objects {
+		panic(fmt.Sprintf("workload: object %d out of range [0,%d)", x, w.objects))
+	}
+	return w.acc[x*w.nodes : (x+1)*w.nodes : (x+1)*w.nodes]
+}
+
 // Set replaces the access frequencies of node v for object x.
 func (w *W) Set(x int, v tree.NodeID, a Access) {
 	if a.Reads < 0 || a.Writes < 0 {
@@ -99,12 +110,21 @@ func (w *W) TotalWeight(x int) int64 {
 // Weights returns the per-node weight vector h(v) = r(v)+w(v) for object x
 // (freshly allocated, length NumNodes).
 func (w *W) Weights(x int) []int64 {
-	out := make([]int64, w.nodes)
-	base := x * w.nodes
-	for i := range out {
-		out[i] = w.acc[base+i].Reads + w.acc[base+i].Writes
+	return w.WeightsInto(x, nil)
+}
+
+// WeightsInto is Weights writing into dst (reused when its capacity
+// suffices; nil allocates).
+func (w *W) WeightsInto(x int, dst []int64) []int64 {
+	if cap(dst) < w.nodes {
+		dst = make([]int64, w.nodes)
 	}
-	return out
+	dst = dst[:w.nodes]
+	base := x * w.nodes
+	for i := range dst {
+		dst[i] = w.acc[base+i].Reads + w.acc[base+i].Writes
+	}
+	return dst
 }
 
 // Requesters returns the nodes with nonzero weight for object x, in
@@ -127,9 +147,9 @@ func (w *W) ValidateHBN(t *tree.Tree) error {
 		return fmt.Errorf("workload: built for %d nodes, tree has %d", w.nodes, t.Len())
 	}
 	for x := 0; x < w.objects; x++ {
-		base := x * w.nodes
-		for v := 0; v < w.nodes; v++ {
-			if w.acc[base+v].Total() > 0 && !t.IsLeaf(tree.NodeID(v)) {
+		row := w.acc[x*w.nodes : (x+1)*w.nodes]
+		for v, a := range row {
+			if a.Reads|a.Writes != 0 && !t.IsLeaf(tree.NodeID(v)) {
 				return fmt.Errorf("workload: inner node %d has accesses to object %d; only processors may issue requests", v, x)
 			}
 		}
