@@ -12,7 +12,6 @@ package hbn
 //	go test -bench=. -benchmem
 
 import (
-	"math/rand"
 	"testing"
 
 	"hbn/internal/core"
@@ -22,6 +21,7 @@ import (
 	"hbn/internal/mapping"
 	"hbn/internal/nibble"
 	"hbn/internal/placement"
+	"hbn/internal/solverbench"
 	"hbn/internal/tree"
 	"hbn/internal/workload"
 )
@@ -79,10 +79,7 @@ func BenchmarkE11Dynamic(b *testing.B) { benchExperiment(b, "E11") }
 // --- Micro-benchmarks for the Theorem 4.3 runtime terms ---
 
 func benchInstance(nodes, objects int) (*tree.Tree, *workload.W) {
-	rng := rand.New(rand.NewSource(99))
-	t := tree.Random(rng, nodes, 6, 0.4, 16)
-	w := workload.Uniform(rng, t, objects, workload.DefaultGen)
-	return t, w
+	return solverbench.Instance(nodes, objects)
 }
 
 func BenchmarkNibblePlace100x16(b *testing.B) {
@@ -133,30 +130,35 @@ func BenchmarkMapping1000x64(b *testing.B) {
 	}
 }
 
-func benchSolve(b *testing.B, parallelism int) {
-	b.Helper()
-	t, w := benchInstance(1000, 64)
-	opts := core.DefaultOptions()
-	opts.Parallelism = parallelism
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.Solve(t, w, opts); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// The solver benchmark bodies live in internal/solverbench, shared with
+// cmd/hbnbench -solverbench so both emit identical measurements under
+// these names (the BENCH_*.json trajectory depends on that).
 
 // BenchmarkSolveEndToEnd1000x64 runs the full pipeline at the default
-// parallelism (GOMAXPROCS).
-func BenchmarkSolveEndToEnd1000x64(b *testing.B) { benchSolve(b, 0) }
+// parallelism (GOMAXPROCS) on a warm Solver — the steady path of a server
+// solving repeatedly. NOTE: re-pointed at the reusable Solver in PR 2 (the
+// one-shot measurement continues under BenchmarkSolveEndToEndCold1000x64);
+// do not benchstat this name across the PR boundary.
+func BenchmarkSolveEndToEnd1000x64(b *testing.B) { solverbench.WarmSolve(b, 0) }
 
 // BenchmarkSolveEndToEnd1000x64Seq pins Parallelism=1 (the sequential
 // reference the equivalence tests compare against).
-func BenchmarkSolveEndToEnd1000x64Seq(b *testing.B) { benchSolve(b, 1) }
+func BenchmarkSolveEndToEnd1000x64Seq(b *testing.B) { solverbench.WarmSolve(b, 1) }
 
 // BenchmarkSolveEndToEnd1000x64P8 pins Parallelism=8.
-func BenchmarkSolveEndToEnd1000x64P8(b *testing.B) { benchSolve(b, 8) }
+func BenchmarkSolveEndToEnd1000x64P8(b *testing.B) { solverbench.WarmSolve(b, 8) }
+
+// BenchmarkSolveEndToEndCold1000x64 measures the one-shot convenience
+// entry point (a fresh Solver per call, PR 1's measurement methodology).
+func BenchmarkSolveEndToEndCold1000x64(b *testing.B) { solverbench.ColdSolve(b) }
+
+// BenchmarkResolve1000x64Delta1 measures the incremental re-solve after a
+// single object's frequencies drifted (~1.6% of the workload).
+func BenchmarkResolve1000x64Delta1(b *testing.B) { solverbench.Resolve(b, 1) }
+
+// BenchmarkResolve1000x64Delta8 measures the incremental re-solve after 8
+// of the 64 objects drifted per round.
+func BenchmarkResolve1000x64Delta8(b *testing.B) { solverbench.Resolve(b, 8) }
 
 // BenchmarkEvaluate1000x64 measures the steady evaluation path: a reused
 // Evaluator writing into a reused Report — the configuration a server

@@ -9,6 +9,7 @@
 //	hbnbench -experiment E5 -quick      # one experiment, small sweeps
 //	hbnbench -experiment all -markdown  # EXPERIMENTS.md body on stdout
 //	hbnbench -experiment all -json      # machine-readable, for BENCH_*.json
+//	hbnbench -experiment none -solverbench -json  # solver benchmarks only
 package main
 
 import (
@@ -17,9 +18,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"testing"
 	"time"
 
 	"hbn/internal/experiments"
+	"hbn/internal/solverbench"
 	"hbn/internal/stats"
 )
 
@@ -34,28 +37,43 @@ type jsonResult struct {
 	Table     *stats.Table `json:"table"`
 }
 
+// jsonBench is one solver micro-benchmark measurement in -json mode
+// (mirrors the root bench_test.go benchmarks, runnable without go test).
+type jsonBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Note        string  `json:"note,omitempty"`
+}
+
 type jsonOutput struct {
 	Timestamp  string       `json:"timestamp"`
 	Seed       int64        `json:"seed"`
 	Quick      bool         `json:"quick"`
 	GoMaxProcs int          `json:"gomaxprocs"`
 	Results    []jsonResult `json:"results"`
+	Benchmarks []jsonBench  `json:"benchmarks,omitempty"`
 }
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment ID (E1..E11) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment ID (E1..E11), 'all' or 'none'")
 		quick      = flag.Bool("quick", false, "shrink sweep sizes")
 		markdown   = flag.Bool("markdown", false, "emit Markdown instead of aligned text")
 		jsonOut    = flag.Bool("json", false, "emit JSON instead of aligned text")
 		seed       = flag.Int64("seed", 2000, "base random seed")
+		solverB    = flag.Bool("solverbench", false, "measure the solver benchmarks (warm/cold Solve, Resolve) and emit them in -json mode")
 	)
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
 	ids := []string{*experiment}
-	if *experiment == "all" {
+	switch *experiment {
+	case "all":
 		ids = experiments.IDs()
+	case "none":
+		ids = nil
 	}
 	var (
 		results []*experiments.Result
@@ -79,6 +97,11 @@ func main() {
 		})
 	}
 
+	var benches []jsonBench
+	if *solverB {
+		benches = solverBenchmarks()
+	}
+
 	switch {
 	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
@@ -89,6 +112,7 @@ func main() {
 			Quick:      *quick,
 			GoMaxProcs: runtime.GOMAXPROCS(0),
 			Results:    timed,
+			Benchmarks: benches,
 		}); err != nil {
 			fatal(err)
 		}
@@ -103,11 +127,48 @@ func main() {
 			fmt.Print(r.Table.String())
 			fmt.Printf("\n%s\n\n", r.Verdict)
 		}
+		for _, b := range benches {
+			fmt.Printf("%-36s %12.0f ns/op %10d B/op %8d allocs/op  %s\n",
+				b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp, b.Note)
+		}
 	}
 	for _, r := range results {
 		if !r.OK {
 			os.Exit(1)
 		}
+	}
+}
+
+// solverBenchmarks measures the solver micro-benchmarks via
+// testing.Benchmark, so the trajectory recorded in the BENCH_*.json files
+// can be regenerated without the go test harness. The benchmark bodies
+// live in internal/solverbench, shared with the root bench_test.go, so
+// both paths measure exactly the same instances and drift patterns.
+func solverBenchmarks() []jsonBench {
+	measure := func(name, note string, f func(b *testing.B)) jsonBench {
+		r := testing.Benchmark(f)
+		if r.N == 0 {
+			// b.Fatal inside testing.Benchmark discards the message and
+			// yields a zero result; N==0 is the only observable signal.
+			fatal(fmt.Errorf("solver benchmark %s failed to run", name))
+		}
+		return jsonBench{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Note:        note,
+		}
+	}
+	return []jsonBench{
+		measure("BenchmarkSolveEndToEnd1000x64", "warm reusable Solver, default parallelism",
+			func(b *testing.B) { solverbench.WarmSolve(b, 0) }),
+		measure("BenchmarkSolveEndToEndCold1000x64", "one-shot core.Solve (fresh solver per call)",
+			solverbench.ColdSolve),
+		measure("BenchmarkResolve1000x64Delta1", "incremental re-solve, 1 of 64 objects drifted",
+			func(b *testing.B) { solverbench.Resolve(b, 1) }),
+		measure("BenchmarkResolve1000x64Delta8", "incremental re-solve, 8 of 64 objects drifted",
+			func(b *testing.B) { solverbench.Resolve(b, 8) }),
 	}
 }
 

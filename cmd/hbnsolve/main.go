@@ -41,7 +41,13 @@ func main() {
 
 	opts := core.DefaultOptions()
 	opts.ReassignNearest = *reassign
-	res, err := core.Solve(t, w, opts)
+	// The reusable Solver is the steady-path API (warm calls reuse all
+	// pipeline scratch); constructing it also validates the network once.
+	solver, err := core.NewSolver(t, opts)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := solver.Solve(w)
 	if err != nil {
 		fatal(err)
 	}

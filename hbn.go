@@ -37,11 +37,38 @@
 // The solver pipeline is object-parallel: nibble placement, deletion,
 // leaf/inner partitioning, load accumulation and validation all shard
 // over a worker pool controlled by Options.Parallelism (0, the default,
-// means GOMAXPROCS; 1 runs sequentially). Parallel runs are bit-identical
-// to sequential ones — every stage writes per-object results into
-// pre-assigned slots and merges integer partials — so Parallelism is
+// means GOMAXPROCS; explicit values are capped there — the clamp lives in
+// one place, internal/par.Workers; 1 runs sequentially). Parallel runs are
+// bit-identical to sequential ones — every stage writes per-object results
+// into pre-assigned slots and merges integer partials — so Parallelism is
 // purely a throughput knob. Step 3 (mapping) shares load budgets across
 // objects and always runs sequentially.
+//
+// Workloads that solve repeatedly hold a Solver, the reusable,
+// arena-backed form of Solve. A Solver owns all per-stage scratch — nibble
+// state, deletion buffers, the mapping runner, merge/validation tallies,
+// tracked evaluators and the bump arenas the placement records come from —
+// so a warm Solve allocates almost nothing (tens of allocations instead of
+// the >11k of a cold run), and Resolve re-solves after a few objects'
+// frequencies changed at cost proportional to the change:
+//
+//	s, _ := hbn.NewSolver(t)
+//	res, _ := s.Solve(w)        // full pipeline, scratch retained
+//	for drift := range updates {
+//	    applyTo(w, drift)        // mutate frequencies in place
+//	    res, _ = s.Resolve(drift.Objects) // Steps 1-2 only for those objects
+//	}
+//
+// What is cached: per-object nibble placements, nearest-copy assignments
+// and deletion outputs (Steps 1–2 are per-object decomposable), plus every
+// object's tracked load contribution. What a Resolve invalidates: exactly
+// the changed objects' Step 1–2 state, the global Step-3 run (it is cheap
+// and re-runs in full — its load budgets couple all mapped objects), and
+// the load contributions of objects whose final copies actually moved.
+// Resolve's Result is bit-identical to a fresh Solve on the mutated
+// workload, at every Parallelism setting. Results returned by a Solver are
+// backed by its arenas and are invalidated by its next Solve/Resolve call;
+// the one-shot hbn.Solve has no such aliasing (its solver is discarded).
 //
 // Evaluation is allocation-free on the steady path: callers that score
 // many placements hold an Evaluator, whose rooted orientation (with its
@@ -105,6 +132,9 @@ type (
 	// Options tunes the solver (ablations, mapping root, invariant
 	// checking).
 	Options = core.Options
+	// Solver is the reusable, arena-backed solver with incremental
+	// Resolve; see the package comment's Performance section.
+	Solver = core.Solver
 	// RingNetwork is a concrete SCI-style hierarchical ring network
 	// (Figure 1 of the paper).
 	RingNetwork = ring.Network
@@ -137,6 +167,19 @@ func Solve(t *Tree, w *Workload) (*Result, error) {
 // checking, mapping root).
 func SolveWithOptions(t *Tree, w *Workload, opts Options) (*Result, error) {
 	return core.Solve(t, w, opts)
+}
+
+// NewSolver returns a reusable solver for t with default options — the
+// steady path for serving workloads that solve repeatedly or drift
+// incrementally (Solver.Resolve). See the package comment's Performance
+// section for the caching and result-ownership contract.
+func NewSolver(t *Tree) (*Solver, error) {
+	return core.NewSolver(t, core.DefaultOptions())
+}
+
+// NewSolverWithOptions is NewSolver with explicit options.
+func NewSolverWithOptions(t *Tree, opts Options) (*Solver, error) {
+	return core.NewSolver(t, opts)
 }
 
 // Evaluate computes the exact loads and congestion a placement induces

@@ -42,6 +42,40 @@ func TestPublicSolve(t *testing.T) {
 	}
 }
 
+// The public reusable-solver API: warm reuse and incremental Resolve must
+// match the one-shot Solve exactly (the deep properties live in
+// internal/core/solver_test.go; this pins the re-exported surface).
+func TestPublicSolver(t *testing.T) {
+	tr, w := buildExample(t)
+	s, err := NewSolver(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Solve(tr, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Congestion.Eq(want.Report.Congestion) {
+		t.Fatal("warm Solver disagrees with one-shot Solve")
+	}
+	w.AddReads(1, tr.Leaves()[0], 300)
+	res, err = s.Resolve([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = Solve(tr, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Congestion.Eq(want.Report.Congestion) {
+		t.Fatal("Resolve disagrees with a fresh Solve on the mutated workload")
+	}
+}
+
 func TestPublicSolveDistributed(t *testing.T) {
 	tr, w := buildExample(t)
 	seq, err := Solve(tr, w)

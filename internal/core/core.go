@@ -16,13 +16,9 @@
 package core
 
 import (
-	"fmt"
-	"runtime"
-
 	"hbn/internal/deletion"
 	"hbn/internal/mapping"
 	"hbn/internal/nibble"
-	"hbn/internal/par"
 	"hbn/internal/placement"
 	"hbn/internal/ratio"
 	"hbn/internal/tree"
@@ -106,103 +102,23 @@ func (r *Result) ApproxRatio() float64 {
 
 // Solve runs the extended-nibble strategy on a hierarchical bus network.
 // The tree must satisfy ValidateHBN and the workload must be leaf-only.
+// It is the one-shot convenience entry point: a fresh Solver runs the
+// pipeline once and is discarded. Callers solving repeatedly (or
+// incrementally) hold a Solver instead, whose warm runs reuse all scratch.
 func Solve(t *tree.Tree, w *workload.W, opts Options) (*Result, error) {
 	return SolveFromNibble(t, w, nil, opts)
 }
 
 // SolveFromNibble is Solve with a precomputed Step-1 result (for example
 // the one the distributed tree machine produced); nib == nil computes it
-// sequentially.
+// sequentially. The worker-count clamp lives in par.Workers (values above
+// GOMAXPROCS are capped there, the single source of truth).
 func SolveFromNibble(t *tree.Tree, w *workload.W, nib *nibble.Result, opts Options) (*Result, error) {
-	if err := t.ValidateHBN(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	if err := w.ValidateHBN(t); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	res := &Result{}
-	workers := par.Workers(opts.Parallelism)
-	if m := runtime.GOMAXPROCS(0); workers > m {
-		workers = m
-	}
-
-	// Step 1: nibble.
-	if nib != nil {
-		res.Nibble = nib
-	} else {
-		res.Nibble = nibble.PlaceParallel(t, w, workers)
-	}
-	var err error
-	res.NibblePlacement, err = res.Nibble.PlacementParallel(t, w, workers)
+	s, err := NewSolver(t, opts)
 	if err != nil {
-		return nil, fmt.Errorf("core: nibble placement: %w", err)
+		return nil, err
 	}
-	res.NibbleReport = placement.EvaluateParallel(t, res.NibblePlacement, workers)
-
-	// Step 2: deletion, reusing the Step-1 materialization.
-	if opts.SkipDeletion {
-		res.Modified = res.NibblePlacement
-	} else {
-		res.Modified, res.DeletionStats, err = deletion.RunShared(t, w, res.Nibble, res.NibblePlacement, deletion.Options{SkipSplitting: opts.SkipSplitting, Workers: workers})
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-	}
-
-	// Partition objects: leaf-resident ones are final; the rest are mapped.
-	toMap := placement.New(w.NumObjects())
-	final := placement.New(w.NumObjects())
-	leafOnly := make([]bool, w.NumObjects())
-	par.ForEach(workers, w.NumObjects(), func(_, x int) {
-		leafOnly[x] = true
-		for _, c := range res.Modified.Copies[x] {
-			if !t.IsLeaf(c.Node) {
-				leafOnly[x] = false
-				break
-			}
-		}
-	})
-	for x := 0; x < w.NumObjects(); x++ {
-		if leafOnly[x] {
-			final.Copies[x] = res.Modified.Copies[x]
-		} else {
-			toMap.Copies[x] = res.Modified.Copies[x]
-			res.MappedObjects++
-		}
-	}
-
-	// Step 3: mapping.
-	if res.MappedObjects > 0 {
-		mapped, trace, err := mapping.Run(t, w, toMap, mapping.Options{
-			Root:           opts.MappingRoot,
-			CheckInvariant: opts.CheckInvariants,
-			AllowOverload:  opts.SkipDeletion,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		res.MappingTrace = trace
-		for x := 0; x < w.NumObjects(); x++ {
-			final.Copies[x] = append(final.Copies[x], mapped.Copies[x]...)
-		}
-	}
-
-	res.Final = final.MergePerNodeParallel(t.Len(), workers)
-	if opts.ReassignNearest {
-		res.Final, err = res.Final.ReassignNearestParallel(t, w, workers)
-		if err != nil {
-			return nil, fmt.Errorf("core: reassign: %w", err)
-		}
-	}
-	if !res.Final.LeafOnly(t) {
-		return nil, fmt.Errorf("core: internal error: final placement uses inner nodes")
-	}
-	if err := res.Final.ValidateParallel(t, w, workers); err != nil {
-		return nil, fmt.Errorf("core: internal error: %w", err)
-	}
-	res.Report = placement.EvaluateParallel(t, res.Final, workers)
-	res.LowerBound = LowerBound(t, w, res.Nibble, res.NibbleReport)
-	return res, nil
+	return s.solve(w, nib)
 }
 
 // LowerBound computes the certified lower bound on the optimum leaf-only

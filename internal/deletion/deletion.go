@@ -51,20 +51,75 @@ type scratch struct {
 	order  []*placement.Copy
 	seen   []bool
 	queue  []bfsCand
+
+	// Inheritance bookkeeping of the two-phase deletion loop, indexed by
+	// copy position (nodeIdx maps node → position): simulated served
+	// totals, final share-entry counts, and the per-copy list of copies
+	// deleted into it, in deletion order (head/next intrusive lists).
+	nodeIdx []int32
+	srv     []int64
+	cnt     []int32
+	kidHead []int32
+	kidTail []int32
+	kidNext []int32
 }
 
 func newScratch(n int) *scratch {
 	return &scratch{
-		byNode: make([]*placement.Copy, n),
-		alive:  make([]bool, n),
-		depth:  make([]int32, n),
-		seen:   make([]bool, n),
+		byNode:  make([]*placement.Copy, n),
+		alive:   make([]bool, n),
+		depth:   make([]int32, n),
+		seen:    make([]bool, n),
+		nodeIdx: make([]int32, n),
+		srv:     make([]int64, n),
+		cnt:     make([]int32, n),
+		kidHead: make([]int32, n),
+		kidTail: make([]int32, n),
+		kidNext: make([]int32, n),
 	}
 }
 
 type bfsCand struct {
 	node tree.NodeID
 	dist int32
+}
+
+// Runner is the reusable per-worker state of the deletion pass: one
+// scratch set serving many RunObject calls without allocating. Not safe
+// for concurrent use; parallel stages hold one Runner per worker.
+type Runner struct {
+	t *tree.Tree
+	s *scratch
+}
+
+// NewRunner returns a Runner for t.
+func NewRunner(t *tree.Tree) *Runner {
+	return &Runner{t: t, s: newScratch(t.Len())}
+}
+
+// RunObject runs Step 2 for a single object: base is the object's
+// nearest-copy nibble placement (it is cloned, not mutated), op its nibble
+// output, and stats accumulates what the pass did. Records are allocated
+// from a (nil falls back to the heap). This is the per-object entry point
+// the incremental solver re-runs for changed objects.
+func (r *Runner) RunObject(w *workload.W, x int, op nibble.ObjectPlacement, base []*placement.Copy, skipSplitting bool, a *placement.Arena, stats *Stats) ([]*placement.Copy, error) {
+	return r.runOwned(w, x, op, cloneCopies(base, a), skipSplitting, a, stats)
+}
+
+// runOwned is RunObject on a copy list the caller already owns (survivors
+// may be re-sliced; nothing else is mutated since the two-phase loop works
+// on counters) — the shared body of RunObject and the batch path.
+func (r *Runner) runOwned(w *workload.W, x int, op nibble.ObjectPlacement, copies []*placement.Copy, skipSplitting bool, a *placement.Arena, stats *Stats) ([]*placement.Copy, error) {
+	kappa := w.Kappa(x)
+	out, err := runObject(r.t, copies, op, kappa, stats, r.s, a)
+	if err != nil {
+		return nil, fmt.Errorf("deletion: object %d: %w", x, err)
+	}
+	if !skipSplitting {
+		out = splitAll(out, kappa, stats, a)
+	}
+	stats.Kept += len(out)
+	return out, nil
 }
 
 // Run executes the deletion algorithm on the nibble placement of (t, w).
@@ -89,30 +144,29 @@ func RunShared(t *tree.Tree, w *workload.W, nib *nibble.Result, base *placement.
 func runOnBase(t *tree.Tree, w *workload.W, nib *nibble.Result, base *placement.P, cloneBase bool, opts Options) (*placement.P, Stats, error) {
 	workers := par.Workers(opts.Workers)
 	out := placement.New(w.NumObjects())
-	scr := make([]*scratch, workers)
+	scr := make([]*Runner, workers)
 	perObj := make([]Stats, w.NumObjects())
 	errs := make([]error, w.NumObjects())
 	par.ForEach(workers, w.NumObjects(), func(wk, x int) {
-		s := scr[wk]
-		if s == nil {
-			s = newScratch(t.Len())
-			scr[wk] = s
+		r := scr[wk]
+		if r == nil {
+			r = NewRunner(t)
+			scr[wk] = r
 		}
-		kappa := w.Kappa(x)
 		baseCopies := base.Copies[x]
+		var copies []*placement.Copy
+		var err error
 		if cloneBase {
-			baseCopies = cloneCopies(baseCopies)
+			copies, err = r.RunObject(w, x, nib.Objects[x], baseCopies, opts.SkipSplitting, nil, &perObj[x])
+		} else {
+			// Run built the base itself and owns it; skip the clone.
+			copies, err = r.runOwned(w, x, nib.Objects[x], baseCopies, opts.SkipSplitting, nil, &perObj[x])
 		}
-		copies, err := runObject(t, baseCopies, nib.Objects[x], kappa, &perObj[x], s)
 		if err != nil {
-			errs[x] = fmt.Errorf("deletion: object %d: %w", x, err)
+			errs[x] = err
 			return
 		}
-		if !opts.SkipSplitting {
-			copies = splitAll(copies, kappa, &perObj[x])
-		}
 		out.Copies[x] = copies
-		perObj[x].Kept += len(copies)
 	})
 	var stats Stats
 	for x := range perObj {
@@ -128,16 +182,18 @@ func runOnBase(t *tree.Tree, w *workload.W, nib *nibble.Result, base *placement.
 
 // cloneCopies deep-copies one object's copy records so the pass can mutate
 // them (inheriting shares, clearing deleted copies) without touching the
-// shared base placement. Share slices are cloned with exact capacity, so
-// later appends to an heir reallocate instead of writing into the
-// original's backing array.
-func cloneCopies(in []*placement.Copy) []*placement.Copy {
+// shared base placement. Records come from a (nil = heap); share slices
+// are cloned with exact capacity, so later appends to an heir reallocate
+// instead of writing into the original's backing array.
+func cloneCopies(in []*placement.Copy, a *placement.Arena) []*placement.Copy {
 	if len(in) == 0 {
 		return nil
 	}
-	out := make([]*placement.Copy, len(in))
-	for i, c := range in {
-		out[i] = &placement.Copy{Object: c.Object, Node: c.Node, Shares: slices.Clone(c.Shares)}
+	out := a.NewCopyList(len(in))
+	for _, c := range in {
+		sh := a.NewShares(len(c.Shares))
+		sh = append(sh, c.Shares...)
+		out = append(out, a.NewCopy(c.Object, c.Node, sh))
 	}
 	return out
 }
@@ -146,7 +202,7 @@ func cloneCopies(in []*placement.Copy) []*placement.Copy {
 // per node (the nibble placement), already carrying their nearest-copy
 // demand shares. The scratch arrays are all-reset on entry and re-reset
 // before returning on every path.
-func runObject(t *tree.Tree, copies []*placement.Copy, op nibble.ObjectPlacement, kappa int64, stats *Stats, s *scratch) ([]*placement.Copy, error) {
+func runObject(t *tree.Tree, copies []*placement.Copy, op nibble.ObjectPlacement, kappa int64, stats *Stats, s *scratch, a *placement.Arena) ([]*placement.Copy, error) {
 	if len(copies) == 0 {
 		return nil, nil
 	}
@@ -155,13 +211,16 @@ func runObject(t *tree.Tree, copies []*placement.Copy, op nibble.ObjectPlacement
 	// are zero. We prune zero-traffic copies (a documented, load-neutral
 	// deviation) so Step 3 has nothing pointless to move.
 	if kappa == 0 {
-		var kept []*placement.Copy
+		kept := a.NewCopyList(len(copies))
 		for _, c := range copies {
 			if c.Served() > 0 {
 				kept = append(kept, c)
 			} else {
 				stats.Deleted++
 			}
+		}
+		if len(kept) == 0 {
+			return nil, nil
 		}
 		return kept, nil
 	}
@@ -182,11 +241,15 @@ func runObject(t *tree.Tree, copies []*placement.Copy, op nibble.ObjectPlacement
 	r0 := t.Rooted0()
 	lca := r0.LCAIndex()
 	g := op.Gravity
-	for _, c := range copies {
+	for i, c := range copies {
 		s.byNode[c.Node] = c
 		s.alive[c.Node] = true
 		l := lca.LCA(c.Node, g)
 		s.depth[c.Node] = r0.Depth[c.Node] + r0.Depth[g] - 2*r0.Depth[l]
+		s.nodeIdx[c.Node] = int32(i)
+		s.srv[i] = c.Served()
+		s.cnt[i] = int32(len(c.Shares))
+		s.kidHead[i], s.kidTail[i] = -1, -1
 	}
 	if s.byNode[g] == nil {
 		reset()
@@ -200,8 +263,13 @@ func runObject(t *tree.Tree, copies []*placement.Copy, op nibble.ObjectPlacement
 		}
 		return int(a.Node - b.Node)
 	})
+	// Phase 1 (decide): the Figure-4 loop on simulated served totals.
+	// Deleting c moves its demand to the heir: served and share counts
+	// transfer, and c is linked into the heir's inheritance list. No share
+	// slice is touched, so the phase allocates nothing.
 	for _, c := range order {
-		if c.Served() >= kappa {
+		i := s.nodeIdx[c.Node]
+		if s.srv[i] >= kappa {
 			continue
 		}
 		// Delete c; its demand moves to the parent copy, or — for the root
@@ -223,24 +291,53 @@ func runObject(t *tree.Tree, copies []*placement.Copy, op nibble.ObjectPlacement
 				// than κ_x requests: the root of T(x) would then serve all
 				// h(T) ≥ κ_x requests.
 				reset()
-				return nil, fmt.Errorf("root copy on %d serves %d < κ=%d with no surviving copy", c.Node, c.Served(), kappa)
+				return nil, fmt.Errorf("root copy on %d serves %d < κ=%d with no surviving copy", c.Node, s.srv[i], kappa)
 			}
 		}
-		heir.Shares = append(heir.Shares, c.Shares...)
-		c.Shares = nil
+		j := s.nodeIdx[heir.Node]
+		s.srv[j] += s.srv[i]
+		s.cnt[j] += s.cnt[i]
+		if s.kidHead[j] < 0 {
+			s.kidHead[j] = i
+		} else {
+			s.kidNext[s.kidTail[j]] = i
+		}
+		s.kidTail[j] = i
+		s.kidNext[i] = -1
 		s.alive[c.Node] = false
 		s.byNode[c.Node] = nil
 		stats.Deleted++
 	}
-	var kept []*placement.Copy
+	// Phase 2 (materialize): each survivor that inherited anything gets an
+	// exact-size share slice holding its own shares followed by every
+	// deleted copy's contribution, recursively, in deletion order — the
+	// same flattened order the in-place appends of the one-phase loop
+	// produced, now with a single arena allocation per survivor.
+	kept := a.NewCopyList(len(order))
 	for _, c := range order {
 		if s.alive[c.Node] && s.byNode[c.Node] == c {
+			if i := s.nodeIdx[c.Node]; s.kidHead[i] >= 0 {
+				c.Shares = s.emitShares(copies, a.NewShares(int(s.cnt[i])), i)
+			}
 			kept = append(kept, c)
 		}
 	}
 	slices.SortFunc(kept, func(a, b *placement.Copy) int { return int(a.Node - b.Node) })
 	reset()
+	if len(kept) == 0 {
+		return nil, nil
+	}
 	return kept, nil
+}
+
+// emitShares appends copy i's final share list to dst: its own shares,
+// then each inherited copy's contribution recursively in deletion order.
+func (s *scratch) emitShares(copies []*placement.Copy, dst []placement.Share, i int32) []placement.Share {
+	dst = append(dst, copies[i].Shares...)
+	for k := s.kidHead[i]; k >= 0; k = s.kidNext[k] {
+		dst = s.emitShares(copies, dst, k)
+	}
+	return dst
 }
 
 // nextHopToward returns the neighbor of v on the unique path to g, using
@@ -296,12 +393,24 @@ func nearestAlive(t *tree.Tree, from tree.NodeID, s *scratch) *placement.Copy {
 
 // splitAll splits every copy serving more than 2κ_x requests into
 // m = ⌈s/(2κ_x)⌉ copies on the same node, each serving between κ_x and
-// 2κ_x requests (Observation 3.2).
-func splitAll(copies []*placement.Copy, kappa int64, stats *Stats) []*placement.Copy {
-	if kappa == 0 {
+// 2κ_x requests (Observation 3.2). Copy records and the output list come
+// from a; the split share slices are rebuilt fresh (they re-partition the
+// original shares, so their sizes are not knowable up front).
+func splitAll(copies []*placement.Copy, kappa int64, stats *Stats, a *placement.Arena) []*placement.Copy {
+	if kappa == 0 || len(copies) == 0 {
 		return copies
 	}
-	var out []*placement.Copy
+	total := 0
+	for _, c := range copies {
+		total++
+		if s := c.Served(); s > 2*kappa {
+			total += int((s+2*kappa-1)/(2*kappa)) - 1
+		}
+	}
+	if total == len(copies) {
+		return copies // nothing to split
+	}
+	out := a.NewCopyList(total)
 	for _, c := range copies {
 		s := c.Served()
 		if s <= 2*kappa {
@@ -309,10 +418,9 @@ func splitAll(copies []*placement.Copy, kappa int64, stats *Stats) []*placement.
 			continue
 		}
 		m := (s + 2*kappa - 1) / (2 * kappa)
-		parts := splitShares(c.Shares, s, m)
+		parts := splitShares(c.Shares, s, m, a)
 		for i, p := range parts {
-			nc := &placement.Copy{Object: c.Object, Node: c.Node, Shares: p}
-			out = append(out, nc)
+			out = append(out, a.NewCopy(c.Object, c.Node, p))
 			if i > 0 {
 				stats.Splits++
 			}
@@ -326,20 +434,26 @@ func splitAll(copies []*placement.Copy, kappa int64, stats *Stats) []*placement.
 // across chunk boundaries where necessary. When a share is cut, writes are
 // placed before reads (a deterministic convention; loads are insensitive
 // to the ordering because path load counts reads+writes uniformly).
-func splitShares(shares []placement.Share, s, m int64) [][]placement.Share {
+//
+// All chunks are emitted into one shared buffer (at most m−1 cuts can add
+// entries, so its exact capacity is known up front) and handed out as
+// capacity-capped subslices, so the split costs one arena allocation for
+// the entries plus the chunk-list header.
+func splitShares(shares []placement.Share, s, m int64, a *placement.Arena) [][]placement.Share {
+	buf := a.NewShares(len(shares) + int(m) - 1)
+	parts := make([][]placement.Share, 0, m)
 	base := s / m
 	rem := s % m
-	parts := make([][]placement.Share, 0, m)
 	target := base
 	if rem > 0 {
 		target = base + 1
 		rem--
 	}
-	var cur []placement.Share
+	start := 0
 	var curSize int64
 	push := func() {
-		parts = append(parts, cur)
-		cur = nil
+		parts = append(parts, buf[start:len(buf):len(buf)])
+		start = len(buf)
 		curSize = 0
 		target = base
 		if rem > 0 {
@@ -363,12 +477,12 @@ func splitShares(shares []placement.Share, s, m int64) [][]placement.Share {
 			piece.Reads = take - piece.Writes
 			sh.Writes -= piece.Writes
 			sh.Reads -= piece.Reads
-			cur = append(cur, piece)
+			buf = append(buf, piece)
 			curSize += take
 		}
 	}
-	if curSize > 0 || len(cur) > 0 {
-		parts = append(parts, cur)
+	if len(buf) > start {
+		parts = append(parts, buf[start:len(buf):len(buf)])
 	}
 	return parts
 }

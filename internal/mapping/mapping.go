@@ -20,6 +20,14 @@
 // L_map + s(c) + κ_x(c) ≤ L_acc + τ_max; Lemma 4.1 proves such an edge
 // always exists. Free-edge search uses a max-slack heap per node, giving
 // the paper's O(log degree) per movement.
+//
+// The implementation is map-free and arena-friendly: copies get dense
+// indices, all per-copy state (served counts, move counters) and per-node
+// copy lists live in slice-backed storage owned by a Runner, and every
+// derived rooting artifact (orientation, level order, child CSR, heap
+// backing arrays) is built once per Runner and reused across runs — a warm
+// Run allocates only its Trace and the output placement records, and the
+// latter can come from a caller arena.
 package mapping
 
 import (
@@ -69,114 +77,223 @@ type Trace struct {
 	FreeEdgeFailures int
 }
 
-type dirLoads struct {
-	up   []int64 // indexed by EdgeID: child→parent direction
-	down []int64 // indexed by EdgeID: parent→child direction
-}
-
-func (d *dirLoads) at(e tree.EdgeID, dir tree.Dir) *int64 {
-	if dir == tree.Up {
-		return &d.up[e]
+// ResolveRoot returns the root the mapping orientation uses for the given
+// option: tree.None picks the first bus, or node 0 if there is none.
+func ResolveRoot(t *tree.Tree, opt tree.NodeID) tree.NodeID {
+	if opt != tree.None {
+		return opt
 	}
-	return &d.down[e]
+	if buses := t.Buses(); len(buses) > 0 {
+		return buses[0]
+	}
+	return 0
 }
 
-type state struct {
-	t             *tree.Tree
-	r             *tree.Rooted
-	lacc          dirLoads
-	lmap          dirLoads
-	m             [][]*placement.Copy // copies currently on each node
-	served        map[*placement.Copy]int64
-	kappa         []int64 // per object
+// Runner owns the reusable state of mapping runs on one tree with one
+// root: the rooted orientation (with its O(1) LCA index), the level order,
+// a CSR child table, the directed-load and basic-load buffers, the dense
+// per-copy state and per-node copy lists, and the free-edge heap's backing
+// arrays. A warm Run touches the heap only for its Trace and the output
+// records. Not safe for concurrent use.
+type Runner struct {
+	t    *tree.Tree
+	root tree.NodeID
+	r    *tree.Rooted
+
+	byLevel    [][]tree.NodeID
+	childStart []int32 // CSR: children of v are childNode[childStart[v]:childStart[v+1]]
+	childNode  []tree.NodeID
+
+	laccUp, laccDown []int64 // indexed by EdgeID
+	lmapUp, lmapDown []int64
+	upDiff, downDiff []int64 // indexed by NodeID
+	upSums, downSums []int64
+
+	m        [][]int32 // per-node dense copy indices
+	copies   []*placement.Copy
+	served   []int64
+	moves    []int32
+	kappa    []int64 // per object; borrowed from the caller or kappaBuf
+	kappaBuf []int64
+
+	h freeEdgeHeap
+
+	// Per-run fields.
 	tauMax        int64
-	moves         map[*placement.Copy]int
 	trace         *Trace
 	check         bool
 	allowOverload bool
 }
 
-func (st *state) tau(c *placement.Copy) int64 {
-	return st.served[c] + st.kappa[c.Object]
+// NewRunner returns a Runner for t rooted at ResolveRoot(t, root).
+func NewRunner(t *tree.Tree, root tree.NodeID) *Runner {
+	root = ResolveRoot(t, root)
+	r := t.Rooted(root)
+	n := t.Len()
+	rn := &Runner{
+		t:          t,
+		root:       root,
+		r:          r,
+		byLevel:    r.NodesByLevel(),
+		childStart: make([]int32, n+1),
+		laccUp:     make([]int64, t.NumEdges()),
+		laccDown:   make([]int64, t.NumEdges()),
+		lmapUp:     make([]int64, t.NumEdges()),
+		lmapDown:   make([]int64, t.NumEdges()),
+		upDiff:     make([]int64, n),
+		downDiff:   make([]int64, n),
+		m:          make([][]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		deg := int32(0)
+		for _, h := range t.Adj(tree.NodeID(v)) {
+			if h.To != r.Parent[v] {
+				deg++
+			}
+		}
+		rn.childStart[v+1] = rn.childStart[v] + deg
+	}
+	rn.childNode = make([]tree.NodeID, rn.childStart[n])
+	fill := make([]int32, n)
+	copy(fill, rn.childStart[:n])
+	for v := 0; v < n; v++ {
+		for _, h := range t.Adj(tree.NodeID(v)) {
+			if h.To != r.Parent[v] {
+				rn.childNode[fill[v]] = h.To
+				fill[v]++
+			}
+		}
+	}
+	return rn
+}
+
+// children returns the children of v in adjacency order (the same order
+// Rooted.Children yields).
+func (rn *Runner) children(v tree.NodeID) []tree.NodeID {
+	return rn.childNode[rn.childStart[v]:rn.childStart[v+1]]
+}
+
+func (rn *Runner) tau(i int32) int64 {
+	return rn.served[i] + rn.kappa[rn.copies[i].Object]
 }
 
 // Run moves every copy of the modified nibble placement `mod` to a leaf
 // and returns the resulting placement (several copies of one object may
 // share a leaf; callers typically MergePerNode afterwards).
 func Run(t *tree.Tree, w *workload.W, mod *placement.P, opts Options) (*placement.P, *Trace, error) {
-	root := opts.Root
-	if root == tree.None {
-		if buses := t.Buses(); len(buses) > 0 {
-			root = buses[0]
-		} else {
-			root = 0
+	return NewRunner(t, opts.Root).Run(w, mod, nil, nil, opts, nil)
+}
+
+// Run is the runner-bound mapping pass. Objects with skip[x] true are
+// excluded (the solver passes its leaf-only mask; nil maps everything).
+// kappa, when non-nil, provides the per-object write contentions (the
+// solver maintains them incrementally; nil recomputes them from w, an
+// O(|X|·|V|) scan). Output records are allocated from a (nil falls back
+// to the heap). opts.Root must resolve to the runner's root.
+func (rn *Runner) Run(w *workload.W, mod *placement.P, skip []bool, kappa []int64, opts Options, a *placement.Arena) (*placement.P, *Trace, error) {
+	if got := ResolveRoot(rn.t, opts.Root); got != rn.root {
+		return nil, nil, fmt.Errorf("mapping: runner rooted at %d, options request root %d", rn.root, got)
+	}
+	rn.check = opts.CheckInvariant
+	rn.allowOverload = opts.AllowOverload
+	rn.trace = &Trace{Root: rn.root}
+	rn.tauMax = 0
+
+	if kappa != nil {
+		rn.kappa = kappa // read-only borrow for this run
+	} else {
+		if cap(rn.kappaBuf) < w.NumObjects() {
+			rn.kappaBuf = make([]int64, w.NumObjects())
 		}
+		rn.kappaBuf = rn.kappaBuf[:w.NumObjects()]
+		for x := range rn.kappaBuf {
+			rn.kappaBuf[x] = w.Kappa(x)
+		}
+		rn.kappa = rn.kappaBuf
 	}
-	r := t.Rooted(root)
-	st := &state{
-		t:             t,
-		r:             r,
-		lacc:          dirLoads{up: make([]int64, t.NumEdges()), down: make([]int64, t.NumEdges())},
-		lmap:          dirLoads{up: make([]int64, t.NumEdges()), down: make([]int64, t.NumEdges())},
-		m:             make([][]*placement.Copy, t.Len()),
-		served:        make(map[*placement.Copy]int64),
-		kappa:         make([]int64, w.NumObjects()),
-		moves:         make(map[*placement.Copy]int),
-		trace:         &Trace{Root: root},
-		check:         opts.CheckInvariant,
-		allowOverload: opts.AllowOverload,
+
+	for v := range rn.m {
+		rn.m[v] = rn.m[v][:0]
 	}
-	for x := 0; x < w.NumObjects(); x++ {
-		st.kappa[x] = w.Kappa(x)
-	}
+	clear(rn.lmapUp)
+	clear(rn.lmapDown)
+
+	rn.copies = rn.copies[:0]
+	rn.served = rn.served[:0]
 	for x := range mod.Copies {
+		if skip != nil && skip[x] {
+			continue
+		}
 		for _, c := range mod.Copies[x] {
-			st.m[c.Node] = append(st.m[c.Node], c)
-			st.served[c] = c.Served()
-			if tau := st.tau(c); tau > st.tauMax {
-				st.tauMax = tau
+			i := int32(len(rn.copies))
+			rn.copies = append(rn.copies, c)
+			s := c.Served()
+			rn.served = append(rn.served, s)
+			rn.m[c.Node] = append(rn.m[c.Node], i)
+			if tau := s + rn.kappa[c.Object]; tau > rn.tauMax {
+				rn.tauMax = tau
 			}
 		}
 	}
-	st.trace.TauMax = st.tauMax
-	st.initBasicLoads(mod)
+	if cap(rn.moves) < len(rn.copies) {
+		rn.moves = make([]int32, len(rn.copies))
+	}
+	rn.moves = rn.moves[:len(rn.copies)]
+	clear(rn.moves)
+	rn.trace.TauMax = rn.tauMax
+	rn.initBasicLoads(mod, skip)
 
-	if err := st.checkInvariantAll("initial"); err != nil {
-		return nil, st.trace, err
+	if err := rn.checkInvariantAll("initial"); err != nil {
+		return nil, rn.trace, err
 	}
-	if err := st.upwardsPhase(); err != nil {
-		return nil, st.trace, err
+	if err := rn.upwardsPhase(); err != nil {
+		return nil, rn.trace, err
 	}
-	if err := st.downwardsPhase(); err != nil {
-		return nil, st.trace, err
+	if err := rn.downwardsPhase(); err != nil {
+		return nil, rn.trace, err
 	}
 
 	out := placement.New(mod.NumObjects)
-	for v := 0; v < t.Len(); v++ {
-		id := tree.NodeID(v)
-		if len(st.m[v]) == 0 {
+	for x := range mod.Copies {
+		if (skip != nil && skip[x]) || len(mod.Copies[x]) == 0 {
 			continue
 		}
-		if !t.IsLeaf(id) {
-			return nil, st.trace, fmt.Errorf("mapping: %d copies stranded on inner node %d", len(st.m[v]), v)
+		// Mapping moves copies without creating or destroying them, so
+		// every object's output list has exactly its input size.
+		out.Copies[x] = a.NewCopyList(len(mod.Copies[x]))
+	}
+	for v := 0; v < rn.t.Len(); v++ {
+		id := tree.NodeID(v)
+		if len(rn.m[v]) == 0 {
+			continue
 		}
-		for _, c := range st.m[v] {
-			moved := *c
-			moved.Node = id
-			out.Add(&moved)
+		if !rn.t.IsLeaf(id) {
+			return nil, rn.trace, fmt.Errorf("mapping: %d copies stranded on inner node %d", len(rn.m[v]), v)
+		}
+		for _, i := range rn.m[v] {
+			c := rn.copies[i]
+			out.Copies[c.Object] = append(out.Copies[c.Object], a.NewCopy(c.Object, id, c.Shares))
 		}
 	}
-	return out, st.trace, nil
+	for _, n := range rn.moves {
+		if int(n) > rn.trace.MaxCopyMoves {
+			rn.trace.MaxCopyMoves = int(n)
+		}
+	}
+	return out, rn.trace, nil
 }
 
 // initBasicLoads computes L_b per directed edge with the LCA difference
 // trick (O(|V| + shares) instead of O(shares × height)), then sets
 // L_acc = 2·L_b.
-func (st *state) initBasicLoads(mod *placement.P) {
-	n := st.t.Len()
-	upDiff := make([]int64, n)
-	downDiff := make([]int64, n)
+func (rn *Runner) initBasicLoads(mod *placement.P, skip []bool) {
+	clear(rn.upDiff)
+	clear(rn.downDiff)
+	lca := rn.r.LCAIndex()
 	for x := range mod.Copies {
+		if skip != nil && skip[x] {
+			continue
+		}
 		for _, c := range mod.Copies[x] {
 			for _, sh := range c.Shares {
 				cnt := sh.Total()
@@ -185,51 +302,50 @@ func (st *state) initBasicLoads(mod *placement.P) {
 				}
 				// Directed path copy → requester: the segment copy→LCA
 				// crosses edges upward, LCA→requester downward.
-				l := st.r.LCA(c.Node, sh.Node)
-				upDiff[c.Node] += cnt
-				upDiff[l] -= cnt
-				downDiff[sh.Node] += cnt
-				downDiff[l] -= cnt
+				l := lca.LCA(c.Node, sh.Node)
+				rn.upDiff[c.Node] += cnt
+				rn.upDiff[l] -= cnt
+				rn.downDiff[sh.Node] += cnt
+				rn.downDiff[l] -= cnt
 			}
 		}
 	}
-	upSums := st.r.SubtreeSums(upDiff)
-	downSums := st.r.SubtreeSums(downDiff)
-	for _, v := range st.r.Order {
-		e := st.r.ParentEdge[v]
+	rn.upSums = rn.r.SubtreeSumsInto(rn.upDiff, rn.upSums)
+	rn.downSums = rn.r.SubtreeSumsInto(rn.downDiff, rn.downSums)
+	for _, v := range rn.r.Order {
+		e := rn.r.ParentEdge[v]
 		if e == tree.NoEdge {
 			continue
 		}
-		st.lacc.up[e] = 2 * upSums[v]
-		st.lacc.down[e] = 2 * downSums[v]
+		rn.laccUp[e] = 2 * rn.upSums[v]
+		rn.laccDown[e] = 2 * rn.downSums[v]
 	}
 }
 
 // upwardsPhase implements Figure 5.
-func (st *state) upwardsPhase() error {
-	byLevel := st.r.NodesByLevel()
-	for l := 0; l < st.r.Height; l++ {
-		for _, v := range byLevel[l] {
-			e := st.r.ParentEdge[v]
-			parent := st.r.Parent[v]
-			for len(st.m[v]) > 0 && st.lmap.up[e]+st.tauMax <= st.lacc.up[e] {
-				c := st.m[v][len(st.m[v])-1]
-				st.m[v] = st.m[v][:len(st.m[v])-1]
-				st.m[parent] = append(st.m[parent], c)
-				st.lmap.up[e] += st.tau(c)
-				st.moves[c]++
-				st.trace.UpMoves++
-				if err := st.checkInvariantAll("up-move"); err != nil {
+func (rn *Runner) upwardsPhase() error {
+	for l := 0; l < rn.r.Height; l++ {
+		for _, v := range rn.byLevel[l] {
+			e := rn.r.ParentEdge[v]
+			parent := rn.r.Parent[v]
+			for len(rn.m[v]) > 0 && rn.lmapUp[e]+rn.tauMax <= rn.laccUp[e] {
+				i := rn.m[v][len(rn.m[v])-1]
+				rn.m[v] = rn.m[v][:len(rn.m[v])-1]
+				rn.m[parent] = append(rn.m[parent], i)
+				rn.lmapUp[e] += rn.tau(i)
+				rn.moves[i]++
+				rn.trace.UpMoves++
+				if err := rn.checkInvariantAll("up-move"); err != nil {
 					return err
 				}
 			}
-			delta := st.lacc.up[e] - st.lmap.up[e]
+			delta := rn.laccUp[e] - rn.lmapUp[e]
 			if delta < 0 {
 				return fmt.Errorf("mapping: negative adjustment δ=%d on edge %d (mapping load exceeded acceptable load on an upward edge)", delta, e)
 			}
-			st.lacc.up[e] -= delta
-			st.lacc.down[e] -= delta
-			if err := st.checkInvariantAll("adjust"); err != nil {
+			rn.laccUp[e] -= delta
+			rn.laccDown[e] -= delta
+			if err := rn.checkInvariantAll("adjust"); err != nil {
 				return err
 			}
 		}
@@ -238,7 +354,9 @@ func (st *state) upwardsPhase() error {
 }
 
 // freeEdgeHeap is a max-heap of child edges ordered by slack
-// L_acc − L_map, used to find a free edge in O(log degree).
+// L_acc − L_map, used to find a free edge in O(log degree). Its backing
+// arrays live on the Runner and are re-sliced per node, so the heap
+// allocates only while growing past its high-water mark.
 type freeEdgeHeap struct {
 	edges []tree.EdgeID
 	child []tree.NodeID
@@ -258,53 +376,50 @@ func (h *freeEdgeHeap) Pop() any { panic("mapping: heap never shrinks") }
 // downwardsPhase implements Figure 6 with the correction documented in
 // DESIGN.md: every inner node, from the root's level down to level 1,
 // flushes all its copies along free child edges; leaves keep their copies.
-func (st *state) downwardsPhase() error {
-	byLevel := st.r.NodesByLevel()
-	for l := st.r.Height; l >= 1; l-- {
-		for _, v := range byLevel[l] {
-			if st.t.IsLeaf(v) {
+func (rn *Runner) downwardsPhase() error {
+	h := &rn.h
+	for l := rn.r.Height; l >= 1; l-- {
+		for _, v := range rn.byLevel[l] {
+			if rn.t.IsLeaf(v) {
 				continue
 			}
-			if len(st.m[v]) == 0 {
+			if len(rn.m[v]) == 0 {
 				continue
 			}
-			h := &freeEdgeHeap{}
-			for _, child := range st.r.Children(v) {
-				e := st.r.ParentEdge[child]
+			h.edges = h.edges[:0]
+			h.child = h.child[:0]
+			h.slack = h.slack[:0]
+			for _, child := range rn.children(v) {
+				e := rn.r.ParentEdge[child]
 				h.edges = append(h.edges, e)
 				h.child = append(h.child, child)
-				h.slack = append(h.slack, st.lacc.down[e]-st.lmap.down[e])
+				h.slack = append(h.slack, rn.laccDown[e]-rn.lmapDown[e])
 			}
 			heap.Init(h)
-			for len(st.m[v]) > 0 {
-				c := st.m[v][len(st.m[v])-1]
-				st.m[v] = st.m[v][:len(st.m[v])-1]
-				tau := st.tau(c)
+			for len(rn.m[v]) > 0 {
+				i := rn.m[v][len(rn.m[v])-1]
+				rn.m[v] = rn.m[v][:len(rn.m[v])-1]
+				tau := rn.tau(i)
 				// The max-slack edge is free iff any edge is:
 				// L_map + τ ≤ L_acc + τ_max  ⟺  τ − τ_max ≤ slack.
-				if h.Len() == 0 || tau-st.tauMax > h.slack[0] {
-					if h.Len() == 0 || !st.allowOverload {
+				if h.Len() == 0 || tau-rn.tauMax > h.slack[0] {
+					if h.Len() == 0 || !rn.allowOverload {
 						return fmt.Errorf("mapping: no free child edge at node %d for copy of object %d (τ=%d, τmax=%d, best slack=%v); Lemma 4.1 violated",
-							v, c.Object, tau, st.tauMax, h.slack)
+							v, rn.copies[i].Object, tau, rn.tauMax, h.slack)
 					}
-					st.trace.FreeEdgeFailures++
+					rn.trace.FreeEdgeFailures++
 				}
 				e, child := h.edges[0], h.child[0]
-				st.lmap.down[e] += tau
+				rn.lmapDown[e] += tau
 				h.slack[0] -= tau
 				heap.Fix(h, 0)
-				st.m[child] = append(st.m[child], c)
-				st.moves[c]++
-				st.trace.DownMoves++
-				if err := st.checkInvariantAll("down-move"); err != nil {
+				rn.m[child] = append(rn.m[child], i)
+				rn.moves[i]++
+				rn.trace.DownMoves++
+				if err := rn.checkInvariantAll("down-move"); err != nil {
 					return err
 				}
 			}
-		}
-	}
-	for _, n := range st.moves {
-		if n > st.trace.MaxCopyMoves {
-			st.trace.MaxCopyMoves = n
 		}
 	}
 	return nil
@@ -317,36 +432,36 @@ func (st *state) downwardsPhase() error {
 // free-edge proofs support is Σ_{c∈M(v)} (s(c)+κ_x(c)), which IS preserved
 // by both move directions; we assert that form and count violations of the
 // printed form for the experiment report.
-func (st *state) checkInvariantAll(stage string) error {
-	if !st.check {
+func (rn *Runner) checkInvariantAll(stage string) error {
+	if !rn.check {
 		return nil
 	}
-	st.trace.InvariantChecks++
-	for v := 0; v < st.t.Len(); v++ {
+	rn.trace.InvariantChecks++
+	for v := 0; v < rn.t.Len(); v++ {
 		id := tree.NodeID(v)
-		if st.t.IsLeaf(id) {
+		if rn.t.IsLeaf(id) {
 			continue
 		}
 		var outAcc, outMap, inAcc, inMap int64
 		// Outgoing edges of v: its upward parent edge plus the downward
 		// edges to children. Incoming: the reverse directions.
-		if e := st.r.ParentEdge[id]; e != tree.NoEdge {
-			outAcc += st.lacc.up[e]
-			outMap += st.lmap.up[e]
-			inAcc += st.lacc.down[e]
-			inMap += st.lmap.down[e]
+		if e := rn.r.ParentEdge[id]; e != tree.NoEdge {
+			outAcc += rn.laccUp[e]
+			outMap += rn.lmapUp[e]
+			inAcc += rn.laccDown[e]
+			inMap += rn.lmapDown[e]
 		}
-		for _, child := range st.r.Children(id) {
-			e := st.r.ParentEdge[child]
-			outAcc += st.lacc.down[e]
-			outMap += st.lmap.down[e]
-			inAcc += st.lacc.up[e]
-			inMap += st.lmap.up[e]
+		for _, child := range rn.children(id) {
+			e := rn.r.ParentEdge[child]
+			outAcc += rn.laccDown[e]
+			outMap += rn.lmapDown[e]
+			inAcc += rn.laccUp[e]
+			inMap += rn.lmapUp[e]
 		}
 		var sumS, sumTau int64
-		for _, c := range st.m[id] {
-			sumS += st.served[c]
-			sumTau += st.tau(c)
+		for _, i := range rn.m[id] {
+			sumS += rn.served[i]
+			sumTau += rn.tau(i)
 		}
 		lhs := outAcc - outMap
 		rhs := inAcc - inMap
@@ -354,7 +469,7 @@ func (st *state) checkInvariantAll(stage string) error {
 			return fmt.Errorf("mapping: corrected Invariant 4.2 violated at node %d (%s): %d < %d + %d", v, stage, lhs, rhs, sumTau)
 		}
 		if lhs < rhs+2*sumS {
-			st.trace.PaperInvariantViolations++
+			rn.trace.PaperInvariantViolations++
 		}
 	}
 	return nil

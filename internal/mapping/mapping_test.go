@@ -2,6 +2,7 @@ package mapping
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"hbn/internal/deletion"
@@ -189,5 +190,58 @@ func TestDeterministic(t *testing.T) {
 		if a.EdgeLoad[e] != b.EdgeLoad[e] {
 			t.Fatal("nondeterministic mapping")
 		}
+	}
+}
+
+// A warm Runner re-used across different workloads must be bit-identical
+// to one-shot Run calls: all slice-backed state (dense copy indices,
+// per-node lists, directed loads, the free-edge heap's backing arrays) is
+// reset per run, never stale. Also exercises the skip mask against the
+// equivalent nil-list placement.
+func TestRunnerReuseBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tr := tree.Random(rng, 80, 5, 0.4, 8)
+	rn := NewRunner(tr, tree.None)
+	for round := 0; round < 6; round++ {
+		w := workload.Uniform(rng, tr, 2+round*2, workload.DefaultGen)
+		mod := prepare(t, tr, w)
+		wantP, wantTrace, err := Run(tr, w, mod, Options{Root: tree.None})
+		if err != nil {
+			t.Fatalf("round %d: one-shot: %v", round, err)
+		}
+		gotP, gotTrace, err := rn.Run(w, mod, nil, nil, Options{Root: tree.None}, nil)
+		if err != nil {
+			t.Fatalf("round %d: warm: %v", round, err)
+		}
+		if !reflect.DeepEqual(gotP, wantP) || !reflect.DeepEqual(gotTrace, wantTrace) {
+			t.Fatalf("round %d: warm Runner output differs from one-shot Run", round)
+		}
+		// Skip mask: excluding leaf-only objects must equal passing a
+		// placement with their lists nilled out.
+		skip := make([]bool, w.NumObjects())
+		masked := placement.New(w.NumObjects())
+		for x := range mod.Copies {
+			skip[x] = x%2 == 0
+			if !skip[x] {
+				masked.Copies[x] = mod.Copies[x]
+			}
+		}
+		wantP, wantTrace, err = Run(tr, w, masked, Options{Root: tree.None})
+		if err != nil {
+			t.Fatalf("round %d: masked one-shot: %v", round, err)
+		}
+		gotP, gotTrace, err = rn.Run(w, mod, skip, nil, Options{Root: tree.None}, nil)
+		if err != nil {
+			t.Fatalf("round %d: masked warm: %v", round, err)
+		}
+		if !reflect.DeepEqual(gotP, wantP) || !reflect.DeepEqual(gotTrace, wantTrace) {
+			t.Fatalf("round %d: skip-mask output differs from nil-list placement", round)
+		}
+	}
+	// A root mismatch is rejected rather than silently remapped.
+	w := workload.Uniform(rng, tr, 2, workload.DefaultGen)
+	mod := prepare(t, tr, w)
+	if _, _, err := rn.Run(w, mod, nil, nil, Options{Root: tr.Leaves()[0]}, nil); err == nil {
+		t.Fatal("expected root-mismatch error")
 	}
 }

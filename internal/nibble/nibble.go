@@ -121,13 +121,20 @@ func PlaceObject(t *tree.Tree, h []int64, kappa int64) ObjectPlacement {
 }
 
 func (s *Scratch) placeObject(t *tree.Tree, h []int64, kappa int64) ObjectPlacement {
+	return s.placeObjectInto(t, h, kappa, nil)
+}
+
+// placeObjectInto is placeObject appending the copy set into dst[:0]
+// (reusing its capacity; nil allocates) — the zero-allocation warm path of
+// the reusable solver, which recycles each object's previous copy slice.
+func (s *Scratch) placeObjectInto(t *tree.Tree, h []int64, kappa int64, dst []tree.NodeID) ObjectPlacement {
 	g := s.gravityCenter(t, h)
 	var total int64
 	for _, v := range h {
 		total += v
 	}
 	if total == 0 {
-		return ObjectPlacement{Gravity: g, Copies: []tree.NodeID{g}}
+		return ObjectPlacement{Gravity: g, Copies: append(dst[:0], g)}
 	}
 	// Convert the 0-rooted subtree sums (left in s.sub by gravityCenter)
 	// into g-rooted ones in place instead of re-rooting the whole tree:
@@ -143,7 +150,10 @@ func (s *Scratch) placeObject(t *tree.Tree, h []int64, kappa int64) ObjectPlacem
 		sub[a] = total - prevOrig
 		prevOrig = orig
 	}
-	copies := make([]tree.NodeID, 0, 8)
+	copies := dst[:0]
+	if copies == nil {
+		copies = make([]tree.NodeID, 0, 8)
+	}
 	for v := 0; v < t.Len(); v++ {
 		id := tree.NodeID(v)
 		if id == g || sub[id] > kappa {
@@ -157,8 +167,15 @@ func (s *Scratch) placeObject(t *tree.Tree, h []int64, kappa int64) ObjectPlacem
 // reusable Scratch — the per-object entry point for incremental callers
 // that re-place a few objects after their frequencies changed.
 func PlaceObjectScratch(s *Scratch, t *tree.Tree, w *workload.W, x int) ObjectPlacement {
+	return PlaceObjectScratchInto(s, t, w, x, nil)
+}
+
+// PlaceObjectScratchInto is PlaceObjectScratch appending the copy set into
+// dst[:0] (reusing its capacity; nil allocates), for callers that own the
+// result storage and recycle it across runs.
+func PlaceObjectScratchInto(s *Scratch, t *tree.Tree, w *workload.W, x int, dst []tree.NodeID) ObjectPlacement {
 	s.h = w.WeightsInto(x, s.h)
-	return s.placeObject(t, s.h, w.Kappa(x))
+	return s.placeObjectInto(t, s.h, w.Kappa(x), dst)
 }
 
 // Place runs the nibble strategy for every object of w on t.

@@ -13,12 +13,16 @@ import (
 )
 
 // Workers resolves a requested parallelism degree: values <= 0 mean
-// runtime.GOMAXPROCS(0).
+// runtime.GOMAXPROCS(0), and explicit requests are capped there too — the
+// solver stages are CPU-bound, so oversubscription only adds scheduling
+// and per-worker scratch overhead. This is the single source of truth for
+// the clamp; callers must not re-cap.
 func Workers(requested int) int {
-	if requested > 0 {
-		return requested
+	m := runtime.GOMAXPROCS(0)
+	if requested <= 0 || requested > m {
+		return m
 	}
-	return runtime.GOMAXPROCS(0)
+	return requested
 }
 
 // ForEach invokes fn(worker, i) for every i in [0,n), distributing indices

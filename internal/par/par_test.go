@@ -43,15 +43,37 @@ func TestForEachPropagatesPanic(t *testing.T) {
 	})
 }
 
+// Workers is the single source of truth for the worker-count clamp:
+// non-positive requests resolve to GOMAXPROCS, and explicit requests are
+// capped there (the stages are CPU-bound; oversubscription only hurts).
 func TestWorkers(t *testing.T) {
-	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
-		t.Fatalf("Workers(0) = %d", got)
+	m := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != m {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS = %d", got, m)
 	}
-	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
-		t.Fatalf("Workers(-3) = %d", got)
+	if got := Workers(-3); got != m {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS = %d", got, m)
 	}
-	if got := Workers(5); got != 5 {
-		t.Fatalf("Workers(5) = %d", got)
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d, want 1", got)
+	}
+	if got := Workers(m); got != m {
+		t.Fatalf("Workers(%d) = %d, want %d", m, got, m)
+	}
+	if got := Workers(m + 7); got != m {
+		t.Fatalf("Workers(%d) = %d, want cap at GOMAXPROCS = %d", m+7, got, m)
+	}
+	// The cap tracks GOMAXPROCS dynamically.
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+	if got := Workers(8); got != 2 {
+		t.Fatalf("Workers(8) under GOMAXPROCS=2 = %d, want 2", got)
+	}
+	if got := Workers(2); got != 2 {
+		t.Fatalf("Workers(2) under GOMAXPROCS=2 = %d, want 2", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) under GOMAXPROCS=2 = %d, want 1", got)
 	}
 }
 

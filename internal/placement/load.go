@@ -2,7 +2,6 @@ package placement
 
 import (
 	"fmt"
-	"slices"
 
 	"hbn/internal/par"
 	"hbn/internal/ratio"
@@ -72,9 +71,11 @@ type Evaluator struct {
 	sums []int64
 
 	// perObj[x] is object x's edge-load contribution, maintained by
-	// EvaluateTracked/Reevaluate for incremental re-evaluation; dirty is
-	// the O(1) dedup bitmap for Reevaluate's changed list.
+	// EvaluateTracked/Reevaluate for incremental re-evaluation; flat is the
+	// shared backing array (reused across tracked evaluations of equal
+	// shape); dirty is the O(1) dedup bitmap for Reevaluate's changed list.
 	perObj  [][]int64
+	flat    []int64
 	tracked []int64
 	dirty   []bool
 
@@ -138,19 +139,49 @@ func (ev *Evaluator) EvaluateMany(ps []*P) []*Report {
 // edge-load contribution so a later Reevaluate can refresh only the
 // objects that changed.
 func (ev *Evaluator) EvaluateTracked(p *P) *Report {
+	return ev.EvaluateTrackedInto(&Report{}, p, 1)
+}
+
+// EvaluateTrackedInto is EvaluateTracked writing into rep, reusing the
+// evaluator's tracking buffers when their shape still matches and sharding
+// the per-object accumulation over workers (<= 0 means GOMAXPROCS; every
+// object writes its own pre-assigned slot, so the result is bit-identical
+// for any worker count). A warm call allocates nothing beyond the report's
+// bottleneck string.
+func (ev *Evaluator) EvaluateTrackedInto(rep *Report, p *P, workers int) *Report {
 	ne := ev.t.NumEdges()
-	ev.perObj = make([][]int64, p.NumObjects)
-	flat := make([]int64, p.NumObjects*ne) // one backing array for locality
-	ev.tracked = make([]int64, ne)
-	ev.dirty = make([]bool, p.NumObjects)
+	if len(ev.perObj) != p.NumObjects || len(ev.flat) != p.NumObjects*ne {
+		ev.perObj = make([][]int64, p.NumObjects)
+		ev.flat = make([]int64, p.NumObjects*ne) // one backing array for locality
+		ev.tracked = make([]int64, ne)
+		ev.dirty = make([]bool, p.NumObjects)
+		for x := range ev.perObj {
+			ev.perObj[x] = ev.flat[x*ne : (x+1)*ne : (x+1)*ne]
+		}
+	} else {
+		clear(ev.flat)
+	}
+	clear(ev.tracked)
+	workers = par.Workers(workers)
+	if workers <= 1 || p.NumObjects <= 1 {
+		for x := range ev.perObj {
+			ev.accumulateObject(p, x, ev.perObj[x])
+		}
+	} else {
+		for len(ev.pool) < workers {
+			ev.pool = append(ev.pool, newEvaluatorShared(ev.t, ev.r))
+			ev.partial = append(ev.partial, make([]int64, ne))
+		}
+		par.ForEach(workers, p.NumObjects, func(w, x int) {
+			ev.pool[w].accumulateObject(p, x, ev.perObj[x])
+		})
+	}
 	for x := range ev.perObj {
-		ev.perObj[x] = flat[x*ne : (x+1)*ne : (x+1)*ne]
-		ev.accumulateObject(p, x, ev.perObj[x])
 		for e, l := range ev.perObj[x] {
 			ev.tracked[e] += l
 		}
 	}
-	return ev.trackedReport()
+	return ev.trackedReportInto(rep)
 }
 
 // Reevaluate refreshes the tracked evaluation after the listed objects
@@ -158,6 +189,12 @@ func (ev *Evaluator) EvaluateTracked(p *P) *Report {
 // O(changed · |V|) instead of O(|X| · |V|). EvaluateTracked must have run
 // first with the same object count.
 func (ev *Evaluator) Reevaluate(p *P, changed []int) *Report {
+	return ev.ReevaluateInto(&Report{}, p, changed)
+}
+
+// ReevaluateInto is Reevaluate writing into rep (reusing its slices); the
+// allocation-free steady path of incremental re-evaluation.
+func (ev *Evaluator) ReevaluateInto(rep *Report, p *P, changed []int) *Report {
 	if ev.perObj == nil || len(ev.perObj) != p.NumObjects {
 		panic("placement: Reevaluate without matching EvaluateTracked")
 	}
@@ -178,17 +215,12 @@ func (ev *Evaluator) Reevaluate(p *P, changed []int) *Report {
 	for _, x := range changed {
 		ev.dirty[x] = false
 	}
-	return ev.trackedReport()
+	return ev.trackedReportInto(rep)
 }
 
-func (ev *Evaluator) trackedReport() *Report {
-	rep := &Report{
-		EdgeLoad:       slices.Clone(ev.tracked),
-		BusLoadX2:      make([]int64, ev.t.Len()),
-		Congestion:     ratio.Zero,
-		BottleneckEdge: tree.NoEdge,
-		BottleneckBus:  tree.None,
-	}
+func (ev *Evaluator) trackedReportInto(rep *Report) *Report {
+	ev.resetReport(rep)
+	copy(rep.EdgeLoad, ev.tracked)
 	finishReport(ev.t, rep)
 	rep.Bottleneck = rep.FormatBottleneck(ev.t)
 	return rep

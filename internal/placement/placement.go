@@ -14,6 +14,7 @@ package placement
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"hbn/internal/par"
@@ -132,6 +133,15 @@ func (p *P) ValidateParallel(t *tree.Tree, w *workload.W, workers int) error {
 	return nil
 }
 
+// ValidateObject checks one object of p against w using caller-provided
+// tally scratch of length >= max(t.Len(), w.NumNodes()), all-zero on entry
+// and re-zeroed before returning. It is the per-object core of
+// ValidateParallel, exported for incremental callers that re-validate only
+// the objects they touched.
+func (p *P) ValidateObject(t *tree.Tree, w *workload.W, x int, reads, writes []int64) error {
+	return p.validateObject(t, w, x, reads, writes)
+}
+
 // validateObject checks one object against scratch tally arrays of length
 // t.Len(); the arrays must be all-zero on entry and are re-zeroed before
 // returning (on every path).
@@ -207,39 +217,57 @@ func (p *P) MergePerNodeParallel(numNodes, workers int) *P {
 	out := New(p.NumObjects)
 	workers = par.Workers(workers)
 	byNodes := make([][]*Copy, workers)
+	counts := make([][]int32, workers)
 	par.ForEach(workers, p.NumObjects, func(wk, x int) {
-		byNode := byNodes[wk]
-		if byNode == nil {
-			byNode = make([]*Copy, numNodes)
-			byNodes[wk] = byNode
+		if byNodes[wk] == nil {
+			byNodes[wk] = make([]*Copy, numNodes)
+			counts[wk] = make([]int32, numNodes)
 		}
-		merged := make([]*Copy, 0, len(p.Copies[x]))
-		for _, c := range p.Copies[x] {
-			m := byNode[c.Node]
-			if m == nil {
-				m = &Copy{Object: x, Node: c.Node}
-				byNode[c.Node] = m
-				merged = append(merged, m)
-			}
-			m.Shares = append(m.Shares, c.Shares...)
-		}
-		for _, m := range merged {
-			byNode[m.Node] = nil
-		}
-		sort.Slice(merged, func(i, j int) bool { return merged[i].Node < merged[j].Node })
-		if len(merged) > 0 {
-			out.Copies[x] = merged
-		}
+		out.Copies[x] = MergeObject(x, p.Copies[x], byNodes[wk], counts[wk], nil)
 	})
 	return out
+}
+
+// MergeObject merges one object's copies per node (the per-object core of
+// MergePerNode): copies sharing a node become a single copy whose shares
+// are concatenated in input order, and the merged list is sorted by node.
+// byNode and counts are scratch of length > max node ID, all-nil/zero on
+// entry and reset before returning; records come from a (nil = heap).
+func MergeObject(x int, cs []*Copy, byNode []*Copy, counts []int32, a *Arena) []*Copy {
+	if len(cs) == 0 {
+		return nil
+	}
+	merged := a.NewCopyList(len(cs))
+	for _, c := range cs {
+		if byNode[c.Node] == nil {
+			m := a.NewCopy(x, c.Node, nil)
+			byNode[c.Node] = m
+			merged = append(merged, m)
+		}
+		counts[c.Node] += int32(len(c.Shares))
+	}
+	for _, m := range merged {
+		m.Shares = a.NewShares(int(counts[m.Node]))
+	}
+	for _, c := range cs {
+		m := byNode[c.Node]
+		m.Shares = append(m.Shares, c.Shares...)
+	}
+	for _, m := range merged {
+		byNode[m.Node] = nil
+		counts[m.Node] = 0
+	}
+	slices.SortFunc(merged, func(a, b *Copy) int { return int(a.Node - b.Node) })
+	return merged
 }
 
 // assignObject builds object x's copy list from its copy-node set and a
 // reference assignment (ref[v] names the copy serving node v; ignored when
 // v has no demand). byNode and counts are scratch of length >= t.Len(),
-// all-nil/zero on entry and reset before returning on every path.
-func assignObject(t *tree.Tree, w *workload.W, x int, copyNodes []tree.NodeID, ref []tree.NodeID, byNode []*Copy, counts []int32) ([]*Copy, error) {
-	out := make([]*Copy, 0, len(copyNodes))
+// all-nil/zero on entry and reset before returning on every path. Records
+// are allocated from a (nil falls back to the heap).
+func assignObject(t *tree.Tree, w *workload.W, x int, copyNodes []tree.NodeID, ref []tree.NodeID, byNode []*Copy, counts []int32, a *Arena) ([]*Copy, error) {
+	out := a.NewCopyList(len(copyNodes))
 	reset := func() {
 		for _, c := range out {
 			byNode[c.Node] = nil
@@ -255,7 +283,7 @@ func assignObject(t *tree.Tree, w *workload.W, x int, copyNodes []tree.NodeID, r
 			reset()
 			return nil, fmt.Errorf("placement: object %d lists node %d twice", x, v)
 		}
-		c := &Copy{Object: x, Node: v}
+		c := a.NewCopy(x, v, nil)
 		byNode[v] = c
 		out = append(out, c)
 	}
@@ -280,7 +308,7 @@ func assignObject(t *tree.Tree, w *workload.W, x int, copyNodes []tree.NodeID, r
 	}
 	for _, c := range out {
 		if n := counts[c.Node]; n > 0 {
-			c.Shares = make([]Share, 0, n)
+			c.Shares = a.NewShares(int(n))
 		}
 	}
 	for v, a := range row {
@@ -302,7 +330,7 @@ func FromAssignment(t *tree.Tree, w *workload.W, copies [][]tree.NodeID, ref [][
 	byNode := make([]*Copy, t.Len())
 	counts := make([]int32, t.Len())
 	for x := 0; x < w.NumObjects(); x++ {
-		cs, err := assignObject(t, w, x, copies[x], ref[x], byNode, counts)
+		cs, err := assignObject(t, w, x, copies[x], ref[x], byNode, counts, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -320,19 +348,40 @@ func NearestAssignment(t *tree.Tree, w *workload.W, copies [][]tree.NodeID) (*P,
 	return NearestAssignmentParallel(t, w, copies, 1)
 }
 
-// NearestObjectAssignment builds a single object's copy list with
-// nearest-copy assignment — the per-object entry point for incremental
-// callers that refresh one object of a larger placement.
-func NearestObjectAssignment(t *tree.Tree, w *workload.W, x int, copyNodes []tree.NodeID) ([]*Copy, error) {
+// AssignScratch bundles the reusable state of per-object nearest-copy
+// assignment: the multi-source BFS finder and the by-node/count tallies.
+// One scratch serves many NearestObject calls without allocating beyond the
+// records themselves; it is not safe for concurrent use.
+type AssignScratch struct {
+	byNode []*Copy
+	counts []int32
+	finder tree.NearestFinder
+}
+
+// NewAssignScratch returns an AssignScratch for trees of t's size.
+func NewAssignScratch(t *tree.Tree) *AssignScratch {
+	return &AssignScratch{byNode: make([]*Copy, t.Len()), counts: make([]int32, t.Len())}
+}
+
+// NearestObject builds object x's copy list with nearest-copy assignment,
+// allocating the records from a (nil falls back to the heap). It is the
+// scratch-reusing per-object core of NearestAssignmentParallel.
+func (s *AssignScratch) NearestObject(t *tree.Tree, w *workload.W, x int, copyNodes []tree.NodeID, a *Arena) ([]*Copy, error) {
 	if len(copyNodes) == 0 {
 		if w.TotalWeight(x) == 0 {
 			return nil, nil
 		}
 		return nil, fmt.Errorf("placement: object %d has demand but no copies", x)
 	}
-	var f tree.NearestFinder
-	nearest, _ := f.Find(t, copyNodes)
-	return assignObject(t, w, x, copyNodes, nearest, make([]*Copy, t.Len()), make([]int32, t.Len()))
+	nearest, _ := s.finder.Find(t, copyNodes)
+	return assignObject(t, w, x, copyNodes, nearest, s.byNode, s.counts, a)
+}
+
+// NearestObjectAssignment builds a single object's copy list with
+// nearest-copy assignment — the per-object entry point for incremental
+// callers that refresh one object of a larger placement.
+func NearestObjectAssignment(t *tree.Tree, w *workload.W, x int, copyNodes []tree.NodeID) ([]*Copy, error) {
+	return NewAssignScratch(t).NearestObject(t, w, x, copyNodes, nil)
 }
 
 // NearestAssignmentParallel is NearestAssignment sharding the per-object
@@ -341,28 +390,16 @@ func NearestObjectAssignment(t *tree.Tree, w *workload.W, x int, copyNodes []tre
 // the sequential build.
 func NearestAssignmentParallel(t *tree.Tree, w *workload.W, copies [][]tree.NodeID, workers int) (*P, error) {
 	workers = par.Workers(workers)
-	type scratch struct {
-		byNode []*Copy
-		counts []int32
-		finder tree.NearestFinder
-	}
-	scr := make([]*scratch, workers)
+	scr := make([]*AssignScratch, workers)
 	p := New(w.NumObjects())
 	errs := make([]error, w.NumObjects())
 	par.ForEach(workers, w.NumObjects(), func(wk, x int) {
 		s := scr[wk]
 		if s == nil {
-			s = &scratch{byNode: make([]*Copy, t.Len()), counts: make([]int32, t.Len())}
+			s = NewAssignScratch(t)
 			scr[wk] = s
 		}
-		if len(copies[x]) == 0 {
-			if w.TotalWeight(x) > 0 {
-				errs[x] = fmt.Errorf("placement: object %d has demand but no copies", x)
-			}
-			return
-		}
-		nearest, _ := s.finder.Find(t, copies[x])
-		cs, err := assignObject(t, w, x, copies[x], nearest, s.byNode, s.counts)
+		cs, err := s.NearestObject(t, w, x, copies[x], nil)
 		if err != nil {
 			errs[x] = err
 			return

@@ -1,0 +1,93 @@
+// Package solverbench holds the canonical solver benchmark bodies, shared
+// by the root bench_test.go (go test -bench) and cmd/hbnbench
+// (-solverbench). Both emit results under the same benchmark names into
+// CI and the BENCH_*.json trajectory files, so the instance recipe,
+// warm-up protocol and drift pattern must be defined exactly once.
+package solverbench
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbn/internal/core"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// Instance builds the deterministic benchmark instance (seed 99, random
+// tree, uniform workload). The solver benchmarks use Instance(1000, 64).
+func Instance(nodes, objects int) (*tree.Tree, *workload.W) {
+	rng := rand.New(rand.NewSource(99))
+	t := tree.Random(rng, nodes, 6, 0.4, 16)
+	w := workload.Uniform(rng, t, objects, workload.DefaultGen)
+	return t, w
+}
+
+// warmSolver returns a solver warmed with two full solves, so all scratch
+// and arenas sit at their high-water mark.
+func warmSolver(b *testing.B, t *tree.Tree, w *workload.W, opts core.Options) *core.Solver {
+	b.Helper()
+	s, err := core.NewSolver(t, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Solve(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// WarmSolve measures the steady path: a warm reusable Solver re-solving
+// the 1000x64 instance at the given Parallelism.
+func WarmSolve(b *testing.B, parallelism int) {
+	t, w := Instance(1000, 64)
+	opts := core.DefaultOptions()
+	opts.Parallelism = parallelism
+	s := warmSolver(b, t, w, opts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ColdSolve measures the one-shot convenience entry point (a fresh solver
+// per call — PR 1's measurement methodology).
+func ColdSolve(b *testing.B) {
+	t, w := Instance(1000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(t, w, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Resolve measures the incremental re-solve: each iteration drifts delta
+// distinct objects (one read bump on a rotating leaf each) and calls
+// Solver.Resolve with exactly that change list.
+func Resolve(b *testing.B, delta int) {
+	t, w := Instance(1000, 64)
+	s := warmSolver(b, t, w, core.DefaultOptions())
+	leaves := t.Leaves()
+	changed := make([]int, delta)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for d := 0; d < delta; d++ {
+			x := (i*delta + d) % w.NumObjects()
+			v := leaves[(i+d)%len(leaves)]
+			a := w.At(x, v)
+			w.Set(x, v, workload.Access{Reads: a.Reads + 1, Writes: a.Writes})
+			changed[d] = x
+		}
+		if _, err := s.Resolve(changed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

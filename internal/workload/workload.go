@@ -147,11 +147,21 @@ func (w *W) ValidateHBN(t *tree.Tree) error {
 		return fmt.Errorf("workload: built for %d nodes, tree has %d", w.nodes, t.Len())
 	}
 	for x := 0; x < w.objects; x++ {
-		row := w.acc[x*w.nodes : (x+1)*w.nodes]
-		for v, a := range row {
-			if a.Reads|a.Writes != 0 && !t.IsLeaf(tree.NodeID(v)) {
-				return fmt.Errorf("workload: inner node %d has accesses to object %d; only processors may issue requests", v, x)
-			}
+		if err := w.ValidateHBNObject(t, x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateHBNObject is the per-object core of ValidateHBN (the dimensions
+// must already match t), for incremental callers that re-check only the
+// objects whose frequencies changed.
+func (w *W) ValidateHBNObject(t *tree.Tree, x int) error {
+	row := w.acc[x*w.nodes : (x+1)*w.nodes]
+	for v, a := range row {
+		if a.Reads|a.Writes != 0 && !t.IsLeaf(tree.NodeID(v)) {
+			return fmt.Errorf("workload: inner node %d has accesses to object %d; only processors may issue requests", v, x)
 		}
 	}
 	return nil
