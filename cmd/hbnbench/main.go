@@ -10,6 +10,7 @@
 //	hbnbench -experiment all -markdown  # EXPERIMENTS.md body on stdout
 //	hbnbench -experiment all -json      # machine-readable, for BENCH_*.json
 //	hbnbench -experiment none -solverbench -json  # solver benchmarks only
+//	hbnbench -experiment none -serve    # trace-driven serving benchmark
 package main
 
 import (
@@ -54,6 +55,7 @@ type jsonOutput struct {
 	GoMaxProcs int          `json:"gomaxprocs"`
 	Results    []jsonResult `json:"results"`
 	Benchmarks []jsonBench  `json:"benchmarks,omitempty"`
+	Serving    []jsonServe  `json:"serving,omitempty"`
 }
 
 func main() {
@@ -64,6 +66,7 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit JSON instead of aligned text")
 		seed       = flag.Int64("seed", 2000, "base random seed")
 		solverB    = flag.Bool("solverbench", false, "measure the solver benchmarks (warm/cold Solve, Resolve) and emit them in -json mode")
+		serveB     = flag.Bool("serve", false, "run the trace-driven serving benchmark (sharded cluster, epoch re-solve vs baseline vs clairvoyant static)")
 	)
 	flag.Parse()
 
@@ -101,6 +104,14 @@ func main() {
 	if *solverB {
 		benches = solverBenchmarks()
 	}
+	var serving []jsonServe
+	if *serveB {
+		var err error
+		serving, err = runServeBench(*quick, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	switch {
 	case *jsonOut:
@@ -113,6 +124,7 @@ func main() {
 			GoMaxProcs: runtime.GOMAXPROCS(0),
 			Results:    timed,
 			Benchmarks: benches,
+			Serving:    serving,
 		}); err != nil {
 			fatal(err)
 		}
@@ -130,6 +142,9 @@ func main() {
 		for _, b := range benches {
 			fmt.Printf("%-36s %12.0f ns/op %10d B/op %8d allocs/op  %s\n",
 				b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp, b.Note)
+		}
+		if len(serving) > 0 {
+			printServeBench(serving)
 		}
 	}
 	for _, r := range results {

@@ -98,6 +98,7 @@ import (
 	"hbn/internal/placement"
 	"hbn/internal/ratio"
 	"hbn/internal/ring"
+	"hbn/internal/serve"
 	"hbn/internal/tree"
 	"hbn/internal/workload"
 )
@@ -144,6 +145,19 @@ type (
 	// Evaluator scores placements with reusable scratch state; see the
 	// package comment's Performance section.
 	Evaluator = placement.Evaluator
+	// TraceEvent is one online access of a request trace (the event type
+	// the workload scenario generators emit and Cluster.Ingest consumes).
+	TraceEvent = workload.TraceEvent
+	// Cluster is the sharded concurrent online serving layer with epoch
+	// re-solve; see NewCluster.
+	Cluster = serve.Cluster
+	// ClusterOptions tune a Cluster (shards, epoch length, threshold,
+	// background re-solving).
+	ClusterOptions = serve.Options
+	// ClusterStats summarize a Cluster's served traffic and epoch passes.
+	ClusterStats = serve.Stats
+	// EpochStat records one epoch re-solve pass of a Cluster.
+	EpochStat = serve.EpochStat
 )
 
 // None is the sentinel "no node" value.
@@ -226,6 +240,16 @@ func BaselineNames() []string { return baseline.Names() }
 // replication threshold (1 = replicate eagerly).
 func NewOnline(t *Tree, numObjects, threshold int) *OnlineStrategy {
 	return dynamic.New(t, numObjects, dynamic.Options{Threshold: threshold})
+}
+
+// NewCluster creates the concurrent online serving layer: requests ingest
+// in batches, shard by object onto parallel online strategies, and every
+// ClusterOptions.EpochRequests served requests the observed frequencies
+// of the drifted objects feed a shared incremental Solver whose fresh
+// static placement each shard adopts as its warm state. With Shards: 1
+// and EpochRequests: 0 a Cluster serves exactly like NewOnline.
+func NewCluster(t *Tree, numObjects int, opts ClusterOptions) (*Cluster, error) {
+	return serve.NewCluster(t, numObjects, opts)
 }
 
 // Generators for common network shapes (all valid hierarchical bus

@@ -38,12 +38,11 @@ import (
 	"hbn/internal/workload"
 )
 
-// Request is one online access.
-type Request struct {
-	Object int
-	Node   tree.NodeID
-	Write  bool
-}
+// Request is one online access. It aliases workload.TraceEvent, the
+// canonical trace event type the scenario generators produce, so traces
+// flow into Serve (and the serving layer's Cluster.Ingest) without
+// conversion.
+type Request = workload.TraceEvent
 
 // Options tune the strategy.
 type Options struct {
@@ -103,6 +102,12 @@ func New(t *tree.Tree, numObjects int, opts Options) *Strategy {
 		ServiceLoad: make([]int64, t.NumEdges()),
 	}
 }
+
+// Requests returns the number of requests served so far.
+func (s *Strategy) Requests() int64 { return int64(s.requests) }
+
+// NumObjects returns the object-space size the strategy was built for.
+func (s *Strategy) NumObjects() int { return len(s.isCopy) }
 
 // Copies returns the current copy nodes of object x (sorted).
 func (s *Strategy) Copies(x int) []tree.NodeID {
@@ -197,7 +202,7 @@ func (s *Strategy) materialize(x int, home tree.NodeID) {
 	}
 	s.isCopy[x][home] = true
 	s.copyList[x] = append(s.copyList[x][:0], home)
-	s.rebuildNearest(x, home)
+	s.rebuildNearest(x)
 }
 
 // contract reduces object x's copy set to the single copy on home.
@@ -207,28 +212,104 @@ func (s *Strategy) contract(x int, home tree.NodeID) {
 	}
 	s.isCopy[x][home] = true
 	s.copyList[x] = append(s.copyList[x][:0], home)
-	s.rebuildNearest(x, home)
+	s.rebuildNearest(x)
 }
 
-// rebuildNearest recomputes the nearest tables from a single source.
-func (s *Strategy) rebuildNearest(x int, home tree.NodeID) {
+// rebuildNearest recomputes the nearest tables of object x from scratch: a
+// multi-source BFS from the current copy set. Ties go to the copy earliest
+// in copyList (BFS seeding order), deterministically.
+func (s *Strategy) rebuildNearest(x int) {
 	nearest, dist := s.nearest[x], s.ndist[x]
 	for i := range dist {
-		nearest[i] = home
 		dist[i] = -1
 	}
-	dist[home] = 0
-	queue := append(s.queue[:0], home)
+	queue := s.queue[:0]
+	for _, v := range s.copyList[x] {
+		if dist[v] == 0 {
+			continue // duplicate source
+		}
+		dist[v] = 0
+		nearest[v] = v
+		queue = append(queue, v)
+	}
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
 		for _, h := range s.t.Adj(v) {
 			if dist[h.To] < 0 {
 				dist[h.To] = dist[v] + 1
+				nearest[h.To] = nearest[v]
 				queue = append(queue, h.To)
 			}
 		}
 	}
 	s.queue = queue[:0]
+}
+
+// AdoptCopySet replaces object x's copy set with the given set of nodes
+// (duplicates ignored; must be non-empty) — the import half of the serving
+// layer's epoch re-solve, which pushes a freshly solved static placement
+// into the online strategy as its warm state. The nearest tables are
+// rebuilt from scratch and the read counters reset, so threshold dynamics
+// restart from the adopted placement.
+//
+// The returned value is the copy-movement distance: the sum over newly
+// added copy nodes of their tree distance to the previous copy set (zero
+// when the object had no copies yet, or when the set is unchanged). The
+// caller decides whether to charge it to an edge-load account; the
+// strategy itself books adoption separately from request-driven movement.
+func (s *Strategy) AdoptCopySet(x int, nodes []tree.NodeID) int64 {
+	if x < 0 || x >= len(s.isCopy) {
+		panic(fmt.Sprintf("dynamic: object %d out of range", x))
+	}
+	if len(nodes) == 0 {
+		panic("dynamic: AdoptCopySet with empty copy set")
+	}
+	if s.isCopy[x] == nil {
+		// First touch via adoption: the object materializes directly on the
+		// adopted set, no movement.
+		n := s.t.Len()
+		s.isCopy[x] = make([]bool, n)
+		s.nearest[x] = make([]tree.NodeID, n)
+		s.ndist[x] = make([]int32, n)
+		s.curGen[x] = 1
+		for _, v := range nodes {
+			if !s.isCopy[x][v] {
+				s.isCopy[x][v] = true
+				s.copyList[x] = append(s.copyList[x], v)
+			}
+		}
+		s.rebuildNearest(x)
+		return 0
+	}
+	// Pre-adoption nearest tables price the movement of each new copy.
+	var moved int64
+	added, dropped := 0, len(s.copyList[x])
+	for _, v := range s.copyList[x] {
+		s.isCopy[x][v] = false
+	}
+	list := s.copyList[x][:0]
+	for _, v := range nodes {
+		if s.isCopy[x][v] {
+			continue // duplicate in input
+		}
+		s.isCopy[x][v] = true
+		list = append(list, v)
+		if d := s.ndist[x][v]; d > 0 {
+			moved += int64(d)
+			added++
+		} else {
+			dropped--
+		}
+	}
+	s.copyList[x] = list
+	if added == 0 && dropped == 0 {
+		// Same set as before: the tables are still exact; keep the read
+		// counters so an unchanged placement does not reset adaptation.
+		return 0
+	}
+	s.rebuildNearest(x)
+	s.curGen[x]++
+	return moved
 }
 
 // addCopy inserts joiner into object x's copy set and relaxes the nearest
@@ -372,6 +453,12 @@ type OfflineTracker struct {
 	scr   *nibble.Scratch
 	dirty []bool
 	queue []int
+
+	// drift/driftQ mirror dirty/queue but are drained by external epoch
+	// re-solvers (DrainDrifted) instead of Report, so the two consumers of
+	// "what changed since I last looked" do not clobber each other.
+	drift  []bool
+	driftQ []int
 }
 
 // NewOfflineTracker creates a tracker for numObjects objects on t.
@@ -382,6 +469,7 @@ func NewOfflineTracker(t *tree.Tree, numObjects int) *OfflineTracker {
 		ev:    placement.NewEvaluator(t),
 		scr:   nibble.NewScratch(t),
 		dirty: make([]bool, numObjects),
+		drift: make([]bool, numObjects),
 	}
 }
 
@@ -396,6 +484,23 @@ func (ot *OfflineTracker) Record(r Request) {
 		ot.dirty[r.Object] = true
 		ot.queue = append(ot.queue, r.Object)
 	}
+	if !ot.drift[r.Object] {
+		ot.drift[r.Object] = true
+		ot.driftQ = append(ot.driftQ, r.Object)
+	}
+}
+
+// DrainDrifted appends to dst the objects recorded since the previous
+// drain (in first-touch order) and resets the drift set. It is independent
+// of Report's own dirty tracking: epoch re-solvers drain drift while the
+// incremental comparator keeps refreshing exactly the objects it must.
+func (ot *OfflineTracker) DrainDrifted(dst []int) []int {
+	dst = append(dst, ot.driftQ...)
+	for _, x := range ot.driftQ {
+		ot.drift[x] = false
+	}
+	ot.driftQ = ot.driftQ[:0]
+	return dst
 }
 
 // Workload exposes the aggregated frequencies recorded so far (read-only).

@@ -1,0 +1,145 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbn/internal/tree"
+)
+
+// bfsDist computes, from scratch, the multi-source BFS distance of every
+// node to the given copy set — the specification the incrementally
+// maintained nearest tables must match.
+func bfsDist(t *tree.Tree, copies []tree.NodeID) []int32 {
+	dist := make([]int32, t.Len())
+	for i := range dist {
+		dist[i] = -1
+	}
+	var queue []tree.NodeID
+	for _, v := range copies {
+		if dist[v] == 0 {
+			continue
+		}
+		dist[v] = 0
+		queue = append(queue, v)
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, h := range t.Adj(v) {
+			if dist[h.To] < 0 {
+				dist[h.To] = dist[v] + 1
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return dist
+}
+
+// checkNearestTables asserts the incremental tables of every materialized
+// object against a from-scratch BFS: ndist equals the true distance to the
+// copy set, nearest points at an actual copy, and the pointed-at copy
+// really is at distance ndist (so "nearest" is not just any copy). Exact
+// tie-breaking is NOT part of the contract — relaxation keeps the previous
+// reference copy on ties, a fresh BFS picks by seeding order — so the
+// check compares distances, not identities.
+func checkNearestTables(t *testing.T, tr *tree.Tree, s *Strategy, ctx string) {
+	t.Helper()
+	r := tr.Rooted0()
+	for x := 0; x < s.NumObjects(); x++ {
+		if s.isCopy[x] == nil {
+			continue
+		}
+		want := bfsDist(tr, s.copyList[x])
+		for v := 0; v < tr.Len(); v++ {
+			id := tree.NodeID(v)
+			if s.ndist[x][v] != want[v] {
+				t.Fatalf("%s: object %d node %d: incremental dist %d != BFS %d (copies %v)",
+					ctx, x, v, s.ndist[x][v], want[v], s.copyList[x])
+			}
+			near := s.nearest[x][v]
+			if !s.isCopy[x][near] {
+				t.Fatalf("%s: object %d node %d: nearest %d is not a copy (copies %v)",
+					ctx, x, v, near, s.copyList[x])
+			}
+			if got := int32(r.PathLen(id, near)); got != want[v] {
+				t.Fatalf("%s: object %d node %d: nearest %d at distance %d, true nearest at %d",
+					ctx, x, v, near, got, want[v])
+			}
+		}
+	}
+}
+
+// The incremental nearest-copy tables (relaxation on replicate, one BFS on
+// write contraction, multi-source rebuild on adoption) must always match a
+// from-scratch BFS recomputation, after arbitrary request sequences
+// interleaved with copy-set adoptions.
+func TestNearestTablesMatchBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(733))
+	for trial := 0; trial < 12; trial++ {
+		tr := tree.Random(rng, 8+rng.Intn(40), 4, 0.4, 8)
+		const objects = 4
+		s := New(tr, objects, Options{Threshold: 1 + rng.Intn(3)})
+		reqs := RandomSequence(rng, tr, objects, 400, 0.25)
+		leaves := tr.Leaves()
+		for i, r := range reqs {
+			s.Serve(r)
+			if i%23 == 0 {
+				checkNearestTables(t, tr, s, "after serve")
+			}
+			if i%61 == 60 {
+				// Adopt a random leaf set for a random object, as the epoch
+				// re-solver does, and keep serving.
+				x := rng.Intn(objects)
+				k := 1 + rng.Intn(min(4, len(leaves)))
+				perm := rng.Perm(len(leaves))
+				nodes := make([]tree.NodeID, k)
+				for j := range nodes {
+					nodes[j] = leaves[perm[j]]
+				}
+				s.AdoptCopySet(x, nodes)
+				checkNearestTables(t, tr, s, "after adopt")
+			}
+		}
+		checkNearestTables(t, tr, s, "final")
+	}
+}
+
+// Adoption prices copy movement as the distance from each new copy to the
+// previous copy set, charges nothing for an unchanged set, and nothing for
+// a first materialization.
+func TestAdoptCopySetMovement(t *testing.T) {
+	tr := tree.Caterpillar(5, 1, 8, 8) // a path of leaves hanging off a bus spine
+	leaves := tr.Leaves()
+	s := New(tr, 2, Options{Threshold: 1})
+
+	// First adoption materializes for free.
+	if moved := s.AdoptCopySet(0, []tree.NodeID{leaves[0]}); moved != 0 {
+		t.Fatalf("first adoption moved %d, want 0", moved)
+	}
+	// Re-adopting the identical set is free and keeps read counters.
+	if moved := s.AdoptCopySet(0, []tree.NodeID{leaves[0]}); moved != 0 {
+		t.Fatalf("identical adoption moved %d, want 0", moved)
+	}
+	// Adding the far end pays its distance to the existing copy.
+	far := leaves[len(leaves)-1]
+	wantDist := int64(tr.Rooted0().PathLen(leaves[0], far))
+	if moved := s.AdoptCopySet(0, []tree.NodeID{leaves[0], far}); moved != wantDist {
+		t.Fatalf("adoption moved %d, want %d", moved, wantDist)
+	}
+	// Duplicates in the input are ignored.
+	if moved := s.AdoptCopySet(0, []tree.NodeID{far, far, leaves[0]}); moved != 0 {
+		t.Fatalf("duplicate adoption moved %d, want 0", moved)
+	}
+	if got := s.Copies(0); len(got) != 2 {
+		t.Fatalf("copies after duplicate adoption: %v", got)
+	}
+	// Shrinking the set costs nothing (deletions are free), and serving
+	// afterwards still works against consistent tables.
+	if moved := s.AdoptCopySet(0, []tree.NodeID{far}); moved != 0 {
+		t.Fatalf("shrinking adoption moved %d, want 0", moved)
+	}
+	if cost := s.Serve(Request{Object: 0, Node: far}); cost != 0 {
+		t.Fatalf("read at the adopted copy cost %d", cost)
+	}
+	checkNearestTables(t, tr, s, "after shrink")
+}

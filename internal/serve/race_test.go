@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// Race-stress: N goroutines ingest disjoint slices of one trace
+// concurrently while background epoch re-solves adopt fresh placements
+// into the shards. Run under -race in CI. The conservation law checked at
+// the end — total served requests and total returned service cost equal
+// the sums of the per-shard counters, and the aggregate service load sums
+// to the same cost — holds for every interleaving.
+func TestClusterRaceStress(t *testing.T) {
+	tr := tree.SCICluster(3, 5, 16, 8)
+	const (
+		objects   = 16
+		ingesters = 6
+		batchSize = 100
+		batches   = 24 // per ingester
+	)
+	trace := workload.HotspotMigration(rand.New(rand.NewSource(17)), tr, objects,
+		ingesters*batches*batchSize, 5, 0.7, 0.1)
+
+	c, err := NewCluster(tr, objects, Options{
+		Shards:        4,
+		EpochRequests: 900,
+		Threshold:     3,
+		Background:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg        sync.WaitGroup
+		totalCost atomic.Int64
+	)
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			part := trace[g*batches*batchSize : (g+1)*batches*batchSize]
+			for i := 0; i < len(part); i += batchSize {
+				cost, err := c.Ingest(part[i : i+batchSize])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				totalCost.Add(cost)
+			}
+		}(g)
+	}
+	wg.Wait()
+	// One synchronous pass drains any drift the background loop has not
+	// picked up yet, then the loop stops.
+	if err := c.ResolveNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := c.Stats()
+	if st.Requests != int64(len(trace)) {
+		t.Fatalf("served %d requests, ingested %d", st.Requests, len(trace))
+	}
+	if st.ServiceCost != totalCost.Load() {
+		t.Fatalf("per-shard service cost %d != sum of Ingest returns %d", st.ServiceCost, totalCost.Load())
+	}
+	var serviceSum int64
+	for _, l := range c.ServiceLoad() {
+		serviceSum += l
+	}
+	if serviceSum != totalCost.Load() {
+		t.Fatalf("aggregate service load %d != total returned cost %d", serviceSum, totalCost.Load())
+	}
+	if st.Epochs == 0 {
+		t.Fatal("no epoch passes ran during the stress")
+	}
+	// Every object's copy set must be live and owned by the right shard.
+	for x := 0; x < objects; x++ {
+		if len(c.Copies(x)) == 0 {
+			t.Fatalf("object %d lost its copies", x)
+		}
+	}
+	t.Logf("epochs %d, drifted %d, moved %d, max edge load %d",
+		st.Epochs, st.Drifted, st.AdoptMoved, c.MaxEdgeLoad())
+}

@@ -1,0 +1,517 @@
+// Package serve is the concurrent online serving layer: the subsystem
+// where the paper's near-optimal static machinery (core.Solver) and the
+// online strategy (dynamic.Strategy) meet live traffic.
+//
+// A Cluster shards the object space over independent dynamic strategies
+// (object x is owned by shard x % Shards; every piece of per-object state
+// — copy sets, nearest tables, read counters — is per-object, so the
+// sharding is exact: aggregate loads are identical to a single strategy
+// serving the whole sequence). Batches ingested by Ingest are partitioned
+// by owner and served shard-parallel; each shard's OfflineTracker records
+// the observed frequencies as it serves.
+//
+// Every EpochRequests served requests, an epoch pass feeds the objects
+// whose frequencies drifted since the previous pass into a shared
+// core.Solver — a full Solve on the first epoch, the incremental Resolve
+// afterwards — and pushes the freshly solved static placement back into
+// the shards: each shard atomically (under its lock) adopts the new copy
+// sets as its warm state via Strategy.AdoptCopySet. Adoption repositions
+// every object to the near-optimal static placement for the traffic
+// actually observed, and threshold dynamics resume from there, so the
+// cluster tracks phase shifts at epoch granularity instead of one
+// threshold-crossing at a time.
+//
+// Cost accounting: request service and threshold-driven copy movement are
+// charged to the per-edge loads exactly as in dynamic.Strategy. Adoption
+// movement (the bulk transfers that install a new placement) is booked
+// separately as a total distance (Stats.AdoptMoved) — it is scheduled
+// off the request path, and keeping it out of the per-edge account keeps
+// the serving loads comparable between re-solving and non-re-solving
+// configurations of the same trace.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hbn/internal/core"
+	"hbn/internal/dynamic"
+	"hbn/internal/par"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// Request is one online access (an alias of the canonical trace event).
+type Request = workload.TraceEvent
+
+// Options tune a Cluster.
+type Options struct {
+	// Shards is the number of object shards (and dynamic strategies)
+	// serving in parallel. <= 0 means 1.
+	Shards int
+	// EpochRequests triggers an epoch re-solve every time this many
+	// requests have been served. 0 disables re-solving entirely (the
+	// cluster is then exactly a sharded dynamic.Strategy).
+	EpochRequests int64
+	// Threshold is the read-replication threshold of the per-shard dynamic
+	// strategies (see dynamic.Options).
+	Threshold int
+	// Parallelism bounds the workers serving shards of one batch and the
+	// solver's object-parallel stages. <= 0 means GOMAXPROCS.
+	Parallelism int
+	// Background runs epoch passes on a background goroutine, overlapping
+	// re-solves with ingestion; Close must be called to stop it. When
+	// false, the Ingest call that crosses an epoch boundary runs the pass
+	// inline (deterministic, for tests and benchmarks).
+	Background bool
+	// DecayShift ages the solver's view of each drifted object at every
+	// epoch pass: the retained frequencies are halved DecayShift times
+	// before the new epoch's observations are added (an exponentially
+	// weighted window, frequency' = frequency>>DecayShift + delta). 0
+	// keeps the full cumulative history — right for stationary traffic;
+	// 1–2 makes re-solving track phase shifts instead of the all-time
+	// average. Objects with no new traffic keep their frequencies either
+	// way, so the incremental Resolve contract is preserved.
+	DecayShift uint
+}
+
+// EpochStat records one epoch pass, for per-epoch comparison against the
+// clairvoyant static optimum.
+type EpochStat struct {
+	// Epoch numbers passes from 1.
+	Epoch int64
+	// Requests is the total served when the pass started.
+	Requests int64
+	// Drifted is the number of objects re-solved in this pass.
+	Drifted int
+	// Moved is the adoption movement distance of this pass.
+	Moved int64
+	// StaticCongestion is the solver's congestion on its current view of
+	// the observed frequencies — the full history with DecayShift 0, the
+	// exponentially aged window otherwise (so it is only comparable to
+	// the clairvoyant StaticOffline comparator when decay is off).
+	StaticCongestion float64
+	// MaxEdgeLoad is the cluster's served max edge load after adoption.
+	MaxEdgeLoad int64
+	// ResolveNs is the wall time of the solver call.
+	ResolveNs int64
+}
+
+// Stats is a point-in-time summary of a Cluster.
+type Stats struct {
+	Requests    int64         // requests served
+	ServiceCost int64         // total service cost (sum of Serve costs)
+	Epochs      int64         // epoch passes completed
+	Drifted     int64         // objects re-solved, summed over passes
+	AdoptMoved  int64         // adoption movement distance, summed
+	ResolveTime time.Duration // total solver wall time
+}
+
+type shard struct {
+	mu      sync.Mutex
+	strat   *dynamic.Strategy
+	tracker *dynamic.OfflineTracker
+	cost    int64 // total service cost of this shard
+}
+
+// Cluster is the sharded concurrent serving layer. All methods are safe
+// for concurrent use.
+type Cluster struct {
+	t          *tree.Tree
+	opts       Options
+	numObjects int
+	shards     []*shard
+
+	// Epoch machinery: epochMu serializes passes and guards everything
+	// below it. The solver's workload w aggregates the observed
+	// frequencies of all shards (rows are copied in under shard locks, so
+	// the partitioned per-shard trackers and w never race).
+	epochMu    sync.Mutex
+	solver     *core.Solver
+	w          *workload.W
+	prev       *workload.W // per-object tracker rows as of the last fold
+	solved     bool
+	changedBuf []int
+	nodesBuf   []tree.NodeID
+	stats      Stats
+	epochLog   []EpochStat
+	lastErr    error // most recent background pass failure
+
+	served  atomic.Int64
+	closed  atomic.Bool
+	closeMu sync.RWMutex // read-held across Ingest; Close write-acquires to wait out in-flight batches
+	trigger chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewCluster creates a cluster for numObjects objects on t. The tree must
+// be a valid hierarchical bus network.
+func NewCluster(t *tree.Tree, numObjects int, opts Options) (*Cluster, error) {
+	if numObjects < 0 {
+		return nil, fmt.Errorf("serve: negative object count %d", numObjects)
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	solver, err := core.NewSolver(t, core.Options{MappingRoot: tree.None, Parallelism: opts.Parallelism})
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	c := &Cluster{
+		t:          t,
+		opts:       opts,
+		numObjects: numObjects,
+		shards:     make([]*shard, opts.Shards),
+		solver:     solver,
+		w:          workload.New(numObjects, t.Len()),
+		prev:       workload.New(numObjects, t.Len()),
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			strat:   dynamic.New(t, numObjects, dynamic.Options{Threshold: opts.Threshold}),
+			tracker: dynamic.NewOfflineTracker(t, numObjects),
+		}
+	}
+	if opts.Background {
+		c.trigger = make(chan struct{}, 1)
+		c.done = make(chan struct{})
+		c.wg.Add(1)
+		go c.loop()
+	}
+	return c, nil
+}
+
+// Ingest serves one batch of requests and returns its total service cost.
+// Requests are partitioned onto their owner shards and served in parallel;
+// concurrent Ingest calls are safe (shards serialize internally). If the
+// batch crosses an epoch boundary, the epoch pass runs inline (or is
+// handed to the background loop when Options.Background is set).
+func (c *Cluster) Ingest(batch []Request) (int64, error) {
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
+	if c.closed.Load() {
+		return 0, errors.New("serve: cluster is closed")
+	}
+	for i, r := range batch {
+		if r.Object < 0 || r.Object >= c.numObjects {
+			return 0, fmt.Errorf("serve: request %d: object %d out of range [0,%d)", i, r.Object, c.numObjects)
+		}
+		if r.Node < 0 || int(r.Node) >= c.t.Len() || !c.t.IsLeaf(r.Node) {
+			return 0, fmt.Errorf("serve: request %d: node %d is not a processor", i, r.Node)
+		}
+	}
+	nshards := len(c.shards)
+	var parts [][]Request
+	if nshards == 1 {
+		parts = [][]Request{batch}
+	} else {
+		parts = make([][]Request, nshards)
+		counts := make([]int, nshards)
+		for _, r := range batch {
+			counts[r.Object%nshards]++
+		}
+		for si, n := range counts {
+			if n > 0 {
+				parts[si] = make([]Request, 0, n)
+			}
+		}
+		for _, r := range batch {
+			si := r.Object % nshards
+			parts[si] = append(parts[si], r)
+		}
+	}
+	costs := make([]int64, nshards)
+	par.ForEach(c.opts.Parallelism, nshards, func(_, si int) {
+		part := parts[si]
+		if len(part) == 0 {
+			return
+		}
+		sh := c.shards[si]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		var cost int64
+		for _, r := range part {
+			cost += sh.strat.Serve(r)
+			sh.tracker.Record(r)
+		}
+		costs[si] += cost
+		sh.cost += cost
+	})
+	var total int64
+	for _, ct := range costs {
+		total += ct
+	}
+	after := c.served.Add(int64(len(batch)))
+	if e := c.opts.EpochRequests; e > 0 && (after-int64(len(batch)))/e != after/e {
+		if c.opts.Background {
+			select {
+			case c.trigger <- struct{}{}:
+			default: // a pass is already pending; it will see our drift
+			}
+		} else if err := c.resolveEpoch(); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ResolveNow forces an epoch pass synchronously (used by benchmarks to
+// flush at trace end, and by tests).
+func (c *Cluster) ResolveNow() error {
+	if c.closed.Load() {
+		return errors.New("serve: cluster is closed")
+	}
+	return c.resolveEpoch()
+}
+
+// resolveEpoch is the epoch pass: drain per-shard drift, fold the drifted
+// rows into the solver workload, Solve/Resolve, and push the fresh copy
+// sets back into the shards.
+func (c *Cluster) resolveEpoch() error {
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+	start := time.Now()
+	startReqs := c.served.Load() // snapshot: ingestion continues during the pass
+
+	// Collect drift. Object rows are partitioned (object x only ever
+	// recorded by shard x % Shards), so reading row x from its owner's
+	// tracker under the owner's lock is exact and race-free. Each drifted
+	// object's solver row ages by DecayShift halvings, then absorbs the
+	// delta observed since the last fold (with DecayShift 0 this reduces
+	// to the plain cumulative frequencies).
+	changed := c.changedBuf[:0]
+	leaves := c.t.Leaves()
+	shift := c.opts.DecayShift
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		from := len(changed)
+		changed = sh.tracker.DrainDrifted(changed)
+		shw := sh.tracker.Workload()
+		for _, x := range changed[from:] {
+			row := shw.Row(x)
+			for _, v := range leaves {
+				cur, old, was := row[v], c.prev.At(x, v), c.w.At(x, v)
+				c.w.Set(x, v, workload.Access{
+					Reads:  was.Reads>>shift + cur.Reads - old.Reads,
+					Writes: was.Writes>>shift + cur.Writes - old.Writes,
+				})
+				c.prev.Set(x, v, cur)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	c.changedBuf = changed[:0] // keep capacity; the list itself is consumed below
+
+	if len(changed) == 0 && c.solved {
+		return nil
+	}
+	var (
+		res *core.Result
+		err error
+	)
+	if !c.solved {
+		res, err = c.solver.Solve(c.w)
+	} else {
+		res, err = c.solver.Resolve(changed)
+		if err != nil {
+			// After a failed Resolve the solver state is unspecified; a
+			// full Solve re-arms it.
+			res, err = c.solver.Solve(c.w)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("serve: epoch re-solve: %w", err)
+	}
+	c.solved = true
+
+	// Adoption: every object with demand moves to its freshly solved
+	// placement. Unchanged objects whose dynamic state drifted (writes
+	// contract copy sets) are re-warmed too; identical sets are no-ops.
+	var moved int64
+	for si, sh := range c.shards {
+		sh.mu.Lock()
+		for x := si; x < c.numObjects; x += len(c.shards) {
+			cs := res.Final.Copies[x]
+			if len(cs) == 0 {
+				continue
+			}
+			nodes := c.nodesBuf[:0]
+			for _, cp := range cs {
+				nodes = append(nodes, cp.Node)
+			}
+			c.nodesBuf = nodes[:0]
+			moved += sh.strat.AdoptCopySet(x, nodes)
+		}
+		sh.mu.Unlock()
+	}
+
+	elapsed := time.Since(start)
+	c.stats.Epochs++
+	c.stats.Drifted += int64(len(changed))
+	c.stats.AdoptMoved += moved
+	c.stats.ResolveTime += elapsed
+	c.epochLog = append(c.epochLog, EpochStat{
+		Epoch:            c.stats.Epochs,
+		Requests:         startReqs,
+		Drifted:          len(changed),
+		Moved:            moved,
+		StaticCongestion: res.Report.Congestion.Float(),
+		MaxEdgeLoad:      c.MaxEdgeLoad(),
+		ResolveNs:        elapsed.Nanoseconds(),
+	})
+	return nil
+}
+
+// loop is the background epoch runner.
+func (c *Cluster) loop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-c.trigger:
+			// A failing pass leaves serving untouched; the error is
+			// retained (LastResolveErr, also returned by Close) so silent
+			// degradation to the no-re-solve baseline is observable.
+			if err := c.resolveEpoch(); err != nil {
+				c.epochMu.Lock()
+				c.lastErr = err
+				c.epochMu.Unlock()
+			}
+		}
+	}
+}
+
+// LastResolveErr returns the most recent background epoch-pass error, or
+// nil. Synchronous passes (inline crossings, ResolveNow) report their
+// errors directly to the caller instead.
+func (c *Cluster) LastResolveErr() error {
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+	return c.lastErr
+}
+
+// Close stops the background epoch loop (if any) and returns the last
+// background re-solve error, if one occurred. The cluster rejects further
+// Ingest/ResolveNow calls; accessors stay usable.
+func (c *Cluster) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	if c.opts.Background {
+		close(c.done)
+		c.wg.Wait()
+		// Wait out in-flight Ingest calls: once the write lock is held, no
+		// batch that passed the closed check can still be serving (or about
+		// to enqueue a trigger).
+		c.closeMu.Lock()
+		c.closeMu.Unlock() //nolint:staticcheck // barrier, not a critical section
+		// A trigger enqueued after the loop's final select would be
+		// dropped, abandoning the drift it announced; drain it with one
+		// last synchronous pass (a no-op when ResolveNow already ran).
+		select {
+		case <-c.trigger:
+			if err := c.resolveEpoch(); err != nil {
+				c.epochMu.Lock()
+				c.lastErr = err
+				c.epochMu.Unlock()
+			}
+		default:
+		}
+	}
+	return c.LastResolveErr()
+}
+
+// EdgeLoad returns the aggregate per-edge load (request service plus
+// threshold-driven copy movement) summed over all shards.
+func (c *Cluster) EdgeLoad() []int64 {
+	out := make([]int64, c.t.NumEdges())
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for e, l := range sh.strat.EdgeLoad {
+			out[e] += l
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// ServiceLoad returns the aggregate per-edge service load (excluding all
+// copy movement) summed over all shards.
+func (c *Cluster) ServiceLoad() []int64 {
+	out := make([]int64, c.t.NumEdges())
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for e, l := range sh.strat.ServiceLoad {
+			out[e] += l
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// MaxEdgeLoad returns the maximum aggregate edge load.
+func (c *Cluster) MaxEdgeLoad() int64 {
+	var m int64
+	for _, l := range c.EdgeLoad() {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// TotalLoad returns the sum of all aggregate edge loads.
+func (c *Cluster) TotalLoad() int64 {
+	var m int64
+	for _, l := range c.EdgeLoad() {
+		m += l
+	}
+	return m
+}
+
+// Copies returns the current copy nodes of object x (sorted), from its
+// owner shard.
+func (c *Cluster) Copies(x int) []tree.NodeID {
+	if x < 0 || x >= c.numObjects {
+		panic(fmt.Sprintf("serve: object %d out of range", x))
+	}
+	sh := c.shards[x%len(c.shards)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.strat.Copies(x)
+}
+
+// Stats returns a point-in-time summary. Requests and ServiceCost are
+// exact once all concurrent Ingest calls have returned.
+func (c *Cluster) Stats() Stats {
+	c.epochMu.Lock()
+	st := c.stats
+	c.epochMu.Unlock()
+	var served, cost int64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		served += sh.strat.Requests()
+		cost += sh.cost
+		sh.mu.Unlock()
+	}
+	st.Requests = served
+	st.ServiceCost = cost
+	return st
+}
+
+// EpochLog returns a copy of the per-epoch records.
+func (c *Cluster) EpochLog() []EpochStat {
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+	out := make([]EpochStat, len(c.epochLog))
+	copy(out, c.epochLog)
+	return out
+}
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return len(c.shards) }

@@ -1,0 +1,84 @@
+package tree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzTreeDecode hardens the wire format: Decode must never panic on
+// arbitrary bytes, and every input it accepts must be a structurally
+// valid tree that round-trips through Encode bit-compatibly (same nodes,
+// kinds, names, bandwidths and edges). The seed corpus is the topology
+// zoo pushed through Encode.
+func FuzzTreeDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(61))
+	seeds := []*Tree{
+		Star(8, 8),
+		BalancedKAry(3, 3, 0),
+		Caterpillar(10, 2, 8, 8),
+		SCICluster(4, 5, 16, 8),
+		Random(rng, 30, 5, 0.4, 8),
+	}
+	for _, t := range seeds {
+		var buf bytes.Buffer
+		if err := Encode(&buf, t); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"nodes":[{"id":0,"kind":"processor"}],"edges":[]}`))
+	f.Add([]byte(`{"nodes":[],"edges":[]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if tr.Len() > 512 {
+			return
+		}
+		// Decode promises the same invariants Builder.Build enforces.
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("decoded tree fails Validate: %v", err)
+		}
+		// Round trip: Encode then Decode must reproduce the tree.
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		tr2, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if tr2.Len() != tr.Len() || tr2.NumEdges() != tr.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d nodes/edges",
+				tr.Len(), tr.NumEdges(), tr2.Len(), tr2.NumEdges())
+		}
+		for v := 0; v < tr.Len(); v++ {
+			id := NodeID(v)
+			if tr2.Kind(id) != tr.Kind(id) || tr2.Name(id) != tr.Name(id) ||
+				tr2.NodeBandwidth(id) != tr.NodeBandwidth(id) {
+				t.Fatalf("round trip changed node %d", v)
+			}
+		}
+		for e := 0; e < tr.NumEdges(); e++ {
+			id := EdgeID(e)
+			u1, v1 := tr.Endpoints(id)
+			u2, v2 := tr2.Endpoints(id)
+			if u1 != u2 || v1 != v2 || tr.EdgeBandwidth(id) != tr2.EdgeBandwidth(id) {
+				t.Fatalf("round trip changed edge %d", e)
+			}
+		}
+		// The derived structures must build without panicking on any
+		// accepted input (the rooted orientation underlies every algorithm).
+		r := tr.Rooted0()
+		if got := r.PathLen(0, NodeID(tr.Len()-1)); got < 0 {
+			t.Fatalf("negative path length %d", got)
+		}
+	})
+}

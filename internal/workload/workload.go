@@ -203,14 +203,30 @@ func Encode(out io.Writer, w *W) error {
 	return enc.Encode(jw)
 }
 
-// Decode reads a workload from the JSON produced by Encode.
+// Decode reads a workload from the JSON produced by Encode. Malformed
+// input — invalid dimensions, out-of-range entries, negative frequencies
+// — is rejected with an error (found by FuzzSolve: the accessors panic on
+// range violations, which a decoder of untrusted bytes must not).
 func Decode(in io.Reader) (*W, error) {
 	var jw jsonWorkload
 	if err := json.NewDecoder(in).Decode(&jw); err != nil {
 		return nil, fmt.Errorf("workload: decode: %w", err)
 	}
+	if jw.Objects < 0 || jw.Nodes <= 0 {
+		return nil, fmt.Errorf("workload: decode: invalid dimensions %d×%d", jw.Objects, jw.Nodes)
+	}
+	// Cap the dense table so crafted dimensions can neither overflow
+	// objects×nodes nor exhaust memory: tiny JSON must not allocate
+	// terabytes or wrap the product past the entry bounds checks below.
+	const maxCells = 1 << 26
+	if jw.Objects > maxCells/jw.Nodes {
+		return nil, fmt.Errorf("workload: decode: dimensions %d×%d exceed the %d-cell limit", jw.Objects, jw.Nodes, maxCells)
+	}
 	w := New(jw.Objects, jw.Nodes)
 	for _, e := range jw.Entries {
+		if e.Object < 0 || e.Object >= jw.Objects || e.Node < 0 || int(e.Node) >= jw.Nodes {
+			return nil, fmt.Errorf("workload: decode: entry (%d,%d) out of range %d×%d", e.Object, e.Node, jw.Objects, jw.Nodes)
+		}
 		if e.Reads < 0 || e.Writes < 0 {
 			return nil, fmt.Errorf("workload: decode: negative frequency for object %d node %d", e.Object, e.Node)
 		}

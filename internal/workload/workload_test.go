@@ -130,6 +130,21 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	if _, err := Decode(bytes.NewBufferString(`{"objects":1,"nodes":2,"entries":[{"x":0,"v":0,"r":-4}]}`)); err == nil {
 		t.Fatal("negative rate accepted")
 	}
+	// Malformed untrusted bytes must error, never panic (found by fuzzing):
+	// zero/invalid dimensions, out-of-range entries, and dimensions whose
+	// product overflows or would allocate absurdly.
+	for _, bad := range []string{
+		`{"objects":0,"nodes":0,"entries":[{"x":0,"v":0,"r":1}]}`,
+		`{"objects":-1,"nodes":3}`,
+		`{"objects":1,"nodes":2,"entries":[{"x":5,"v":0,"r":1}]}`,
+		`{"objects":1,"nodes":2,"entries":[{"x":0,"v":9,"r":1}]}`,
+		`{"objects":4294967296,"nodes":4294967296,"entries":[{"x":1,"v":0,"r":1}]}`,
+		`{"objects":1,"nodes":1000000000000}`,
+	} {
+		if _, err := Decode(bytes.NewBufferString(bad)); err == nil {
+			t.Fatalf("accepted %s", bad)
+		}
+	}
 }
 
 func TestGeneratorsLeafOnlyAndDeterministic(t *testing.T) {
