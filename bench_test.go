@@ -12,6 +12,7 @@ package hbn
 //	go test -bench=. -benchmem
 
 import (
+	"math/rand"
 	"testing"
 
 	"hbn/internal/core"
@@ -21,6 +22,7 @@ import (
 	"hbn/internal/mapping"
 	"hbn/internal/nibble"
 	"hbn/internal/placement"
+	"hbn/internal/serve"
 	"hbn/internal/solverbench"
 	"hbn/internal/tree"
 	"hbn/internal/workload"
@@ -192,6 +194,40 @@ func BenchmarkEvaluateCold1000x64(b *testing.B) {
 		placement.Evaluate(t, res.Final)
 	}
 }
+
+// --- Serving-path benchmarks (PR 4) ---
+
+// benchIngest measures steady-state Cluster.Ingest throughput on the
+// drifting-Zipf trace at the -ingestbench configuration (1024-request
+// batches, threshold 8, epoch re-solve off), batched or per-request.
+func benchIngest(b *testing.B, unbatched bool) {
+	b.Helper()
+	t := tree.SCICluster(8, 8, 32, 16)
+	const objects, batch = 256, 1024
+	trace := workload.DriftingZipf(rand.New(rand.NewSource(2000)), t, objects, 200000, 6, 1.0, 0.03)
+	c, err := serve.NewCluster(t, objects, serve.Options{Shards: 1, Threshold: 8, Unbatched: unbatched})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Ingest(trace[n : n+batch]); err != nil {
+			b.Fatal(err)
+		}
+		n = (n + batch) % (len(trace) - batch)
+	}
+}
+
+// BenchmarkIngestBatch1024 is the batched serving hot path (ServeBatch
+// run-length folding, RecordBatch run folding, pooled partition scratch).
+// Allocations must stay ~0 (guarded by TestIngestSteadyAllocs).
+func BenchmarkIngestBatch1024(b *testing.B) { benchIngest(b, false) }
+
+// BenchmarkIngestPerRequest1024 is the per-request reference path
+// (Options.Unbatched) on the same trace — bit-identical final state.
+func BenchmarkIngestPerRequest1024(b *testing.B) { benchIngest(b, true) }
 
 // BenchmarkLCACaterpillar measures the O(1) LCA on the topology where the
 // old parent-walk was O(n) per query.

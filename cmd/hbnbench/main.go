@@ -11,6 +11,8 @@
 //	hbnbench -experiment all -json      # machine-readable, for BENCH_*.json
 //	hbnbench -experiment none -solverbench -json  # solver benchmarks only
 //	hbnbench -experiment none -serve    # trace-driven serving benchmark
+//	hbnbench -experiment none -ingestbench      # requests/sec, batched vs per-request
+//	hbnbench ... -cpuprofile cpu.pprof  # attach pprof evidence to perf PRs
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -56,6 +59,7 @@ type jsonOutput struct {
 	Results    []jsonResult `json:"results"`
 	Benchmarks []jsonBench  `json:"benchmarks,omitempty"`
 	Serving    []jsonServe  `json:"serving,omitempty"`
+	Ingest     []jsonIngest `json:"ingest,omitempty"`
 }
 
 func main() {
@@ -67,8 +71,20 @@ func main() {
 		seed       = flag.Int64("seed", 2000, "base random seed")
 		solverB    = flag.Bool("solverbench", false, "measure the solver benchmarks (warm/cold Solve, Resolve) and emit them in -json mode")
 		serveB     = flag.Bool("serve", false, "run the trace-driven serving benchmark (sharded cluster, epoch re-solve vs baseline vs clairvoyant static)")
+		ingestB    = flag.Bool("ingestbench", false, "run the ingest throughput benchmark (requests/sec, batched ServeBatch path vs per-request reference, all four trace scenarios)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
 	)
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
 	ids := []string{*experiment}
@@ -112,6 +128,33 @@ func main() {
 			fatal(err)
 		}
 	}
+	var ingest []jsonIngest
+	if *ingestB {
+		var err error
+		ingest, err = runIngestBench(*quick, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	// The measured work is done: flush profiles before emitting output so
+	// the profile covers exactly the benchmark/experiment bodies.
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // material allocations only, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 
 	switch {
 	case *jsonOut:
@@ -125,6 +168,7 @@ func main() {
 			Results:    timed,
 			Benchmarks: benches,
 			Serving:    serving,
+			Ingest:     ingest,
 		}); err != nil {
 			fatal(err)
 		}
@@ -145,6 +189,9 @@ func main() {
 		}
 		if len(serving) > 0 {
 			printServeBench(serving)
+		}
+		if len(ingest) > 0 {
+			printIngestBench(ingest)
 		}
 	}
 	for _, r := range results {
@@ -188,6 +235,9 @@ func solverBenchmarks() []jsonBench {
 }
 
 func fatal(err error) {
+	// Flush a CPU profile in flight so a failing run still leaves a
+	// readable file (no-op when none was started).
+	pprof.StopCPUProfile()
 	fmt.Fprintln(os.Stderr, "hbnbench:", err)
 	os.Exit(1)
 }

@@ -102,13 +102,6 @@ func main() {
 	}
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "hbngen:", err)
 	os.Exit(1)

@@ -232,10 +232,3 @@ func totalDemand(w *workload.W) int64 {
 	}
 	return n
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

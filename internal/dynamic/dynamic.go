@@ -17,14 +17,34 @@
 // copy set contracts towards the writer after each write — the classic
 // read-replicate / write-invalidate dynamics.
 //
-// The serving path is engineered for throughput: the tree's shared node-0
-// orientation (with its O(1) LCA index) replaces the per-request rooting,
-// nearest-copy tables are maintained incrementally (relaxation on
-// replicate, one BFS on write contraction), read counters reset by
-// generation stamp, and all per-request buffers are reused — a read
-// request costs O(path length) amortized instead of O(|V|) plus
-// allocations. The tradeoff is memory: each touched object keeps O(|V|)
-// nearest tables, plus O(|E|) read counters once it sees remote reads.
+// The serving path is engineered for throughput around one structural
+// fact: a request-driven copy set is a connected subtree at all times
+// (the paper's Theorem 3.1 structure, preserved by the
+// replicate-towards-the-reader rule). Connectivity makes both expensive
+// per-request recomputations incremental:
+//
+//   - Nearest-copy resolution is table-free. The copy subtree hangs
+//     entirely below its minimum-depth member (anchorTop), so the unique
+//     nearest copy is found in O(distance): requesters inside the
+//     anchor's subtree (an O(1) preorder-interval test) ascend to the
+//     first copy, requesters outside enter exactly at the anchor. Writes
+//     therefore contract the set in O(1) — no O(|V|) BFS per write — and
+//     the multi-source nearest tables survive only for adopted static
+//     placements (AdoptCopySet), which need not be connected.
+//   - The write-broadcast Steiner tree is an incrementally maintained
+//     edge list: for a connected set the Steiner edges are exactly the
+//     edges joining two copies, so replication appends one edge,
+//     contraction resets the list, and only AdoptCopySet rebuilds from
+//     scratch. A write costs O(|Steiner edges|), not an O(|V|) pass.
+//
+// Read counters reset by generation stamp (packed with their counts into
+// one word), all per-request buffers are reused, and ServeBatch is the
+// batched entry point: bit-identical to the per-request loop, folding
+// runs of identical requests and adaptively grouping a batch by object
+// when the per-object groups are long enough to pay for the scatter. The
+// tradeoff is memory: each touched object keeps O(|V|) copy bits, plus
+// O(|E|) read counters and broadcast stamps once it sees remote reads or
+// replicates (and O(|V|) nearest tables only if it is ever adopted).
 package dynamic
 
 import (
@@ -58,26 +78,75 @@ type Strategy struct {
 	r    *tree.Rooted
 	opts Options
 
+	// pos/subEnd are the shared preorder positions and per-node subtree
+	// end positions (preorder subtrees are contiguous intervals), so "is
+	// node inside anchorTop's subtree" is two compares per request.
+	pos    []int32
+	subEnd []int32
+
 	// Per-object copy-set state. isCopy/copyList are allocated lazily at
 	// the object's first touch.
-	isCopy    [][]bool
-	copyList  [][]tree.NodeID
-	nearest   [][]tree.NodeID // nearest copy per node, maintained incrementally
-	ndist     [][]int32
-	readCnt   [][]int32  // reads per edge since the last write…
-	readGen   [][]uint32 // …valid only when the stamp matches curGen
+	isCopy   [][]bool
+	copyList [][]tree.NodeID
+	// nearest/ndist are per-node nearest-copy tables — but they exist only
+	// for adopted multi-copy sets (tableValid on), which need not be
+	// connected. Request-driven copy sets are always connected subtrees
+	// grown from the last contraction home, and for a connected set the
+	// nearest copy from any node is the unique entry point of the node's
+	// path towards ANY member — so serving resolves it via anchorTop (see
+	// pathToNearest and serveRead) and never builds, rebuilds or relaxes a
+	// table. This is what keeps writes (contraction) and replication
+	// O(path) instead of O(|V|) BFS. Objects never adopted never allocate
+	// the tables.
+	nearest    [][]tree.NodeID
+	ndist      [][]int32
+	tableValid []bool
+	// readCW packs each edge's read counter with its generation stamp
+	// (gen<<32 | count) so the hot counter test costs one memory access;
+	// a count is valid only while its stamp matches curGen.
+	readCW [][]uint64
+	// anchorTop is the minimum-depth copy of each connected-mode object.
+	// The whole copy subtree hangs below it, so nearest resolution is an
+	// ascending walk for requesters inside its subtree and lands exactly
+	// on anchorTop for requesters outside (see pathToNearest). Maintained
+	// by materialize/contract (the home) and addCopy (a depth compare);
+	// meaningless while tableValid.
+	anchorTop []tree.NodeID
 	curGen    []uint32
 	pathBuf   []tree.EdgeID
 	steinerCt []int32
 	queue     []tree.NodeID
+	adoptDist []int32 // AdoptCopySet pricing scratch
+
+	// Write-broadcast state: bcast holds the Steiner edges of the copy
+	// set, maintained incrementally (see the package comment). bcastStamp
+	// marks membership (valid when the stamp matches bcastGen) so the
+	// replication append is O(1) and duplicate-free even for adopted
+	// non-connected sets; it is allocated lazily at the first append.
+	bcast      [][]tree.EdgeID
+	bcastStamp [][]uint32
+	bcastGen   []uint32
+
+	// ServeBatch grouping scratch: a counting sort of the batch by object
+	// into grpBuf. grpCount doubles as the per-object write cursor and is
+	// reset via grpTouched, so a batch costs O(len + touched), not O(|X|).
+	// Input that is already grouped by object is detected during the count
+	// pass and served in place — no scatter. lastGrouped remembers the
+	// grouped view for GroupedBatch.
+	grpCount    []int32
+	grpTouched  []int
+	grpBuf      []Request
+	lastGrouped []Request
+	batchTick   uint32
+	groupMode   bool
 
 	// EdgeLoad accumulates all message and copy-movement traffic.
 	EdgeLoad []int64
-	// ServiceLoad counts only request service (excluding copy movement),
-	// for comparability with static placements evaluated on the same
-	// sequence.
-	ServiceLoad []int64
-	requests    int
+	// moveLoad accumulates only copy-movement traffic (replication and
+	// migration transfers), so the hot serving loops touch one load array
+	// and the service-only view is derived (see ServiceLoad).
+	moveLoad []int64
+	requests int
 }
 
 // New creates a strategy with no copies; each object materializes at its
@@ -86,25 +155,58 @@ func New(t *tree.Tree, numObjects int, opts Options) *Strategy {
 	if opts.Threshold < 1 {
 		opts.Threshold = 1
 	}
+	r := t.Rooted0()
+	steps := r.Steps()
+	subEnd := make([]int32, t.Len())
+	for i := len(steps) - 1; i >= 1; i-- {
+		st := steps[i]
+		if subEnd[st.V] < int32(i)+1 {
+			subEnd[st.V] = int32(i) + 1
+		}
+		if subEnd[st.Parent] < subEnd[st.V] {
+			subEnd[st.Parent] = subEnd[st.V]
+		}
+	}
+	if len(subEnd) > 0 {
+		subEnd[r.Root] = int32(len(steps))
+	}
 	return &Strategy{
-		t:           t,
-		r:           t.Rooted0(),
-		opts:        opts,
-		isCopy:      make([][]bool, numObjects),
-		copyList:    make([][]tree.NodeID, numObjects),
-		nearest:     make([][]tree.NodeID, numObjects),
-		ndist:       make([][]int32, numObjects),
-		readCnt:     make([][]int32, numObjects),
-		readGen:     make([][]uint32, numObjects),
-		curGen:      make([]uint32, numObjects),
-		steinerCt:   make([]int32, t.Len()),
-		EdgeLoad:    make([]int64, t.NumEdges()),
-		ServiceLoad: make([]int64, t.NumEdges()),
+		t:          t,
+		r:          r,
+		pos:        r.Pos(),
+		subEnd:     subEnd,
+		opts:       opts,
+		isCopy:     make([][]bool, numObjects),
+		copyList:   make([][]tree.NodeID, numObjects),
+		nearest:    make([][]tree.NodeID, numObjects),
+		ndist:      make([][]int32, numObjects),
+		tableValid: make([]bool, numObjects),
+		anchorTop:  make([]tree.NodeID, numObjects),
+		readCW:     make([][]uint64, numObjects),
+		curGen:     make([]uint32, numObjects),
+		bcast:      make([][]tree.EdgeID, numObjects),
+		bcastStamp: make([][]uint32, numObjects),
+		bcastGen:   make([]uint32, numObjects),
+		steinerCt:  make([]int32, t.Len()),
+		EdgeLoad:   make([]int64, t.NumEdges()),
+		moveLoad:   make([]int64, t.NumEdges()),
 	}
 }
 
 // Requests returns the number of requests served so far.
 func (s *Strategy) Requests() int64 { return int64(s.requests) }
+
+// ServiceLoad returns the per-edge service-only loads (excluding all copy
+// movement), for comparability with static placements evaluated on the
+// same sequence. Derived as EdgeLoad minus the movement account, freshly
+// allocated per call.
+func (s *Strategy) ServiceLoad() []int64 {
+	out := make([]int64, len(s.EdgeLoad))
+	for e, l := range s.EdgeLoad {
+		out[e] = l - s.moveLoad[e]
+	}
+	return out
+}
 
 // NumObjects returns the object-space size the strategy was built for.
 func (s *Strategy) NumObjects() int { return len(s.isCopy) }
@@ -133,53 +235,178 @@ func (s *Strategy) Serve(r Request) int64 {
 		s.materialize(x, r.Node)
 		return 0
 	}
-	target := s.nearest[x][r.Node]
-	path := s.r.AppendPath(s.pathBuf[:0], r.Node, target)
+	if r.Write {
+		return s.serveWrite(x, r.Node)
+	}
+	return s.serveRead(x, r.Node)
+}
+
+// pathToNearest resolves the copy of object x nearest to node together
+// with the request path to it (edges in order from node), reusing the
+// strategy's path buffer. Adopted sets answer from the nearest tables. A
+// connected (request-driven) set hangs entirely below its minimum-depth
+// copy anchorTop, so for a connected set the unique nearest copy is found
+// in O(distance to it): a requester inside anchorTop's subtree ascends
+// until the first copy (the subtree entry point), a requester outside
+// enters the subtree exactly at anchorTop.
+func (s *Strategy) pathToNearest(x int, node tree.NodeID) (tree.NodeID, []tree.EdgeID) {
+	if s.isCopy[x][node] {
+		return node, s.pathBuf[:0]
+	}
+	if s.tableValid[x] {
+		target := s.nearest[x][node]
+		path := s.r.AppendPath(s.pathBuf[:0], node, target)
+		s.pathBuf = path
+		return target, path
+	}
+	top := s.anchorTop[x]
+	if p := s.pos[node]; p >= s.pos[top] && p < s.subEnd[top] {
+		// node is below the anchor: ascend to the entry point.
+		path := s.pathBuf[:0]
+		cur := node
+		for !s.isCopy[x][cur] {
+			path = append(path, s.r.ParentEdge[cur])
+			cur = s.r.Parent[cur]
+		}
+		s.pathBuf = path
+		return cur, path
+	}
+	path := s.r.AppendPath(s.pathBuf[:0], node, top)
 	s.pathBuf = path
+	return top, path
+}
+
+// serveRead is the read path for one request from node (the copy set must
+// be non-empty): pay one unit on every edge towards the nearest copy,
+// count the read on the copy-side edge and replicate across saturated
+// edges, walking from the copy set towards the requester so the set stays
+// connected. The connected-mode variants charge the loads during the
+// resolution walk itself — no path buffer is built; the (at most
+// 1-in-Threshold) crossing rebuilds the path for the replication cascade.
+func (s *Strategy) serveRead(x int, node tree.NodeID) int64 {
+	if s.isCopy[x][node] {
+		return 0 // local read
+	}
+	var (
+		target tree.NodeID
+		last   tree.EdgeID
+		cost   int64
+	)
+	if s.tableValid[x] {
+		// Adopted mode: resolve from the tables, charge from the buffer.
+		target = s.nearest[x][node]
+		path := s.r.AppendPath(s.pathBuf[:0], node, target)
+		s.pathBuf = path
+		for _, e := range path {
+			s.EdgeLoad[e]++
+		}
+		cost = int64(len(path))
+		last = path[len(path)-1]
+	} else if top := s.anchorTop[x]; s.pos[node] >= s.pos[top] && s.pos[node] < s.subEnd[top] {
+		// Below the anchor: ascend to the entry point, charging as we go.
+		// (Slice headers hoisted: the load stores would otherwise force
+		// re-reads of the orientation arrays on every step.)
+		ic, par, pe, el := s.isCopy[x], s.r.Parent, s.r.ParentEdge, s.EdgeLoad
+		cur := node
+		for {
+			e := pe[cur]
+			el[e]++
+			cost++
+			cur = par[cur]
+			if ic[cur] {
+				target, last = cur, e
+				break
+			}
+		}
+	} else {
+		// Outside the anchor's subtree: the entry point is the anchor
+		// itself; charge both ascents, interleaved by depth until they
+		// meet (no LCA query needed).
+		par, pe, el, dep := s.r.Parent, s.r.ParentEdge, s.EdgeLoad, s.r.Depth
+		u, v := node, top
+		for u != v {
+			var e tree.EdgeID
+			if dep[u] >= dep[v] {
+				e = pe[u]
+				u = par[u]
+			} else {
+				e = pe[v]
+				v = par[v]
+			}
+			el[e]++
+			cost++
+		}
+		target, last = top, pe[top]
+	}
+	// Count the read on the copy-side edge (one combined load-and-store on
+	// the packed counter word); saturation replicates across it and
+	// cascades towards the requester.
+	cw := s.readCW[x]
+	if cw == nil {
+		cw = make([]uint64, s.t.NumEdges())
+		s.readCW[x] = cw
+	}
+	gen := s.curGen[x]
+	var c int32
+	if w := cw[last]; uint32(w>>32) == gen {
+		c = int32(uint32(w))
+	}
+	c++
+	cw[last] = uint64(gen)<<32 | uint64(uint32(c))
+	if int(c) < s.opts.Threshold {
+		return cost
+	}
+	s.replicateAcross(x, last)
+	path := s.r.AppendPath(s.pathBuf[:0], node, target)
+	s.pathBuf = path
+	for i := len(path) - 2; i >= 0; i-- {
+		e := path[i]
+		cc := s.readCount(x, e) + 1
+		s.setReadCount(x, e, cc)
+		if int(cc) < s.opts.Threshold {
+			break
+		}
+		s.replicateAcross(x, e)
+	}
+	return cost
+}
+
+// replicateAcross joins the non-copy endpoint of e to object x's copy set
+// (one copy transfer on e) and resets e's read counter.
+func (s *Strategy) replicateAcross(x int, e tree.EdgeID) {
+	u, v := s.t.Endpoints(e)
+	joiner := u
+	if s.isCopy[x][u] {
+		joiner = v
+	}
+	s.addCopy(x, joiner, e)
+	s.EdgeLoad[e]++ // copy transfer
+	s.moveLoad[e]++
+	s.setReadCount(x, e, 0)
+}
+
+// serveWrite is the write path for one request from node (the copy set
+// must be non-empty): pay the path to the nearest copy, broadcast the
+// update over the copy set's Steiner edges, then contract the set to the
+// copy nearest the writer migrated one hop towards it (repeated writes
+// pull the object to the writer). Deletions are free; the migration moves
+// data across one edge.
+func (s *Strategy) serveWrite(x int, node tree.NodeID) int64 {
+	target, path := s.pathToNearest(x, node)
 	cost := int64(len(path))
 	for _, e := range path {
 		s.EdgeLoad[e]++
-		s.ServiceLoad[e]++
 	}
-
-	if !r.Write {
-		// Count the read on every crossed edge; replicate across saturated
-		// edges, walking from the copy set towards the requester so the
-		// set stays connected.
-		for i := len(path) - 1; i >= 0; i-- {
-			e := path[i]
-			c := s.readCount(x, e) + 1
-			s.setReadCount(x, e, c)
-			if int(c) < s.opts.Threshold {
-				break
-			}
-			// Replicate across e: the endpoint further from target joins.
-			u, v := s.t.Endpoints(e)
-			joiner := u
-			if s.isCopy[x][u] {
-				joiner = v
-			}
-			s.addCopy(x, joiner)
-			s.EdgeLoad[e]++ // copy transfer
-			s.setReadCount(x, e, 0)
-		}
-		return cost
-	}
-
-	// Write: update broadcast over the Steiner tree of the copy set.
 	if len(s.copyList[x]) > 1 {
-		cost += s.steinerLoads(x)
+		cost += s.broadcast(x)
 	}
-	// Invalidate: contract the copy set to the single copy nearest the
-	// writer, then migrate it one hop towards the writer (repeated writes
-	// pull the object to the writer). Deletions are free; the migration
-	// moves data across one edge.
 	home := target
-	if r.Node != target && len(path) > 0 {
+	if node != target && len(path) > 0 {
 		// Move one hop from target towards the writer.
 		e := path[len(path)-1]
 		home = s.t.Other(e, target)
 		s.EdgeLoad[e]++ // migration transfer
+		s.moveLoad[e]++
 	}
 	s.contract(x, home)
 	// Writes reset the read counters of the object.
@@ -187,38 +414,306 @@ func (s *Strategy) Serve(r Request) int64 {
 	return cost
 }
 
-// materialize creates object x's first copy on home and initializes its
-// nearest tables. The node-indexed tables are allocated at first touch;
-// the edge-indexed read counters only when the object first sees a remote
-// read (see readCount) — purely local or write-dominated objects never
-// pay for them.
+// ServeBatch processes a whole batch and returns its total service cost,
+// with final state bit-identical to serving the requests one at a time
+// with Serve, and runs of identical (object, node, read/write) requests
+// served with run-length folding: one path walk charges the whole run,
+// chunked at replication-threshold crossings so the copy set evolves
+// exactly as under per-request serving.
+//
+// The batch layout is adaptive, measured on the drifting-Zipf trace
+// family (see DESIGN.md): input that already arrives as per-object groups
+// is served segment by segment in place; input whose average per-object
+// group is long (≥ groupServeMin) is counting-sorted by object into
+// reusable scratch first — preserving per-object request order, so the
+// regrouping cannot change the outcome (per-object evolution depends only
+// on the object's own subsequence, and the shared load counters are
+// commutative sums) — and everything else is served in input order,
+// because at short group lengths even the counting pass costs more than
+// folding recovers. The layout decision is sticky: it is re-measured on
+// every 32nd batch, so steady low-repetition traffic pays nothing beyond
+// the per-request path while repetitive traffic keeps the group folding.
+func (s *Strategy) ServeBatch(reqs []Request) int64 {
+	if len(reqs) == 0 {
+		return 0
+	}
+	tick := s.batchTick
+	s.batchTick++
+	if s.groupMode || tick%32 == 0 {
+		return s.serveBatchGrouping(reqs)
+	}
+	// Direct mode: validate up front (ServeBatch must not serve a prefix
+	// of an invalid batch), then serve exactly like the Serve loop.
+	for i := range reqs {
+		if x := reqs[i].Object; x < 0 || x >= len(s.isCopy) {
+			panic(fmt.Sprintf("dynamic: object %d out of range", x))
+		}
+	}
+	s.lastGrouped = reqs
+	s.requests += len(reqs)
+	var total int64
+	for i := range reqs {
+		r := &reqs[i]
+		x := r.Object
+		if len(s.copyList[x]) == 0 {
+			s.materialize(x, r.Node)
+			continue
+		}
+		if r.Write {
+			total += s.serveWrite(x, r.Node)
+		} else if !s.isCopy[x][r.Node] {
+			// Local reads (the steady-state majority) fall through free.
+			total += s.serveRead(x, r.Node)
+		}
+	}
+	return total
+}
+
+// serveBatchGrouping is the counting half of ServeBatch: build the
+// per-object histogram, re-evaluate the layout decision, and serve
+// grouped when it pays.
+func (s *Strategy) serveBatchGrouping(reqs []Request) int64 {
+	if len(s.grpCount) != len(s.isCopy) {
+		s.grpCount = make([]int32, len(s.isCopy))
+	}
+	touched := s.grpTouched[:0]
+	grouped := true
+	for i := range reqs {
+		x := reqs[i].Object
+		if x < 0 || x >= len(s.grpCount) {
+			// Roll the half-built histogram back so the strategy stays
+			// usable, then fail exactly like Serve — before serving
+			// anything.
+			for _, r := range reqs[:i] {
+				s.grpCount[r.Object] = 0
+			}
+			s.grpTouched = touched[:0]
+			panic(fmt.Sprintf("dynamic: object %d out of range", x))
+		}
+		if s.grpCount[x] == 0 {
+			touched = append(touched, x)
+		} else if reqs[i-1].Object != x {
+			grouped = false // a revisited object: the input is not grouped
+		}
+		s.grpCount[x]++
+	}
+	s.groupMode = grouped || len(reqs) >= groupServeMin*len(touched)
+	var total int64
+	switch {
+	case grouped:
+		// Already a concatenation of per-object groups: serve each segment
+		// in place, no scatter.
+		s.lastGrouped = reqs
+		start := 0
+		for _, x := range touched {
+			end := start + int(s.grpCount[x])
+			total += s.serveRuns(reqs[start:end])
+			start = end
+			s.grpCount[x] = 0
+		}
+	case len(reqs) >= groupServeMin*len(touched):
+		// Long groups: fold-per-group pays for the scatter. Turn the
+		// counts into write cursors (group starts in first-touch order),
+		// scatter, then serve each contiguous group.
+		if cap(s.grpBuf) < len(reqs) {
+			s.grpBuf = make([]Request, len(reqs))
+		}
+		buf := s.grpBuf[:len(reqs)]
+		off := int32(0)
+		for _, x := range touched {
+			n := s.grpCount[x]
+			s.grpCount[x] = off
+			off += n
+		}
+		for _, r := range reqs {
+			p := s.grpCount[r.Object]
+			buf[p] = r
+			s.grpCount[r.Object] = p + 1
+		}
+		s.lastGrouped = buf
+		start := int32(0)
+		for _, x := range touched {
+			end := s.grpCount[x] // the cursor stopped at the group's end
+			total += s.serveRuns(buf[start:end])
+			start = end
+			s.grpCount[x] = 0
+		}
+	default:
+		// Short groups: serve in input order (bit-identical by
+		// definition), folding the naturally consecutive runs.
+		s.lastGrouped = reqs
+		for _, x := range touched {
+			s.grpCount[x] = 0
+		}
+		total = s.serveRuns(reqs)
+	}
+	s.grpTouched = touched[:0]
+	return total
+}
+
+// groupServeMin is the average per-object group length above which
+// ServeBatch physically groups a batch by object: below it the scatter
+// pass costs more than per-group run folding recovers (measured on the
+// drifting-Zipf traces, where the break-even sits around 16).
+const groupServeMin = 16
+
+// GroupedBatch returns the layout the most recent ServeBatch call served
+// its batch in (aliasing either internal scratch or the input itself),
+// valid until the strategy's next call. Callers that aggregate
+// per-request statistics — the serving layer's offline tracker — iterate
+// it so their run folding sees exactly the runs serving saw.
+func (s *Strategy) GroupedBatch() []Request { return s.lastGrouped }
+
+// serveRuns serves a request slice in its given order, folding runs of
+// consecutive identical requests. All requests must reference in-range
+// objects.
+func (s *Strategy) serveRuns(reqs []Request) int64 {
+	var total int64
+	for i := 0; i < len(reqs); {
+		r := reqs[i]
+		x := r.Object
+		if len(s.copyList[x]) == 0 {
+			// First touch: materialize at the requester for free.
+			s.requests++
+			s.materialize(x, r.Node)
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(reqs) && reqs[j] == r {
+			j++
+		}
+		if r.Write {
+			total += s.serveWriteRun(x, r.Node, j-i)
+		} else {
+			total += s.serveReadRun(x, r.Node, j-i)
+		}
+		i = j
+	}
+	return total
+}
+
+// serveReadRun serves k consecutive reads of object x from node. Between
+// threshold crossings the copy set, the nearest tables and hence the path
+// are all fixed, and each read only adds one unit to every path edge's
+// loads and one to the path's copy-side read counter — so a chunk of
+// m = min(remaining, Threshold - counter) reads folds into one walk. A
+// chunk that reaches the threshold replicates (and cascades towards the
+// requester) exactly like the per-request path, then the next chunk
+// re-resolves the now-closer nearest copy. Once node itself holds a copy
+// the rest of the run is free and touches nothing.
+func (s *Strategy) serveReadRun(x int, node tree.NodeID, k int) int64 {
+	s.requests += k
+	if s.isCopy[x][node] {
+		return 0 // local reads
+	}
+	var cost int64
+	remaining := int32(k)
+	for remaining > 0 {
+		target, path := s.pathToNearest(x, node)
+		if target == node {
+			break // local reads are free
+		}
+		e := path[len(path)-1]
+		c := s.readCount(x, e)
+		need := int32(s.opts.Threshold) - c
+		m := remaining
+		if need < m {
+			m = need
+		}
+		lm := int64(m)
+		for _, pe := range path {
+			s.EdgeLoad[pe] += lm
+		}
+		cost += lm * int64(len(path))
+		remaining -= m
+		if m < need {
+			s.setReadCount(x, e, c+m)
+			break // the run ends before the next crossing
+		}
+		// The m-th read saturates the copy-side edge: replicate across it
+		// and cascade towards the requester, exactly as serveRead does for
+		// the crossing request.
+		s.replicateAcross(x, e)
+		for i := len(path) - 2; i >= 0; i-- {
+			pe := path[i]
+			cc := s.readCount(x, pe) + 1
+			s.setReadCount(x, pe, cc)
+			if int(cc) < s.opts.Threshold {
+				break
+			}
+			s.replicateAcross(x, pe)
+		}
+	}
+	return cost
+}
+
+// serveWriteRun serves k consecutive writes of object x from node. Writes
+// migrate the single post-contraction copy one hop towards the writer per
+// request, so the run cannot fold while the copy is remote; but once the
+// object sits alone on the writer every further write is free and only
+// advances the generation stamps, which folds into one addition.
+func (s *Strategy) serveWriteRun(x int, node tree.NodeID, k int) int64 {
+	s.requests += k
+	var cost int64
+	for n := 0; n < k; n++ {
+		if len(s.copyList[x]) == 1 && s.copyList[x][0] == node {
+			left := uint32(k - n)
+			s.curGen[x] += left
+			s.bcastGen[x] += left
+			break
+		}
+		cost += s.serveWrite(x, node)
+	}
+	return cost
+}
+
+// materialize creates object x's first copy on home. The copy-membership
+// bits are allocated at first touch; the nearest tables only at the first
+// multi-copy transition (see rebuildNearest) and the edge-indexed read
+// counters only when the object first sees a remote read (see readCount)
+// — purely local or write-dominated objects never pay for either.
 func (s *Strategy) materialize(x int, home tree.NodeID) {
-	n := s.t.Len()
 	if s.isCopy[x] == nil {
-		s.isCopy[x] = make([]bool, n)
-		s.nearest[x] = make([]tree.NodeID, n)
-		s.ndist[x] = make([]int32, n)
+		s.isCopy[x] = make([]bool, s.t.Len())
 		s.curGen[x] = 1
 	}
 	s.isCopy[x][home] = true
 	s.copyList[x] = append(s.copyList[x][:0], home)
-	s.rebuildNearest(x)
+	s.resetBroadcast(x)
+	s.tableValid[x] = false
+	s.anchorTop[x] = home
 }
 
-// contract reduces object x's copy set to the single copy on home.
+// contract reduces object x's copy set to the single copy on home. No
+// table is rebuilt — the object returns to connected mode, whose nearest
+// resolution is table-free — which is what keeps the write path at
+// O(path) instead of an O(|V|) BFS per write.
 func (s *Strategy) contract(x int, home tree.NodeID) {
+	if list := s.copyList[x]; len(list) == 1 && list[0] == home {
+		s.resetBroadcast(x)
+		return
+	}
 	for _, v := range s.copyList[x] {
 		s.isCopy[x][v] = false
 	}
 	s.isCopy[x][home] = true
 	s.copyList[x] = append(s.copyList[x][:0], home)
-	s.rebuildNearest(x)
+	s.resetBroadcast(x)
+	s.tableValid[x] = false
+	s.anchorTop[x] = home
 }
 
 // rebuildNearest recomputes the nearest tables of object x from scratch: a
 // multi-source BFS from the current copy set. Ties go to the copy earliest
-// in copyList (BFS seeding order), deterministically.
+// in copyList (BFS seeding order), deterministically. The tables are
+// allocated here on the object's first multi-copy transition.
 func (s *Strategy) rebuildNearest(x int) {
+	if s.nearest[x] == nil {
+		n := s.t.Len()
+		s.nearest[x] = make([]tree.NodeID, n)
+		s.ndist[x] = make([]int32, n)
+	}
 	nearest, dist := s.nearest[x], s.ndist[x]
 	for i := range dist {
 		dist[i] = -1
@@ -243,6 +738,7 @@ func (s *Strategy) rebuildNearest(x int) {
 		}
 	}
 	s.queue = queue[:0]
+	s.tableValid[x] = true
 }
 
 // AdoptCopySet replaces object x's copy set with the given set of nodes
@@ -267,10 +763,7 @@ func (s *Strategy) AdoptCopySet(x int, nodes []tree.NodeID) int64 {
 	if s.isCopy[x] == nil {
 		// First touch via adoption: the object materializes directly on the
 		// adopted set, no movement.
-		n := s.t.Len()
-		s.isCopy[x] = make([]bool, n)
-		s.nearest[x] = make([]tree.NodeID, n)
-		s.ndist[x] = make([]int32, n)
+		s.isCopy[x] = make([]bool, s.t.Len())
 		s.curGen[x] = 1
 		for _, v := range nodes {
 			if !s.isCopy[x][v] {
@@ -278,23 +771,39 @@ func (s *Strategy) AdoptCopySet(x int, nodes []tree.NodeID) int64 {
 				s.copyList[x] = append(s.copyList[x], v)
 			}
 		}
-		s.rebuildNearest(x)
+		s.installTables(x)
+		s.rebuildBroadcast(x)
 		return 0
 	}
-	// Pre-adoption nearest tables price the movement of each new copy.
+	// Price each candidate's movement against the pre-adoption copy set
+	// while its membership bits are still intact: the nearest tables for
+	// adopted sets, the entry-point walk towards the anchor copy for
+	// connected ones (same resolution pathToNearest serves with).
+	dists := s.adoptDist[:0]
+	for _, v := range nodes {
+		var d int32
+		if s.tableValid[x] {
+			d = s.ndist[x][v]
+		} else {
+			_, path := s.pathToNearest(x, v)
+			d = int32(len(path))
+		}
+		dists = append(dists, d)
+	}
+	s.adoptDist = dists
 	var moved int64
 	added, dropped := 0, len(s.copyList[x])
 	for _, v := range s.copyList[x] {
 		s.isCopy[x][v] = false
 	}
 	list := s.copyList[x][:0]
-	for _, v := range nodes {
+	for i, v := range nodes {
 		if s.isCopy[x][v] {
 			continue // duplicate in input
 		}
 		s.isCopy[x][v] = true
 		list = append(list, v)
-		if d := s.ndist[x][v]; d > 0 {
+		if d := dists[i]; d > 0 {
 			moved += int64(d)
 			added++
 		} else {
@@ -303,24 +812,54 @@ func (s *Strategy) AdoptCopySet(x int, nodes []tree.NodeID) int64 {
 	}
 	s.copyList[x] = list
 	if added == 0 && dropped == 0 {
-		// Same set as before: the tables are still exact; keep the read
-		// counters so an unchanged placement does not reset adaptation.
+		// Same set as before: the tables (and the broadcast edge set) are
+		// still exact; keep the read counters so an unchanged placement
+		// does not reset adaptation.
 		return 0
 	}
-	s.rebuildNearest(x)
+	s.installTables(x)
+	s.rebuildBroadcast(x)
 	s.curGen[x]++
 	return moved
 }
 
-// addCopy inserts joiner into object x's copy set and relaxes the nearest
-// tables from it: only nodes that get strictly closer update, so ties keep
-// their previous reference copy (deterministically).
-func (s *Strategy) addCopy(x int, joiner tree.NodeID) {
+// installTables puts object x's nearest resolution into the mode its
+// adopted copy set requires: a from-scratch table rebuild for multi-copy
+// sets (which need not be connected), table-free connected mode for a
+// single copy.
+func (s *Strategy) installTables(x int) {
+	if len(s.copyList[x]) > 1 {
+		s.rebuildNearest(x)
+	} else {
+		s.tableValid[x] = false
+		s.anchorTop[x] = s.copyList[x][0]
+	}
+}
+
+// addCopy inserts joiner (which is adjacent to a current copy across edge
+// e) into object x's copy set. The write-broadcast edge set grows by
+// exactly e: the Steiner tree of S ∪ {joiner} is the Steiner tree of S
+// plus the path from joiner to it, which is e (or nothing, when joiner was
+// already an interior node of an adopted non-connected set — the stamp
+// check inside addBroadcastEdge covers that case). Connected-mode objects
+// keep no tables; an adopted object's tables are relaxed from joiner: only
+// nodes that get strictly closer update, so ties keep their previous
+// reference copy (deterministically).
+func (s *Strategy) addCopy(x int, joiner tree.NodeID, e tree.EdgeID) {
 	if s.isCopy[x][joiner] {
 		return
 	}
 	s.isCopy[x][joiner] = true
 	s.copyList[x] = append(s.copyList[x], joiner)
+	s.addBroadcastEdge(x, e)
+	if !s.tableValid[x] {
+		// Connected mode: nearest resolution is table-free; just keep the
+		// anchor at the subtree's top.
+		if s.r.Depth[joiner] < s.r.Depth[s.anchorTop[x]] {
+			s.anchorTop[x] = joiner
+		}
+		return
+	}
 	nearest, dist := s.nearest[x], s.ndist[x]
 	nearest[joiner] = joiner
 	dist[joiner] = 0
@@ -338,48 +877,85 @@ func (s *Strategy) addCopy(x int, joiner tree.NodeID) {
 	s.queue = queue[:0]
 }
 
-// steinerLoads adds one unit to every Steiner edge of object x's copy set
-// (the update broadcast) and returns the number of edges loaded. An edge
-// is a Steiner edge iff both of its sides hold a copy — the copy count
-// below it (one bottom-up pass over the packed traversal) is neither zero
-// nor the full set.
-func (s *Strategy) steinerLoads(x int) int64 {
+// broadcast adds one unit to every write-broadcast edge of object x (the
+// Steiner edges of its copy set, maintained incrementally) and returns the
+// number of edges loaded. This replaces the per-write bottom-up Steiner
+// pass: a write now costs O(|Steiner edges|), not O(|V|).
+func (s *Strategy) broadcast(x int) int64 {
+	edges := s.bcast[x]
+	for _, e := range edges {
+		s.EdgeLoad[e]++
+	}
+	return int64(len(edges))
+}
+
+// resetBroadcast empties object x's write-broadcast edge set by advancing
+// its generation (stamps from earlier generations become stale in place).
+func (s *Strategy) resetBroadcast(x int) {
+	s.bcast[x] = s.bcast[x][:0]
+	s.bcastGen[x]++
+}
+
+// addBroadcastEdge inserts e into object x's write-broadcast edge set if
+// it is not already present. The stamp table is allocated at the object's
+// first append — objects that never hold more than one copy never pay for
+// it.
+func (s *Strategy) addBroadcastEdge(x int, e tree.EdgeID) {
+	if s.bcastStamp[x] == nil {
+		s.bcastStamp[x] = make([]uint32, s.t.NumEdges())
+	}
+	if s.bcastStamp[x][e] == s.bcastGen[x] {
+		return
+	}
+	s.bcastStamp[x][e] = s.bcastGen[x]
+	s.bcast[x] = append(s.bcast[x], e)
+}
+
+// rebuildBroadcast recomputes object x's write-broadcast edge set from
+// scratch: an edge is a Steiner edge iff the copy count below it (one
+// bottom-up pass over the packed traversal) is neither zero nor the full
+// set. Only AdoptCopySet needs this — its imported static placements need
+// not be connected — while request-driven copy-set changes maintain the
+// set incrementally.
+func (s *Strategy) rebuildBroadcast(x int) {
+	s.resetBroadcast(x)
+	if len(s.copyList[x]) <= 1 {
+		return
+	}
 	cnt := s.steinerCt
 	clear(cnt)
 	total := int32(len(s.copyList[x]))
 	for _, v := range s.copyList[x] {
 		cnt[v] = 1
 	}
-	var cost int64
 	steps := s.r.Steps()
 	for i := len(steps) - 1; i >= 1; i-- {
 		st := steps[i]
 		if c := cnt[st.V]; c > 0 {
 			if c < total {
-				s.EdgeLoad[st.Edge]++
-				s.ServiceLoad[st.Edge]++
-				cost++
+				s.addBroadcastEdge(x, st.Edge)
 			}
 			cnt[st.Parent] += c
 		}
 	}
-	return cost
 }
 
 func (s *Strategy) readCount(x int, e tree.EdgeID) int32 {
-	if s.readCnt[x] == nil || s.readGen[x][e] != s.curGen[x] {
+	cw := s.readCW[x]
+	if cw == nil {
 		return 0
 	}
-	return s.readCnt[x][e]
+	if w := cw[e]; uint32(w>>32) == s.curGen[x] {
+		return int32(uint32(w))
+	}
+	return 0
 }
 
 func (s *Strategy) setReadCount(x int, e tree.EdgeID, c int32) {
-	if s.readCnt[x] == nil {
-		s.readCnt[x] = make([]int32, s.t.NumEdges())
-		s.readGen[x] = make([]uint32, s.t.NumEdges())
+	if s.readCW[x] == nil {
+		s.readCW[x] = make([]uint64, s.t.NumEdges())
 	}
-	s.readGen[x][e] = s.curGen[x]
-	s.readCnt[x][e] = c
+	s.readCW[x][e] = uint64(s.curGen[x])<<32 | uint64(uint32(c))
 }
 
 // ServeAll processes a whole sequence and returns the total service cost.
@@ -490,6 +1066,35 @@ func (ot *OfflineTracker) Record(r Request) {
 	}
 }
 
+// RecordBatch folds a whole batch into the aggregated frequencies — the
+// bulk form of Record, one call per ingested batch instead of one per
+// request. Runs of identical events collapse into one frequency addition,
+// so feeding it a by-object grouped batch (Strategy.GroupedBatch) makes
+// recording cost O(runs), not O(requests).
+func (ot *OfflineTracker) RecordBatch(reqs []Request) {
+	for i := 0; i < len(reqs); {
+		r := reqs[i]
+		j := i + 1
+		for j < len(reqs) && reqs[j] == r {
+			j++
+		}
+		if r.Write {
+			ot.w.AddWrites(r.Object, r.Node, int64(j-i))
+		} else {
+			ot.w.AddReads(r.Object, r.Node, int64(j-i))
+		}
+		if !ot.dirty[r.Object] {
+			ot.dirty[r.Object] = true
+			ot.queue = append(ot.queue, r.Object)
+		}
+		if !ot.drift[r.Object] {
+			ot.drift[r.Object] = true
+			ot.driftQ = append(ot.driftQ, r.Object)
+		}
+		i = j
+	}
+}
+
 // DrainDrifted appends to dst the objects recorded since the previous
 // drain (in first-touch order) and resets the drift set. It is independent
 // of Report's own dirty tracking: epoch re-solvers drain drift while the
@@ -550,24 +1155,11 @@ func (ot *OfflineTracker) clearDirty() {
 // which amortizes via tracked per-object loads.
 func StaticOffline(t *tree.Tree, numObjects int, reqs []Request) (*placement.Report, error) {
 	w := workload.New(numObjects, t.Len())
-	for _, r := range reqs {
-		if r.Write {
-			w.AddWrites(r.Object, r.Node, 1)
-		} else {
-			w.AddReads(r.Object, r.Node, 1)
-		}
-	}
+	w.AddTrace(reqs)
 	nib := nibble.Place(t, w)
 	p, err := nib.Placement(t, w)
 	if err != nil {
 		return nil, err
 	}
 	return placement.Evaluate(t, p), nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -35,13 +35,19 @@ func bfsDist(t *tree.Tree, copies []tree.NodeID) []int32 {
 	return dist
 }
 
-// checkNearestTables asserts the incremental tables of every materialized
-// object against a from-scratch BFS: ndist equals the true distance to the
-// copy set, nearest points at an actual copy, and the pointed-at copy
-// really is at distance ndist (so "nearest" is not just any copy). Exact
-// tie-breaking is NOT part of the contract — relaxation keeps the previous
-// reference copy on ties, a fresh BFS picks by seeding order — so the
-// check compares distances, not identities.
+// checkNearestTables asserts the nearest-copy resolution of every
+// materialized object against a from-scratch BFS. Objects in connected
+// mode (tableValid off — every request-driven state) keep no tables at
+// all; for them the check pins the connectivity invariant the anchor walk
+// depends on and verifies pathToNearest lands on a true nearest copy with
+// a path of exactly that length. Adopted objects must hold valid tables:
+// ndist equals the true distance to the copy set, nearest points at an
+// actual copy, and the pointed-at copy really is at distance ndist (so
+// "nearest" is not just any copy). Exact tie-breaking is NOT part of the
+// table contract — relaxation keeps the previous reference copy on ties, a
+// fresh BFS picks by seeding order — so the check compares distances, not
+// identities; in connected mode the nearest copy is unique, so there the
+// identity is pinned too.
 func checkNearestTables(t *testing.T, tr *tree.Tree, s *Strategy, ctx string) {
 	t.Helper()
 	r := tr.Rooted0()
@@ -50,6 +56,22 @@ func checkNearestTables(t *testing.T, tr *tree.Tree, s *Strategy, ctx string) {
 			continue
 		}
 		want := bfsDist(tr, s.copyList[x])
+		if !s.tableValid[x] {
+			if !copySetConnected(tr, s.copyList[x]) {
+				t.Fatalf("%s: object %d in connected mode with disconnected copies %v",
+					ctx, x, s.copyList[x])
+			}
+			for v := 0; v < tr.Len(); v++ {
+				id := tree.NodeID(v)
+				near, path := s.pathToNearest(x, id)
+				if !s.isCopy[x][near] || int32(len(path)) != want[v] ||
+					int32(r.PathLen(id, near)) != want[v] {
+					t.Fatalf("%s: object %d node %d: pathToNearest (%d, %d edges), true nearest at %d",
+						ctx, x, v, near, len(path), want[v])
+				}
+			}
+			continue
+		}
 		for v := 0; v < tr.Len(); v++ {
 			id := tree.NodeID(v)
 			if s.ndist[x][v] != want[v] {
@@ -65,8 +87,40 @@ func checkNearestTables(t *testing.T, tr *tree.Tree, s *Strategy, ctx string) {
 				t.Fatalf("%s: object %d node %d: nearest %d at distance %d, true nearest at %d",
 					ctx, x, v, near, got, want[v])
 			}
+			near, path := s.pathToNearest(x, id)
+			if !s.isCopy[x][near] || int32(len(path)) != want[v] {
+				t.Fatalf("%s: object %d node %d: pathToNearest (%d, %d edges), true nearest at %d",
+					ctx, x, v, near, len(path), want[v])
+			}
 		}
 	}
+}
+
+// copySetConnected reports whether the copy nodes induce a connected
+// subtree.
+func copySetConnected(tr *tree.Tree, copies []tree.NodeID) bool {
+	if len(copies) <= 1 {
+		return true
+	}
+	inSet := make(map[tree.NodeID]bool, len(copies))
+	for _, v := range copies {
+		inSet[v] = true
+	}
+	seen := map[tree.NodeID]bool{copies[0]: true}
+	queue := []tree.NodeID{copies[0]}
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range tr.Adj(v) {
+			if inSet[h.To] && !seen[h.To] {
+				seen[h.To] = true
+				count++
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return count == len(copies)
 }
 
 // The incremental nearest-copy tables (relaxation on replicate, one BFS on

@@ -730,13 +730,6 @@ func verdict(ok bool, note string) string {
 	return "NOT REPRODUCED — " + note
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 func minInt(a, b int) int {
 	if a < b {
 		return a

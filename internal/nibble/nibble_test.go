@@ -254,10 +254,3 @@ func TestPlaceObjectMismatchedWeightsPanics(t *testing.T) {
 	}()
 	GravityCenter(tr, []int64{1, 2})
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -76,10 +76,3 @@ func TestWorkers(t *testing.T) {
 		t.Fatalf("Workers(1) under GOMAXPROCS=2 = %d, want 1", got)
 	}
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// The batched shard path (ServeBatch + RecordBatch) and the per-request
+// reference path (Options.Unbatched) must produce bit-identical clusters:
+// same loads, same costs, same epoch passes and adoption movement.
+func TestIngestBatchedMatchesUnbatched(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tr := tree.SCICluster(3, 4, 16, 8)
+	const objects = 16
+	trace := workload.DriftingZipf(rng, tr, objects, 6000, 3, 1.0, 0.05)
+
+	run := func(unbatched bool) ([]int64, []int64, Stats) {
+		c, err := NewCluster(tr, objects, Options{
+			Shards: 3, EpochRequests: 1000, Threshold: 3, Unbatched: unbatched,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lo := 0; lo < len(trace); {
+			hi := lo + 1 + rng.Intn(400)
+			if hi > len(trace) {
+				hi = len(trace)
+			}
+			if _, err := c.Ingest(trace[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+			lo = hi
+		}
+		return c.EdgeLoad(), c.ServiceLoad(), c.Stats()
+	}
+	// Identical uneven batch splits for both runs.
+	rng = rand.New(rand.NewSource(78))
+	be, bs, bst := run(false)
+	rng = rand.New(rand.NewSource(78))
+	ue, us, ust := run(true)
+
+	bst.ResolveTime, ust.ResolveTime = 0, 0
+	if bst != ust {
+		t.Fatalf("stats differ: batched %+v vs unbatched %+v", bst, ust)
+	}
+	for e := range be {
+		if be[e] != ue[e] || bs[e] != us[e] {
+			t.Fatalf("edge %d: batched (%d,%d) != unbatched (%d,%d)", e, be[e], bs[e], ue[e], us[e])
+		}
+	}
+}
+
+// The serving hot path must be allocation-free in steady state: once a
+// cluster has seen its high-water batch size and every object has been
+// touched, Ingest performs ~0 allocations per batch (partition scratch
+// cycles through a pool, ServeBatch groups into strategy-owned buffers,
+// and all per-object tables are already materialized). Mirrors PR 2's
+// TestSolverSteadyAllocs; wired into the CI alloc-guard step.
+func TestIngestSteadyAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tr := tree.SCICluster(4, 4, 16, 8)
+	const objects = 32
+	trace := workload.DriftingZipf(rng, tr, objects, 40960, 2, 1.0, 0.05)
+	// Parallelism 1 keeps par.ForEach on the caller's goroutine — the
+	// guard measures the serving path, not goroutine spawn plumbing.
+	// EpochRequests 0 keeps the (allocating, once-per-epoch) re-solve out
+	// of the steady-state measurement.
+	c, err := NewCluster(tr, objects, Options{Shards: 2, Threshold: 4, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 512
+	warm := trace[:len(trace)/2]
+	for lo := 0; lo+batch <= len(warm); lo += batch {
+		if _, err := c.Ingest(warm[lo : lo+batch]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steady := trace[len(trace)/2:]
+	i := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		lo := (i * batch) % (len(steady) - batch)
+		i++
+		if _, err := c.Ingest(steady[lo : lo+batch]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("steady-state Ingest allocates %.1f allocs/op, want ~0 (<= 2)", allocs)
+	}
+}

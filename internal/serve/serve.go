@@ -7,8 +7,13 @@
 // — copy sets, nearest tables, read counters — is per-object, so the
 // sharding is exact: aggregate loads are identical to a single strategy
 // serving the whole sequence). Batches ingested by Ingest are partitioned
-// by owner and served shard-parallel; each shard's OfflineTracker records
-// the observed frequencies as it serves.
+// by owner (counting-sorted into pooled scratch: the steady-state request
+// hot path allocates nothing, guarded by TestIngestSteadyAllocs) and
+// served shard-parallel through Strategy.ServeBatch, the run-length
+// folding batched path (Options.Unbatched selects the per-request
+// reference loop, bit-identical by the batching equivalence property);
+// each shard's OfflineTracker records the observed frequencies in bulk as
+// it serves.
 //
 // Every EpochRequests served requests, an epoch pass feeds the objects
 // whose frequencies drifted since the previous pass into a shared
@@ -76,6 +81,12 @@ type Options struct {
 	// average. Objects with no new traffic keep their frequencies either
 	// way, so the incremental Resolve contract is preserved.
 	DecayShift uint
+	// Unbatched serves each shard's partition with the per-request
+	// Serve/Record loop instead of the batched run-length-folded path.
+	// Both produce bit-identical state (property-tested); this is the
+	// reference configuration for equivalence tests and the baseline of
+	// the ingest throughput benchmark.
+	Unbatched bool
 }
 
 // EpochStat records one epoch pass, for per-epoch comparison against the
@@ -117,6 +128,89 @@ type shard struct {
 	cost    int64 // total service cost of this shard
 }
 
+// ingestScratch is the reusable partition state of one in-flight Ingest
+// call: the batch is counting-sorted by owner shard into the single
+// backing array buf (stable, so per-object request order is preserved),
+// and serve is the pre-bound worker closure so the steady path constructs
+// nothing per call. Scratch cycles through a sync.Pool — concurrent
+// ingesters each hold their own — making Ingest allocation-free once the
+// high-water batch size has been seen.
+type ingestScratch struct {
+	c     *Cluster
+	serve func(worker, si int)
+	buf   []Request
+	start []int32 // per shard: start offset into buf (len nshards+1)
+	fill  []int32 // scatter cursors
+	costs []int64
+}
+
+func (sc *ingestScratch) serveShard(_, si int) {
+	part := sc.buf[sc.start[si]:sc.start[si+1]]
+	if len(part) == 0 {
+		return
+	}
+	sh := sc.c.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var cost int64
+	if sc.c.opts.Unbatched {
+		for _, r := range part {
+			cost += sh.strat.Serve(r)
+			sh.tracker.Record(r)
+		}
+	} else {
+		cost = sh.strat.ServeBatch(part)
+		// The grouped view lets the tracker fold runs of identical events.
+		sh.tracker.RecordBatch(sh.strat.GroupedBatch())
+	}
+	sc.costs[si] = cost
+	sh.cost += cost
+}
+
+// partition counting-sorts the batch by owner shard into sc.buf and sets
+// sc.start. With one shard the batch is aliased, not copied.
+func (sc *ingestScratch) partition(batch []Request) {
+	nshards := len(sc.c.shards)
+	if cap(sc.start) < nshards+1 {
+		sc.start = make([]int32, nshards+1)
+		sc.fill = make([]int32, nshards)
+		sc.costs = make([]int64, nshards)
+	}
+	sc.start = sc.start[:nshards+1]
+	sc.fill = sc.fill[:nshards]
+	sc.costs = sc.costs[:nshards]
+	for i := range sc.costs {
+		sc.costs[i] = 0
+	}
+	if nshards == 1 {
+		sc.buf = batch
+		sc.start[0], sc.start[1] = 0, int32(len(batch))
+		return
+	}
+	for i := range sc.fill {
+		sc.fill[i] = 0
+	}
+	for i := range batch {
+		sc.fill[batch[i].Object%nshards]++
+	}
+	off := int32(0)
+	for si, n := range sc.fill {
+		sc.start[si] = off
+		sc.fill[si] = off
+		off += n
+	}
+	sc.start[nshards] = off
+	if cap(sc.buf) < len(batch) {
+		sc.buf = make([]Request, len(batch))
+	}
+	sc.buf = sc.buf[:len(batch)]
+	for _, r := range batch {
+		si := r.Object % nshards
+		sc.buf[sc.fill[si]] = r
+		sc.fill[si]++
+	}
+}
+
 // Cluster is the sharded concurrent serving layer. All methods are safe
 // for concurrent use.
 type Cluster struct {
@@ -124,6 +218,8 @@ type Cluster struct {
 	opts       Options
 	numObjects int
 	shards     []*shard
+	isLeaf     []bool    // per node, precomputed: batch validation is one byte load per event
+	scratch    sync.Pool // of *ingestScratch; see Ingest
 
 	// Epoch machinery: epochMu serializes passes and guards everything
 	// below it. The solver's workload w aggregates the observed
@@ -176,6 +272,15 @@ func NewCluster(t *tree.Tree, numObjects int, opts Options) (*Cluster, error) {
 			tracker: dynamic.NewOfflineTracker(t, numObjects),
 		}
 	}
+	c.isLeaf = make([]bool, t.Len())
+	for _, v := range t.Leaves() {
+		c.isLeaf[v] = true
+	}
+	c.scratch.New = func() any {
+		sc := &ingestScratch{c: c}
+		sc.serve = sc.serveShard // bind once; per-call closures would allocate
+		return sc
+	}
 	if opts.Background {
 		c.trigger = make(chan struct{}, 1)
 		c.done = make(chan struct{})
@@ -196,55 +301,26 @@ func (c *Cluster) Ingest(batch []Request) (int64, error) {
 	if c.closed.Load() {
 		return 0, errors.New("serve: cluster is closed")
 	}
-	for i, r := range batch {
+	for i := range batch {
+		r := &batch[i]
 		if r.Object < 0 || r.Object >= c.numObjects {
 			return 0, fmt.Errorf("serve: request %d: object %d out of range [0,%d)", i, r.Object, c.numObjects)
 		}
-		if r.Node < 0 || int(r.Node) >= c.t.Len() || !c.t.IsLeaf(r.Node) {
+		if r.Node < 0 || int(r.Node) >= len(c.isLeaf) || !c.isLeaf[r.Node] {
 			return 0, fmt.Errorf("serve: request %d: node %d is not a processor", i, r.Node)
 		}
 	}
-	nshards := len(c.shards)
-	var parts [][]Request
-	if nshards == 1 {
-		parts = [][]Request{batch}
-	} else {
-		parts = make([][]Request, nshards)
-		counts := make([]int, nshards)
-		for _, r := range batch {
-			counts[r.Object%nshards]++
-		}
-		for si, n := range counts {
-			if n > 0 {
-				parts[si] = make([]Request, 0, n)
-			}
-		}
-		for _, r := range batch {
-			si := r.Object % nshards
-			parts[si] = append(parts[si], r)
-		}
-	}
-	costs := make([]int64, nshards)
-	par.ForEach(c.opts.Parallelism, nshards, func(_, si int) {
-		part := parts[si]
-		if len(part) == 0 {
-			return
-		}
-		sh := c.shards[si]
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		var cost int64
-		for _, r := range part {
-			cost += sh.strat.Serve(r)
-			sh.tracker.Record(r)
-		}
-		costs[si] += cost
-		sh.cost += cost
-	})
+	sc := c.scratch.Get().(*ingestScratch)
+	sc.partition(batch)
+	par.ForEach(c.opts.Parallelism, len(c.shards), sc.serve)
 	var total int64
-	for _, ct := range costs {
+	for _, ct := range sc.costs {
 		total += ct
 	}
+	if len(c.shards) == 1 {
+		sc.buf = nil // aliased the caller's batch; don't retain it in the pool
+	}
+	c.scratch.Put(sc)
 	after := c.served.Add(int64(len(batch)))
 	if e := c.opts.EpochRequests; e > 0 && (after-int64(len(batch)))/e != after/e {
 		if c.opts.Background {
@@ -446,7 +522,7 @@ func (c *Cluster) ServiceLoad() []int64 {
 	out := make([]int64, c.t.NumEdges())
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		for e, l := range sh.strat.ServiceLoad {
+		for e, l := range sh.strat.ServiceLoad() {
 			out[e] += l
 		}
 		sh.mu.Unlock()

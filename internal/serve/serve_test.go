@@ -65,10 +65,11 @@ func TestClusterMatchesPlainStrategy(t *testing.T) {
 				t.Fatalf("%s shards=%d: service cost %d != plain strategy %d", inst.name, shards, cost, refCost)
 			}
 			edge, service := c.EdgeLoad(), c.ServiceLoad()
+			refService := ref.ServiceLoad()
 			for e := range edge {
-				if edge[e] != ref.EdgeLoad[e] || service[e] != ref.ServiceLoad[e] {
+				if edge[e] != ref.EdgeLoad[e] || service[e] != refService[e] {
 					t.Fatalf("%s shards=%d edge %d: cluster (%d,%d) != plain (%d,%d)",
-						inst.name, shards, e, edge[e], service[e], ref.EdgeLoad[e], ref.ServiceLoad[e])
+						inst.name, shards, e, edge[e], service[e], ref.EdgeLoad[e], refService[e])
 				}
 			}
 			st := c.Stats()

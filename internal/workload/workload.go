@@ -86,6 +86,19 @@ func (w *W) AddWrites(x int, v tree.NodeID, n int64) {
 	w.acc[w.idx(x, v)].Writes += n
 }
 
+// AddTrace folds a request trace into the frequencies: one read or write
+// access per event. The trace's dimensions must fit the workload's.
+func (w *W) AddTrace(events []TraceEvent) {
+	for i := range events {
+		e := &events[i]
+		if e.Write {
+			w.AddWrites(e.Object, e.Node, 1)
+		} else {
+			w.AddReads(e.Object, e.Node, 1)
+		}
+	}
+}
+
 // Kappa returns κ_x, the write contention of object x: the total number of
 // write accesses to x over all nodes.
 func (w *W) Kappa(x int) int64 {

@@ -228,3 +228,33 @@ func TestQuickAggregates(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// AddTrace folds a trace into the frequencies exactly like per-event
+// AddReads/AddWrites calls.
+func TestAddTraceMatchesPerEvent(t *testing.T) {
+	tr := tree.Star(4, 8)
+	events := []TraceEvent{
+		{Object: 0, Node: 1},
+		{Object: 0, Node: 1},
+		{Object: 1, Node: 2, Write: true},
+		{Object: 0, Node: 3},
+		{Object: 1, Node: 1},
+	}
+	got := New(2, tr.Len())
+	got.AddTrace(events)
+	want := New(2, tr.Len())
+	for _, e := range events {
+		if e.Write {
+			want.AddWrites(e.Object, e.Node, 1)
+		} else {
+			want.AddReads(e.Object, e.Node, 1)
+		}
+	}
+	for x := 0; x < 2; x++ {
+		for v := 0; v < tr.Len(); v++ {
+			if got.At(x, tree.NodeID(v)) != want.At(x, tree.NodeID(v)) {
+				t.Fatalf("object %d node %d: %+v != %+v", x, v, got.At(x, tree.NodeID(v)), want.At(x, tree.NodeID(v)))
+			}
+		}
+	}
+}
