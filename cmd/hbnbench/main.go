@@ -12,6 +12,7 @@
 //	hbnbench -experiment none -solverbench -json  # solver benchmarks only
 //	hbnbench -experiment none -serve    # trace-driven serving benchmark
 //	hbnbench -experiment none -ingestbench      # requests/sec, batched vs per-request
+//	hbnbench -experiment none -reconfig # live topology churn (failover/scale-out/brownout)
 //	hbnbench ... -cpuprofile cpu.pprof  # attach pprof evidence to perf PRs
 package main
 
@@ -52,14 +53,15 @@ type jsonBench struct {
 }
 
 type jsonOutput struct {
-	Timestamp  string       `json:"timestamp"`
-	Seed       int64        `json:"seed"`
-	Quick      bool         `json:"quick"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	Results    []jsonResult `json:"results"`
-	Benchmarks []jsonBench  `json:"benchmarks,omitempty"`
-	Serving    []jsonServe  `json:"serving,omitempty"`
-	Ingest     []jsonIngest `json:"ingest,omitempty"`
+	Timestamp  string         `json:"timestamp"`
+	Seed       int64          `json:"seed"`
+	Quick      bool           `json:"quick"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Results    []jsonResult   `json:"results"`
+	Benchmarks []jsonBench    `json:"benchmarks,omitempty"`
+	Serving    []jsonServe    `json:"serving,omitempty"`
+	Ingest     []jsonIngest   `json:"ingest,omitempty"`
+	Reconfig   []jsonReconfig `json:"reconfig,omitempty"`
 }
 
 func main() {
@@ -72,6 +74,7 @@ func main() {
 		solverB    = flag.Bool("solverbench", false, "measure the solver benchmarks (warm/cold Solve, Resolve) and emit them in -json mode")
 		serveB     = flag.Bool("serve", false, "run the trace-driven serving benchmark (sharded cluster, epoch re-solve vs baseline vs clairvoyant static)")
 		ingestB    = flag.Bool("ingestbench", false, "run the ingest throughput benchmark (requests/sec, batched ServeBatch path vs per-request reference, all four trace scenarios)")
+		reconfigB  = flag.Bool("reconfig", false, "run the live-reconfiguration benchmark (failover, scale-out, brownout: reconfigure latency, req/s during churn, congestion vs a cold restart)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
 	)
@@ -136,6 +139,14 @@ func main() {
 			fatal(err)
 		}
 	}
+	var reconfig []jsonReconfig
+	if *reconfigB {
+		var err error
+		reconfig, err = runReconfigBench(*quick, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	// The measured work is done: flush profiles before emitting output so
 	// the profile covers exactly the benchmark/experiment bodies.
@@ -169,6 +180,7 @@ func main() {
 			Benchmarks: benches,
 			Serving:    serving,
 			Ingest:     ingest,
+			Reconfig:   reconfig,
 		}); err != nil {
 			fatal(err)
 		}
@@ -192,6 +204,9 @@ func main() {
 		}
 		if len(ingest) > 0 {
 			printIngestBench(ingest)
+		}
+		if len(reconfig) > 0 {
+			printReconfigBench(reconfig)
 		}
 	}
 	for _, r := range results {

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"testing"
+
+	"hbn/internal/tree"
+)
+
+// The -reconfig benchmark path end to end at -quick scale: three
+// scenarios, each with a successful reconfigure, positive throughput
+// numbers and a meaningful cold-restart comparison.
+func TestRunReconfigBenchQuick(t *testing.T) {
+	out, err := runReconfigBench(true, 321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d scenarios, want 3", len(out))
+	}
+	byName := map[string]jsonReconfig{}
+	for _, r := range out {
+		byName[r.Scenario] = r
+		if r.ReconfigMS <= 0 {
+			t.Fatalf("%s: non-positive reconfigure latency", r.Scenario)
+		}
+		if r.RpsPre <= 0 || r.RpsChurn <= 0 || r.RpsPost <= 0 {
+			t.Fatalf("%s: non-positive throughput: %+v", r.Scenario, r)
+		}
+		if r.PostCongestion <= 0 || r.ColdCongestion <= 0 || r.VsColdRatio <= 0 {
+			t.Fatalf("%s: congestion comparison missing: %+v", r.Scenario, r)
+		}
+	}
+	if f := byName["failover"]; f.RemovedNodes != 2 || f.AddedNodes != 0 {
+		t.Fatalf("failover removed/added %d/%d, want 2/0", f.RemovedNodes, f.AddedNodes)
+	}
+	if s := byName["scale-out"]; s.AddedNodes != 9 || s.RemovedNodes != 0 {
+		t.Fatalf("scale-out removed/added %d/%d, want 0/9", s.RemovedNodes, s.AddedNodes)
+	}
+	if b := byName["brownout"]; b.RemovedNodes != 0 || b.AddedNodes != 0 || b.Moved != 0 {
+		t.Fatalf("brownout should not move anything: %+v", b)
+	}
+	printReconfigBench(out) // rendering smoke
+}
+
+// congestionOf matches the paper's cost model on a hand-checked star:
+// edges divide by switch bandwidth, the bus carries half the incident
+// sum divided by its bandwidth.
+func TestCongestionOf(t *testing.T) {
+	tr := tree.Star(3, 4) // hub bw 4, three unit switches
+	loads := []int64{6, 2, 2}
+	// Edge congestion: 6/1 = 6; bus: (6+2+2)/2/4 = 1.25.
+	if got := congestionOf(tr, loads); got != 6 {
+		t.Fatalf("congestion %v, want 6", got)
+	}
+	// With fat switches the bus term dominates.
+	b := tree.NewBuilder()
+	hub := b.AddBus("hub", 1)
+	l0 := b.AddProcessor("")
+	l1 := b.AddProcessor("")
+	b.Connect(hub, l0, 1)
+	b.Connect(hub, l1, 1)
+	tr2 := b.MustBuildHBN()
+	if got := congestionOf(tr2, []int64{4, 4}); got != 4 {
+		t.Fatalf("congestion %v, want 4 (bus (4+4)/2/1)", got)
+	}
+	if maxOf([]int64{3, 9, 1}) != 9 {
+		t.Fatal("helper arithmetic broken")
+	}
+	if rate(100, 0) != 0 {
+		t.Fatal("rate must guard zero durations")
+	}
+}

@@ -96,6 +96,32 @@
 // (the connected-subtree structure of Theorem 3.1 makes both exact; see
 // internal/dynamic). `hbnbench -ingestbench` measures the requests/sec
 // throughput of this path against the per-request reference.
+//
+// # Elastic topology
+//
+// Networks change shape while they serve: processors fail, capacity joins,
+// bus bandwidth degrades. A TopologyDiff declares such a change
+// declaratively — remove nodes (a bus takes its whole subtree), graft new
+// processors or bus subtrees, change switch and bus bandwidths — and
+// ApplyDiff executes it structurally, returning the new immutable Tree
+// plus a TopologyRemap, the dense old→new renumbering every ID-indexed
+// structure migrates through. Migrate plans the full state carry-over
+// (frequencies remapped, surviving copies kept in place, lost objects
+// recovered at the nearest surviving leaf, a fresh near-optimal placement
+// solved on the remapped workload), and Cluster.Reconfigure applies all
+// of it to a live cluster atomically, safe under concurrent Ingest:
+//
+//	rs, err := cluster.Reconfigure(hbn.TopologyDiff{
+//	    Remove: []hbn.NodeID{failedLeaf},
+//	})
+//	// rs.Remap translates in-flight request node IDs onto the new tree.
+//
+// Migration movement is priced through the same AdoptCopySet account as
+// epoch adoption (ClusterStats.AdoptMoved), and the epoch solver is
+// re-armed on the new tree, so incremental re-solving continues across
+// the change. `hbnbench -reconfig` measures reconfigure latency, serving
+// throughput during churn, and post-churn congestion against a cold
+// restart on the new topology.
 package hbn
 
 import (
@@ -109,6 +135,7 @@ import (
 	"hbn/internal/ratio"
 	"hbn/internal/ring"
 	"hbn/internal/serve"
+	"hbn/internal/topo"
 	"hbn/internal/tree"
 	"hbn/internal/workload"
 )
@@ -168,10 +195,35 @@ type (
 	ClusterStats = serve.Stats
 	// EpochStat records one epoch re-solve pass of a Cluster.
 	EpochStat = serve.EpochStat
+	// TopologyDiff declares mutations to a live network: node removals,
+	// grafted subtrees, bandwidth changes.
+	TopologyDiff = topo.Diff
+	// Graft describes one node a TopologyDiff adds.
+	Graft = topo.Graft
+	// SwitchBandwidth / BusBandwidth are bandwidth changes in a
+	// TopologyDiff.
+	SwitchBandwidth = topo.SwitchBandwidth
+	BusBandwidth    = topo.BusBandwidth
+	// TopologyRemap is the dense old→new ID translation a diff induces.
+	TopologyRemap = topo.Remap
+	// Migration is the state-carrying plan Migrate produces for a diff.
+	Migration = topo.Migration
+	// ReconfigStats summarizes one Cluster.Reconfigure call.
+	ReconfigStats = serve.ReconfigStats
 )
 
 // None is the sentinel "no node" value.
 const None = tree.None
+
+// Kind distinguishes processors (leaves) from buses (inner nodes), for
+// declaring grafted nodes in a TopologyDiff.
+type Kind = tree.Kind
+
+// Node kinds.
+const (
+	Processor = tree.Processor
+	Bus       = tree.Bus
+)
 
 // NewNetworkBuilder returns an empty network builder.
 func NewNetworkBuilder() *NetworkBuilder { return tree.NewBuilder() }
@@ -260,6 +312,25 @@ func NewOnline(t *Tree, numObjects, threshold int) *OnlineStrategy {
 // and EpochRequests: 0 a Cluster serves exactly like NewOnline.
 func NewCluster(t *Tree, numObjects int, opts ClusterOptions) (*Cluster, error) {
 	return serve.NewCluster(t, numObjects, opts)
+}
+
+// ApplyDiff executes a topology diff against t: removals (whole subtrees
+// in the canonical node-0 orientation), grafts, bandwidth changes, and
+// the pruning of degenerate buses. It returns the new tree and the dense
+// old→new ID remap; t is never mutated, and an identity diff round-trips
+// the tree bit-identically.
+func ApplyDiff(t *Tree, d TopologyDiff) (*Tree, *TopologyRemap, error) {
+	return topo.Apply(t, d)
+}
+
+// Migrate plans the state carry-over for applying d to t: the remapped
+// workload, each object's copy set projected onto the surviving nodes
+// (copies that survive do not move), recovery placements for objects
+// whose copies were all lost, and the re-solved target placement on the
+// new tree, with an armed Solver for incremental re-solving from there.
+// Cluster.Reconfigure is the live-serving form of this.
+func Migrate(t *Tree, d TopologyDiff, w *Workload, copySets [][]NodeID) (*Migration, error) {
+	return topo.Migrate(t, d, w, copySets, topo.Options{})
 }
 
 // Generators for common network shapes (all valid hierarchical bus

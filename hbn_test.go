@@ -137,6 +137,67 @@ func TestPublicOnline(t *testing.T) {
 	}
 }
 
+// The public elastic-topology API: ApplyDiff reconfigures a tree with a
+// consistent remap, Migrate carries workload and copy sets across, and a
+// live Cluster survives a leaf failure through Reconfigure (the deep
+// properties live in internal/topo and internal/serve; this pins the
+// re-exported surface).
+func TestPublicReconfigure(t *testing.T) {
+	tr, w := buildExample(t)
+	victim := tr.Leaves()[2]
+	nt, remap, err := ApplyDiff(tr, TopologyDiff{
+		Remove: []NodeID{victim},
+		Add:    []Graft{{Kind: Processor, Name: "p3", Parent: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nt.ValidateHBN(); err != nil {
+		t.Fatal(err)
+	}
+	if nt.Len() != tr.Len() || remap.Node[victim] != None {
+		t.Fatalf("unexpected reconfigured shape: %d nodes", nt.Len())
+	}
+
+	mig, err := Migrate(tr, TopologyDiff{Remove: []NodeID{victim}}, w, [][]NodeID{{tr.Leaves()[0]}, {victim}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mig.Recovered) != 1 || mig.Recovered[0] != 1 {
+		t.Fatalf("recovered %v, want object 1 (its only copy sat on the victim)", mig.Recovered)
+	}
+	if len(mig.Projected[0]) != 1 || mig.Projected[0][0] != mig.Remap.Node[tr.Leaves()[0]] {
+		t.Fatal("surviving copy moved")
+	}
+
+	c, err := NewCluster(tr, 2, ClusterOptions{Shards: 2, Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tr.Leaves()
+	if _, err := c.Ingest([]TraceEvent{
+		{Object: 0, Node: leaves[0]}, {Object: 0, Node: leaves[1]},
+		{Object: 1, Node: victim}, {Object: 1, Node: victim, Write: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.Reconfigure(TopologyDiff{Remove: []NodeID{victim}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Remap == nil || c.Tree().Len() != tr.Len()-1 {
+		t.Fatal("cluster did not switch topology")
+	}
+	for x := 0; x < 2; x++ {
+		if len(c.Copies(x)) == 0 {
+			t.Fatalf("object %d lost its copies", x)
+		}
+	}
+	if st := c.Stats(); st.Reconfigs != 1 || st.Requests != 4 {
+		t.Fatalf("stats after reconfigure: %+v", st)
+	}
+}
+
 // Property: for random star workloads the solver's congestion always sits
 // between the certified lower bound and 7× the lower bound.
 func TestQuickSolveBounds(t *testing.T) {

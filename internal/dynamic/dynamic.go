@@ -208,6 +208,33 @@ func (s *Strategy) ServiceLoad() []int64 {
 	return out
 }
 
+// MoveLoad returns the per-edge copy-movement loads (the movement
+// account ServiceLoad subtracts), freshly allocated per call.
+func (s *Strategy) MoveLoad() []int64 {
+	out := make([]int64, len(s.moveLoad))
+	copy(out, s.moveLoad)
+	return out
+}
+
+// ImportLoads seeds the strategy's per-edge load accounts and its served
+// request counter from a predecessor — the serving layer's topology
+// reconfiguration rebuilds each shard's strategy on the new tree and
+// carries the surviving edges' accumulated history across with this, so
+// load totals and request counts are conserved through a reconfigure.
+// Both vectors must have one entry per edge of the strategy's tree;
+// moveLoad entries must not exceed their edgeLoad counterparts.
+func (s *Strategy) ImportLoads(edgeLoad, moveLoad []int64, requests int64) {
+	if len(edgeLoad) != len(s.EdgeLoad) || len(moveLoad) != len(s.moveLoad) {
+		panic(fmt.Sprintf("dynamic: ImportLoads got %d/%d entries for %d edges",
+			len(edgeLoad), len(moveLoad), len(s.EdgeLoad)))
+	}
+	for e := range edgeLoad {
+		s.EdgeLoad[e] += edgeLoad[e]
+		s.moveLoad[e] += moveLoad[e]
+	}
+	s.requests += int(requests)
+}
+
 // NumObjects returns the object-space size the strategy was built for.
 func (s *Strategy) NumObjects() int { return len(s.isCopy) }
 
@@ -1039,13 +1066,25 @@ type OfflineTracker struct {
 
 // NewOfflineTracker creates a tracker for numObjects objects on t.
 func NewOfflineTracker(t *tree.Tree, numObjects int) *OfflineTracker {
+	return NewOfflineTrackerWith(t, workload.New(numObjects, t.Len()))
+}
+
+// NewOfflineTrackerWith creates a tracker that starts from the given
+// already-observed frequencies instead of zero — the serving layer's
+// topology reconfiguration seeds each rebuilt shard tracker with the old
+// tracker's rows remapped onto the new tree. The tracker takes ownership
+// of w, whose node dimension must match t.
+func NewOfflineTrackerWith(t *tree.Tree, w *workload.W) *OfflineTracker {
+	if w.NumNodes() != t.Len() {
+		panic(fmt.Sprintf("dynamic: tracker workload built for %d nodes, tree has %d", w.NumNodes(), t.Len()))
+	}
 	return &OfflineTracker{
 		t:     t,
-		w:     workload.New(numObjects, t.Len()),
+		w:     w,
 		ev:    placement.NewEvaluator(t),
 		scr:   nibble.NewScratch(t),
-		dirty: make([]bool, numObjects),
-		drift: make([]bool, numObjects),
+		dirty: make([]bool, w.NumObjects()),
+		drift: make([]bool, w.NumObjects()),
 	}
 }
 

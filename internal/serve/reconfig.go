@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hbn/internal/dynamic"
+	"hbn/internal/topo"
+	"hbn/internal/tree"
+)
+
+// ReconfigStats summarizes one completed Reconfigure call.
+type ReconfigStats struct {
+	// Elapsed is the wall time the cluster spent reconfiguring (ingestion
+	// is blocked for this long).
+	Elapsed time.Duration
+	// RemovedNodes / AddedNodes count the node difference (removals
+	// include pruned degenerate buses).
+	RemovedNodes, AddedNodes int
+	// Projected counts objects that kept at least one surviving copy;
+	// Recovered counts objects whose copies were all lost and were
+	// restored at the nearest surviving leaf.
+	Projected, Recovered int
+	// Moved is the adoption-priced migration distance: each re-solved copy
+	// charged its tree distance to the object's nearest surviving copy.
+	Moved int64
+	// Remap translates old IDs onto the new topology, so callers can
+	// project in-flight traces, external load tables, or monitoring state
+	// the same way the cluster did.
+	Remap *topo.Remap
+}
+
+// Reconfigure applies a topology diff to the live cluster: the network is
+// rebuilt through topo.Apply, and every layer of serving state migrates
+// across the ID remap — observed frequencies (cluster and per-shard
+// tracker rows), per-shard edge-load and request accounting (surviving
+// edges keep their history; removed edges' loads are dropped with the
+// hardware), and every object's copy set. Copies on surviving nodes stay
+// exactly where they are (minimal movement); objects whose copies were
+// all lost are restored at the surviving leaf nearest to the lost set;
+// then one epoch-style pass adopts the placement freshly solved on the
+// remapped frequencies, pricing the migration through the same
+// AdoptCopySet movement account as every epoch pass (Stats.AdoptMoved).
+// The epoch solver is re-armed on the new tree, so subsequent passes
+// continue incrementally with Resolve.
+//
+// Reconfigure is safe under concurrent Ingest and background epoch
+// passes: it write-acquires the ingest gate (waiting out in-flight
+// batches and blocking new ones for the duration) and holds the epoch
+// lock. Requests ingested after it returns must use NEW node IDs —
+// translate in-flight traffic through the returned ReconfigStats.Remap.
+// The renumbering is dense, so the cluster can only reject stale IDs
+// that fall outside the new tree or on a bus; an untranslated old ID
+// that happens to alias a surviving processor is indistinguishable from
+// a genuine request for it and is served as such. ID translation is the
+// caller's responsibility, exactly as with any resharding.
+func (c *Cluster) Reconfigure(d topo.Diff) (ReconfigStats, error) {
+	var rs ReconfigStats
+	c.closeMu.Lock()
+	defer c.closeMu.Unlock()
+	if c.closed.Load() {
+		return rs, errors.New("serve: cluster is closed")
+	}
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+	start := time.Now()
+
+	// Fold all outstanding drift on the old topology first, so the
+	// migration re-solves the complete observed history.
+	changed := c.collectDriftLocked()
+
+	// Snapshot every object's live copy set from its owner shard.
+	sets := make([][]tree.NodeID, c.numObjects)
+	for si, sh := range c.shards {
+		sh.mu.Lock()
+		for x := si; x < c.numObjects; x += len(c.shards) {
+			sets[x] = sh.strat.Copies(x)
+		}
+		sh.mu.Unlock()
+	}
+
+	mig, err := topo.Migrate(c.t, d, c.w, sets, topo.Options{Parallelism: c.opts.Parallelism})
+	if err != nil {
+		// Nothing has been swapped and the cluster keeps serving on the
+		// old topology — but the drift fold above already mutated solver
+		// workload rows whose changed list we are about to drop, and the
+		// solver's incremental contract forbids Resolve over mutated rows
+		// it was not told about. Disarm it: the next epoch pass runs a
+		// full Solve, which is always valid.
+		c.solved = false
+		return rs, fmt.Errorf("serve: reconfigure: %w", err)
+	}
+	rs.Remap = mig.Remap
+	added := countAdded(mig.Remap)
+	rs.RemovedNodes = c.t.Len() - len(mig.Remap.NodeBack) + added
+	rs.AddedNodes = added
+	rs.Recovered = len(mig.Recovered)
+
+	// Swap the topology and the epoch machinery. The migration's solver
+	// already ran a full Solve on the remapped frequencies, so the epoch
+	// pipeline continues with incremental Resolve from here.
+	oldPrev := c.prev
+	c.t = mig.Tree
+	c.solver = mig.Solver
+	c.w = mig.W
+	c.prev = mig.Remap.Workload(oldPrev)
+	c.solved = true
+	c.isLeaf = make([]bool, c.t.Len())
+	for _, v := range c.t.Leaves() {
+		c.isLeaf[v] = true
+	}
+
+	// Rebuild each shard on the new tree: fresh strategy and tracker with
+	// the old load history, request counts and frequency rows carried
+	// across the remap, then the two-phase adoption — survivors first
+	// (first-touch, free: the data is physically there), the re-solved
+	// target second (priced movement from the survivors).
+	for si, sh := range c.shards {
+		sh.mu.Lock()
+		ns := dynamic.New(c.t, c.numObjects, dynamic.Options{Threshold: c.opts.Threshold})
+		ns.ImportLoads(
+			mig.Remap.EdgeLoads(sh.strat.EdgeLoad),
+			mig.Remap.EdgeLoads(sh.strat.MoveLoad()),
+			sh.strat.Requests(),
+		)
+		nt := dynamic.NewOfflineTrackerWith(c.t, mig.Remap.Workload(sh.tracker.Workload()))
+		for x := si; x < c.numObjects; x += len(c.shards) {
+			if p := mig.Projected[x]; len(p) > 0 {
+				ns.AdoptCopySet(x, p)
+				rs.Projected++
+			}
+			if t := mig.Targets[x]; len(t) > 0 {
+				rs.Moved += ns.AdoptCopySet(x, t)
+			}
+		}
+		sh.strat = ns
+		sh.tracker = nt
+		sh.mu.Unlock()
+	}
+	rs.Projected -= rs.Recovered // recovery restores count separately
+
+	rs.Elapsed = time.Since(start)
+	c.stats.Epochs++
+	c.stats.Reconfigs++
+	c.stats.Drifted += int64(len(changed))
+	c.stats.AdoptMoved += rs.Moved
+	c.stats.ResolveTime += rs.Elapsed
+	c.epochLog = append(c.epochLog, EpochStat{
+		Epoch:            c.stats.Epochs,
+		Requests:         c.served.Load(),
+		Drifted:          len(changed),
+		Moved:            rs.Moved,
+		StaticCongestion: mig.Congestion,
+		MaxEdgeLoad:      c.maxEdgeLoadLocked(),
+		ResolveNs:        rs.Elapsed.Nanoseconds(),
+	})
+	return rs, nil
+}
+
+// countAdded counts remap entries for freshly grafted (surviving) nodes.
+func countAdded(m *topo.Remap) int {
+	n := 0
+	for _, v := range m.NodeBack {
+		if v == tree.None {
+			n++
+		}
+	}
+	return n
+}

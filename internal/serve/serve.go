@@ -115,10 +115,11 @@ type EpochStat struct {
 type Stats struct {
 	Requests    int64         // requests served
 	ServiceCost int64         // total service cost (sum of Serve costs)
-	Epochs      int64         // epoch passes completed
+	Epochs      int64         // epoch passes completed (reconfigures included)
+	Reconfigs   int64         // topology reconfigurations completed
 	Drifted     int64         // objects re-solved, summed over passes
-	AdoptMoved  int64         // adoption movement distance, summed
-	ResolveTime time.Duration // total solver wall time
+	AdoptMoved  int64         // adoption movement distance, summed (incl. migration)
+	ResolveTime time.Duration // total solver wall time (incl. migration solves)
 }
 
 type shard struct {
@@ -350,15 +351,19 @@ func (c *Cluster) ResolveNow() error {
 func (c *Cluster) resolveEpoch() error {
 	c.epochMu.Lock()
 	defer c.epochMu.Unlock()
-	start := time.Now()
-	startReqs := c.served.Load() // snapshot: ingestion continues during the pass
+	return c.resolveEpochLocked()
+}
 
-	// Collect drift. Object rows are partitioned (object x only ever
-	// recorded by shard x % Shards), so reading row x from its owner's
-	// tracker under the owner's lock is exact and race-free. Each drifted
-	// object's solver row ages by DecayShift halvings, then absorbs the
-	// delta observed since the last fold (with DecayShift 0 this reduces
-	// to the plain cumulative frequencies).
+// collectDriftLocked drains every shard tracker's drift into the solver
+// workload (caller holds epochMu) and returns the drifted object list,
+// which aliases c.changedBuf's backing array and is valid until the next
+// collection. Object rows are partitioned (object x only ever recorded by
+// shard x % Shards), so reading row x from its owner's tracker under the
+// owner's lock is exact and race-free. Each drifted object's solver row
+// ages by DecayShift halvings, then absorbs the delta observed since the
+// last fold (with DecayShift 0 this reduces to the plain cumulative
+// frequencies).
+func (c *Cluster) collectDriftLocked() []int {
 	changed := c.changedBuf[:0]
 	leaves := c.t.Leaves()
 	shift := c.opts.DecayShift
@@ -380,7 +385,15 @@ func (c *Cluster) resolveEpoch() error {
 		}
 		sh.mu.Unlock()
 	}
-	c.changedBuf = changed[:0] // keep capacity; the list itself is consumed below
+	c.changedBuf = changed[:0] // keep capacity; the list itself is consumed by the caller
+	return changed
+}
+
+func (c *Cluster) resolveEpochLocked() error {
+	start := time.Now()
+	startReqs := c.served.Load() // snapshot: ingestion continues during the pass
+
+	changed := c.collectDriftLocked()
 
 	if len(changed) == 0 && c.solved {
 		return nil
@@ -436,7 +449,7 @@ func (c *Cluster) resolveEpoch() error {
 		Drifted:          len(changed),
 		Moved:            moved,
 		StaticCongestion: res.Report.Congestion.Float(),
-		MaxEdgeLoad:      c.MaxEdgeLoad(),
+		MaxEdgeLoad:      c.maxEdgeLoadLocked(),
 		ResolveNs:        elapsed.Nanoseconds(),
 	})
 	return nil
@@ -503,8 +516,20 @@ func (c *Cluster) Close() error {
 }
 
 // EdgeLoad returns the aggregate per-edge load (request service plus
-// threshold-driven copy movement) summed over all shards.
+// threshold-driven copy movement) summed over all shards, indexed by the
+// current topology's edge IDs.
 func (c *Cluster) EdgeLoad() []int64 {
+	// The read lock pins the topology: Reconfigure write-acquires closeMu
+	// before swapping the tree and the shard strategies, so the edge count
+	// and every shard's load vector are mutually consistent here.
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
+	return c.edgeLoadLocked()
+}
+
+// edgeLoadLocked is EdgeLoad for callers that already exclude a
+// concurrent Reconfigure (holding closeMu in either mode, or epochMu).
+func (c *Cluster) edgeLoadLocked() []int64 {
 	out := make([]int64, c.t.NumEdges())
 	for _, sh := range c.shards {
 		sh.mu.Lock()
@@ -519,6 +544,8 @@ func (c *Cluster) EdgeLoad() []int64 {
 // ServiceLoad returns the aggregate per-edge service load (excluding all
 // copy movement) summed over all shards.
 func (c *Cluster) ServiceLoad() []int64 {
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
 	out := make([]int64, c.t.NumEdges())
 	for _, sh := range c.shards {
 		sh.mu.Lock()
@@ -532,8 +559,14 @@ func (c *Cluster) ServiceLoad() []int64 {
 
 // MaxEdgeLoad returns the maximum aggregate edge load.
 func (c *Cluster) MaxEdgeLoad() int64 {
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
+	return c.maxEdgeLoadLocked()
+}
+
+func (c *Cluster) maxEdgeLoadLocked() int64 {
 	var m int64
-	for _, l := range c.EdgeLoad() {
+	for _, l := range c.edgeLoadLocked() {
 		if l > m {
 			m = l
 		}
@@ -543,11 +576,22 @@ func (c *Cluster) MaxEdgeLoad() int64 {
 
 // TotalLoad returns the sum of all aggregate edge loads.
 func (c *Cluster) TotalLoad() int64 {
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
 	var m int64
-	for _, l := range c.EdgeLoad() {
+	for _, l := range c.edgeLoadLocked() {
 		m += l
 	}
 	return m
+}
+
+// Tree returns the cluster's current network. After a Reconfigure this is
+// the post-diff tree; the returned value is immutable and remains valid
+// (as a snapshot of that topology generation) across later reconfigures.
+func (c *Cluster) Tree() *tree.Tree {
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
+	return c.t
 }
 
 // Copies returns the current copy nodes of object x (sorted), from its

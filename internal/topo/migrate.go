@@ -1,0 +1,176 @@
+package topo
+
+import (
+	"fmt"
+
+	"hbn/internal/core"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// Options tune Migrate.
+type Options struct {
+	// Parallelism bounds the solver's object-parallel stages (<= 0 means
+	// GOMAXPROCS).
+	Parallelism int
+}
+
+// Migration is the state-carrying plan for one topology diff: the new
+// tree, the ID remap, the projected workload, and per-object copy-set
+// instructions split into where the data physically lands the moment the
+// diff takes effect (Projected) and where it should end up (Targets).
+type Migration struct {
+	// Tree is the post-diff network; Remap translates IDs onto it.
+	Tree  *tree.Tree
+	Remap *Remap
+	// W is the workload with every surviving node's frequencies carried
+	// over (removed processors' rows are dropped).
+	W *workload.W
+	// Projected holds, per object, the copies that survive the diff at
+	// their unmoved positions — or, for objects whose copies were ALL
+	// lost, the single recovery node (the surviving leaf nearest to the
+	// lost copy set in the old tree) where the object is restored from
+	// outside the network. nil for objects that had no copies.
+	Projected [][]tree.NodeID
+	// Targets holds, per object, the copy set to adopt: the re-solved
+	// near-optimal placement for objects with observed demand, the
+	// projection itself for objects without. Adopting Targets after
+	// Projected through dynamic.Strategy.AdoptCopySet prices the
+	// migration movement from the survivors — each new copy is charged
+	// its distance to the nearest surviving copy. nil for objects with
+	// neither copies nor demand.
+	Targets [][]tree.NodeID
+	// Recovered lists the objects whose copies were all lost (ascending).
+	Recovered []int
+	// Solver is armed on (Tree, W): Solve has run, so the caller's epoch
+	// machinery can continue incrementally with Solver.Resolve. A solver's
+	// warm per-object state is indexed by node IDs, so no solver survives
+	// a topology change — this fresh full Solve is what re-arms
+	// incremental re-solving on the new network.
+	Solver *core.Solver
+	// Congestion is the solved static placement's congestion on W.
+	Congestion float64
+}
+
+// Migrate plans the state carry-over for applying d to t. w holds the
+// observed frequencies on the old tree (its dimensions must match t);
+// copySets holds each object's current copy nodes on the old tree (nil
+// entries, or a nil slice, mean no live copies). See Migration for what
+// comes back; t and w are never mutated.
+func Migrate(t *tree.Tree, d Diff, w *workload.W, copySets [][]tree.NodeID, opts Options) (*Migration, error) {
+	if w == nil {
+		return nil, fmt.Errorf("topo: migrate: nil workload")
+	}
+	if w.NumNodes() != t.Len() {
+		return nil, fmt.Errorf("topo: migrate: workload built for %d nodes, tree has %d", w.NumNodes(), t.Len())
+	}
+	if len(copySets) > w.NumObjects() {
+		return nil, fmt.Errorf("topo: migrate: %d copy sets for %d objects", len(copySets), w.NumObjects())
+	}
+	for x, set := range copySets {
+		for _, v := range set {
+			if v < 0 || int(v) >= t.Len() {
+				return nil, fmt.Errorf("topo: migrate: object %d copy on node %d, tree has %d nodes (stale IDs from a previous reconfigure?)", x, v, t.Len())
+			}
+		}
+	}
+	nt, m, err := Apply(t, d)
+	if err != nil {
+		return nil, err
+	}
+	nw := m.Workload(w)
+
+	solver, err := core.NewSolver(nt, core.Options{MappingRoot: tree.None, Parallelism: opts.Parallelism})
+	if err != nil {
+		return nil, fmt.Errorf("topo: migrate: %w", err)
+	}
+	res, err := solver.Solve(nw)
+	if err != nil {
+		return nil, fmt.Errorf("topo: migrate: %w", err)
+	}
+
+	numObjects := w.NumObjects()
+	mig := &Migration{
+		Tree:       nt,
+		Remap:      m,
+		W:          nw,
+		Projected:  make([][]tree.NodeID, numObjects),
+		Targets:    make([][]tree.NodeID, numObjects),
+		Solver:     solver,
+		Congestion: res.Report.Congestion.Float(),
+	}
+	var rec *recoverScratch
+	for x := 0; x < numObjects; x++ {
+		var old []tree.NodeID
+		if x < len(copySets) {
+			old = copySets[x]
+		}
+		proj := m.ProjectNodes(old)
+		if len(proj) == 0 && len(old) > 0 {
+			// Every copy was lost: restore at the surviving leaf nearest to
+			// the lost set (minimal-movement recovery; measured on the old
+			// tree, where the distances are defined).
+			if rec == nil {
+				rec = newRecoverScratch(t)
+			}
+			home, ok := rec.nearestSurvivingLeaf(t, nt, m, old)
+			if !ok {
+				home = nt.Leaves()[0] // all old leaves gone: restore on the new fabric
+			}
+			proj = []tree.NodeID{home}
+			mig.Recovered = append(mig.Recovered, x)
+		}
+		mig.Projected[x] = proj
+		tgt := proj
+		if cs := res.Final.Copies[x]; len(cs) > 0 {
+			tgt = make([]tree.NodeID, len(cs))
+			for i, c := range cs {
+				tgt[i] = c.Node
+			}
+		}
+		mig.Targets[x] = tgt
+	}
+	return mig, nil
+}
+
+// recoverScratch is the reusable BFS state of nearestSurvivingLeaf.
+type recoverScratch struct {
+	seen  []int32
+	gen   int32
+	queue []tree.NodeID
+}
+
+func newRecoverScratch(t *tree.Tree) *recoverScratch {
+	return &recoverScratch{seen: make([]int32, t.Len())}
+}
+
+// nearestSurvivingLeaf finds, by BFS on the OLD tree from the lost copy
+// set, the closest old node that survives the diff as a leaf of the new
+// tree, and returns its NEW ID. Deterministic: sources seed the queue in
+// list order and adjacency order fixes the expansion.
+func (rs *recoverScratch) nearestSurvivingLeaf(t, nt *tree.Tree, m *Remap, sources []tree.NodeID) (tree.NodeID, bool) {
+	rs.gen++
+	q := rs.queue[:0]
+	for _, v := range sources {
+		if rs.seen[v] == rs.gen {
+			continue
+		}
+		rs.seen[v] = rs.gen
+		q = append(q, v)
+	}
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		if nv := m.Node[v]; nv != tree.None && nt.IsLeaf(nv) {
+			rs.queue = q[:0]
+			return nv, true
+		}
+		for _, h := range t.Adj(v) {
+			if rs.seen[h.To] != rs.gen {
+				rs.seen[h.To] = rs.gen
+				q = append(q, h.To)
+			}
+		}
+	}
+	rs.queue = q[:0]
+	return tree.None, false
+}

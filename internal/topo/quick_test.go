@@ -1,0 +1,184 @@
+package topo
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"hbn/internal/core"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// zoo is the topology sample of the property tests.
+func zoo() []*tree.Tree {
+	return []*tree.Tree{
+		tree.Star(6, 8),
+		tree.BalancedKAry(2, 3, 0),
+		tree.SCICluster(3, 4, 16, 8),
+		tree.Caterpillar(4, 2, 8, 4),
+		tree.Random(rand.New(rand.NewSource(5)), 18, 4, 0.4, 8),
+	}
+}
+
+func randomWorkload(rng *rand.Rand, t *tree.Tree, numObjects int) *workload.W {
+	w := workload.New(numObjects, t.Len())
+	for x := 0; x < numObjects; x++ {
+		for _, v := range t.Leaves() {
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			w.AddReads(x, v, rng.Int63n(50))
+			w.AddWrites(x, v, rng.Int63n(5))
+		}
+	}
+	return w
+}
+
+// The failover structural property, quantified over every leaf of every
+// zoo tree: removing any single leaf yields a valid HBN whose remap is an
+// exact bijection on the survivors, conserves every surviving workload
+// row, and Migrate leaves no object copyless — objects with surviving
+// copies keep them in place, objects that lost everything are recovered,
+// and every target placement for an object with demand is exactly the
+// cold Solve placement on the remapped workload (so post-migration static
+// congestion equals a cold re-solve's by construction).
+func TestQuickRemoveAnyLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for ti, tr := range zoo() {
+		if tr.NumLeaves() < 2 {
+			continue
+		}
+		const numObjects = 9
+		w := randomWorkload(rng, tr, numObjects)
+		// Synthetic live copy sets: random leaf subsets, some empty, some on
+		// buses (the dynamic strategy holds inner copies too).
+		sets := make([][]tree.NodeID, numObjects)
+		for x := range sets {
+			for _, v := range tr.Leaves() {
+				if rng.Intn(4) == 0 {
+					sets[x] = append(sets[x], v)
+				}
+			}
+			if len(sets[x]) == 0 && rng.Intn(2) == 0 && len(tr.Buses()) > 0 {
+				sets[x] = append(sets[x], tr.Buses()[rng.Intn(len(tr.Buses()))])
+			}
+		}
+
+		for _, victim := range tr.Leaves() {
+			mig, err := Migrate(tr, Diff{Remove: []tree.NodeID{victim}}, w, sets, Options{})
+			if err != nil {
+				t.Fatalf("tree %d victim %d: %v", ti, victim, err)
+			}
+			if err := mig.Tree.ValidateHBN(); err != nil {
+				t.Fatalf("tree %d victim %d: invalid result: %v", ti, victim, err)
+			}
+			m := mig.Remap
+			// Remap is a bijection between survivors.
+			for v := 0; v < tr.Len(); v++ {
+				if nv := m.Node[v]; nv != tree.None && m.NodeBack[nv] != tree.NodeID(v) {
+					t.Fatalf("tree %d victim %d: node remap not involutive at %d", ti, victim, v)
+				}
+			}
+			// Workload conservation on survivors.
+			for x := 0; x < numObjects; x++ {
+				lost := w.At(x, victim)
+				if mig.W.TotalWeight(x) != w.TotalWeight(x)-lost.Total() {
+					t.Fatalf("tree %d victim %d object %d: weight not conserved", ti, victim, x)
+				}
+			}
+			solver, err := core.NewSolver(mig.Tree, core.Options{MappingRoot: tree.None})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := solver.Solve(mig.W)
+			if err != nil {
+				t.Fatalf("tree %d victim %d: cold solve: %v", ti, victim, err)
+			}
+			for x := 0; x < numObjects; x++ {
+				hadCopies := len(sets[x]) > 0
+				if hadCopies && len(mig.Projected[x]) == 0 {
+					t.Fatalf("tree %d victim %d object %d: left copyless", ti, victim, x)
+				}
+				// Survivors stay in place: the projection is exactly the
+				// remapped surviving subset.
+				want := m.ProjectNodes(sets[x])
+				if len(want) > 0 && !slices.Equal(mig.Projected[x], want) {
+					t.Fatalf("tree %d victim %d object %d: projection moved surviving copies", ti, victim, x)
+				}
+				if len(want) == 0 && hadCopies {
+					if !containsInt(mig.Recovered, x) {
+						t.Fatalf("tree %d victim %d object %d: all copies lost but not recovered", ti, victim, x)
+					}
+					if len(mig.Projected[x]) != 1 || !mig.Tree.IsLeaf(mig.Projected[x][0]) {
+						t.Fatalf("tree %d victim %d object %d: recovery target not a single leaf", ti, victim, x)
+					}
+				}
+				// Demand objects adopt exactly the cold-solve placement.
+				if mig.W.TotalWeight(x) > 0 {
+					got := append([]tree.NodeID(nil), mig.Targets[x]...)
+					var wantT []tree.NodeID
+					for _, c := range cold.Final.Copies[x] {
+						wantT = append(wantT, c.Node)
+					}
+					slices.Sort(got)
+					slices.Sort(wantT)
+					if !slices.Equal(got, wantT) {
+						t.Fatalf("tree %d victim %d object %d: target %v != cold solve %v", ti, victim, x, got, wantT)
+					}
+				}
+			}
+		}
+	}
+}
+
+// An identity Migrate round-trips bit-identically: same tree bytes, the
+// input copy sets project onto themselves, and the remapped workload rows
+// equal the originals.
+func TestQuickMigrateIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tr := range zoo() {
+		const numObjects = 6
+		w := randomWorkload(rng, tr, numObjects)
+		sets := make([][]tree.NodeID, numObjects)
+		for x := range sets {
+			for _, v := range tr.Leaves() {
+				if rng.Intn(3) == 0 {
+					sets[x] = append(sets[x], v)
+				}
+			}
+		}
+		mig, err := Migrate(tr, Diff{}, w, sets, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := encodeString(t, mig.Tree), encodeString(t, tr); got != want {
+			t.Fatal("identity migrate changed the tree")
+		}
+		if !mig.Remap.Identity() {
+			t.Fatal("identity migrate produced a non-identity remap")
+		}
+		if len(mig.Recovered) != 0 {
+			t.Fatalf("identity migrate recovered %v", mig.Recovered)
+		}
+		for x := 0; x < numObjects; x++ {
+			if !slices.Equal(mig.Projected[x], sets[x]) {
+				t.Fatalf("object %d: projection %v != input %v", x, mig.Projected[x], sets[x])
+			}
+			for v := 0; v < tr.Len(); v++ {
+				if mig.W.At(x, tree.NodeID(v)) != w.At(x, tree.NodeID(v)) {
+					t.Fatalf("object %d node %d: workload row changed", x, v)
+				}
+			}
+		}
+	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

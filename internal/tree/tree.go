@@ -124,6 +124,12 @@ func (t *Tree) Name(v NodeID) string {
 	return n
 }
 
+// NameRaw returns the name node v was built with, which may be empty.
+// Name synthesizes a stable fallback for display; code that rebuilds a
+// tree node-for-node (the topology reconfiguration subsystem) uses the raw
+// name so unnamed nodes stay unnamed across the rebuild.
+func (t *Tree) NameRaw(v NodeID) string { return t.nodes[v].name }
+
 // NodeBandwidth returns the bandwidth of node v. It is meaningful for
 // buses; for processors it is 1.
 func (t *Tree) NodeBandwidth(v NodeID) int64 { return t.nodes[v].bw }

@@ -194,6 +194,172 @@ func WriteStorm(rng *rand.Rand, t *tree.Tree, numObjects, n, storms int, calmWri
 	return events
 }
 
+// The three churn scenarios below pair with the topology-reconfiguration
+// subsystem (internal/topo): each one generates the traffic side of a
+// planned topology event — a leaf failure, a capacity scale-out, a
+// bandwidth brownout — so the serving benchmarks can drive a cluster
+// through Reconfigure mid-trace with traffic whose shape matches the
+// event. They emit node IDs of ONE tree each (Failover and Brownout the
+// pre-diff tree, ScaleOut the post-diff tree); callers serving across the
+// diff remap the other side's events through topo.Remap.
+
+// Failover generates home-biased traffic for a planned failure of the
+// given leaves at trace position failAt: every object reads and writes
+// from a small home set drawn from ALL leaves (doomed ones included, so
+// some objects' locality is about to be orphaned); from failAt on, each
+// failed leaf's traffic re-homes to its replacement — the next surviving
+// leaf in leaf order — modelling the failed processors' users reconnecting
+// through a neighbor. At least one leaf must survive.
+func Failover(rng *rand.Rand, t *tree.Tree, numObjects, n int, failed []tree.NodeID, failAt int, writeFrac float64) []TraceEvent {
+	checkTrace(t, numObjects, n)
+	if failAt < 0 || failAt > n {
+		panic(fmt.Sprintf("workload: Failover position %d outside trace [0,%d]", failAt, n))
+	}
+	leaves := t.Leaves()
+	isFailed := make(map[tree.NodeID]bool, len(failed))
+	for _, v := range failed {
+		if !t.IsLeaf(v) {
+			panic(fmt.Sprintf("workload: Failover: node %d is not a leaf", v))
+		}
+		isFailed[v] = true
+	}
+	if len(isFailed) >= len(leaves) {
+		panic("workload: Failover: no leaf survives")
+	}
+	replacement := make(map[tree.NodeID]tree.NodeID, len(isFailed))
+	for i, v := range leaves {
+		if !isFailed[v] {
+			continue
+		}
+		for k := 1; k < len(leaves); k++ {
+			if r := leaves[(i+k)%len(leaves)]; !isFailed[r] {
+				replacement[v] = r
+				break
+			}
+		}
+	}
+	homes := make([][]tree.NodeID, numObjects)
+	for x := range homes {
+		homes[x] = sampleLeaves(rng, leaves, 1+rng.Intn(min(4, len(leaves))), nil)
+	}
+	const homeBias = 0.9
+	events := make([]TraceEvent, 0, n)
+	for i := 0; i < n; i++ {
+		x := rng.Intn(numObjects)
+		node := leaves[rng.Intn(len(leaves))]
+		if rng.Float64() < homeBias {
+			node = homes[x][rng.Intn(len(homes[x]))]
+		}
+		if i >= failAt && isFailed[node] {
+			node = replacement[node]
+		}
+		events = append(events, TraceEvent{Object: x, Node: node, Write: rng.Float64() < writeFrac})
+	}
+	return events
+}
+
+// ScaleOut generates traffic for capacity joining at trace position
+// joinAt: t is the POST-join tree, joining its freshly added leaves.
+// Before joinAt every request originates from the pre-existing leaves
+// (each object home-biased among them); from joinAt on, a share of
+// traffic that ramps linearly from 0 to half of all requests moves onto
+// the joining leaves (each object favoring one of them), modelling users
+// migrating onto the new processors. The pre-join prefix therefore maps
+// 1:1 onto the pre-diff tree through the reconfiguration remap.
+func ScaleOut(rng *rand.Rand, t *tree.Tree, numObjects, n int, joining []tree.NodeID, joinAt int, writeFrac float64) []TraceEvent {
+	checkTrace(t, numObjects, n)
+	if joinAt < 0 || joinAt > n {
+		panic(fmt.Sprintf("workload: ScaleOut position %d outside trace [0,%d]", joinAt, n))
+	}
+	isJoining := make(map[tree.NodeID]bool, len(joining))
+	for _, v := range joining {
+		if !t.IsLeaf(v) {
+			panic(fmt.Sprintf("workload: ScaleOut: node %d is not a leaf", v))
+		}
+		isJoining[v] = true
+	}
+	if len(isJoining) == 0 {
+		panic("workload: ScaleOut: no joining leaves")
+	}
+	var base []tree.NodeID
+	for _, v := range t.Leaves() {
+		if !isJoining[v] {
+			base = append(base, v)
+		}
+	}
+	if len(base) == 0 {
+		panic("workload: ScaleOut: no pre-existing leaves")
+	}
+	joined := make([]tree.NodeID, 0, len(isJoining))
+	for _, v := range t.Leaves() {
+		if isJoining[v] {
+			joined = append(joined, v)
+		}
+	}
+	homes := make([][]tree.NodeID, numObjects)
+	affinity := make([]tree.NodeID, numObjects)
+	for x := range homes {
+		homes[x] = sampleLeaves(rng, base, 1+rng.Intn(min(4, len(base))), nil)
+		affinity[x] = joined[rng.Intn(len(joined))]
+	}
+	const homeBias = 0.9
+	events := make([]TraceEvent, 0, n)
+	for i := 0; i < n; i++ {
+		x := rng.Intn(numObjects)
+		node := base[rng.Intn(len(base))]
+		if rng.Float64() < homeBias {
+			node = homes[x][rng.Intn(len(homes[x]))]
+		}
+		if i >= joinAt && n > joinAt {
+			ramp := 0.5 * float64(i-joinAt) / float64(n-joinAt)
+			if rng.Float64() < ramp {
+				node = affinity[x]
+			}
+		}
+		events = append(events, TraceEvent{Object: x, Node: node, Write: rng.Float64() < writeFrac})
+	}
+	return events
+}
+
+// Brownout generates sustained regionally concentrated traffic for a
+// bandwidth-degradation event: a fraction hot of all requests originates
+// from the hotRegion leaves (whose shared buses the operator is about to
+// degrade), the rest uniformly from all leaves; the low half of the
+// object space homes inside the region. The traffic itself is stationary
+// — the point of the scenario is that halving the region's bus and switch
+// bandwidths mid-trace moves the CONGESTION optimum while the load
+// pattern stands still, isolating the placement response to a pure
+// bandwidth diff.
+func Brownout(rng *rand.Rand, t *tree.Tree, numObjects, n int, hotRegion []tree.NodeID, hot, writeFrac float64) []TraceEvent {
+	checkTrace(t, numObjects, n)
+	if len(hotRegion) == 0 {
+		panic("workload: Brownout: empty hot region")
+	}
+	for _, v := range hotRegion {
+		if !t.IsLeaf(v) {
+			panic(fmt.Sprintf("workload: Brownout: node %d is not a leaf", v))
+		}
+	}
+	leaves := t.Leaves()
+	hotObjs := max(1, numObjects/2)
+	events := make([]TraceEvent, 0, n)
+	for i := 0; i < n; i++ {
+		var (
+			x    int
+			node tree.NodeID
+		)
+		if rng.Float64() < hot {
+			x = rng.Intn(hotObjs)
+			node = hotRegion[rng.Intn(len(hotRegion))]
+		} else {
+			x = rng.Intn(numObjects)
+			node = leaves[rng.Intn(len(leaves))]
+		}
+		events = append(events, TraceEvent{Object: x, Node: node, Write: rng.Float64() < writeFrac})
+	}
+	return events
+}
+
 // inStorm reports whether trace position i falls inside one of the storms
 // evenly spaced storm windows, each spanning 1/(2*storms) of the trace
 // (so storms cover half of the trace in total).

@@ -31,13 +31,42 @@ var traceGens = []struct {
 	}},
 }
 
+// churnGens are the reconfiguration-scenario generators (PR 5), appended
+// to the shared table-driven checks below.
+var churnGens = []struct {
+	name string
+	gen  func(rng *rand.Rand, t *tree.Tree, numObjects, n int) []TraceEvent
+}{
+	{"failover", func(rng *rand.Rand, t *tree.Tree, o, n int) []TraceEvent {
+		leaves := t.Leaves()
+		return Failover(rng, t, o, n, leaves[len(leaves)-2:], n/2, 0.08)
+	}},
+	{"scale-out", func(rng *rand.Rand, t *tree.Tree, o, n int) []TraceEvent {
+		leaves := t.Leaves()
+		return ScaleOut(rng, t, o, n, leaves[len(leaves)-3:], n/2, 0.08)
+	}},
+	{"brownout", func(rng *rand.Rand, t *tree.Tree, o, n int) []TraceEvent {
+		return Brownout(rng, t, o, n, t.Leaves()[:4], 0.7, 0.08)
+	}},
+}
+
+func allGens() []struct {
+	name string
+	gen  func(rng *rand.Rand, t *tree.Tree, numObjects, n int) []TraceEvent
+} {
+	return append(append([]struct {
+		name string
+		gen  func(rng *rand.Rand, t *tree.Tree, numObjects, n int) []TraceEvent
+	}{}, traceGens...), churnGens...)
+}
+
 // All trace generators are driven purely by the caller's rand.Rand: the
 // same seed reproduces the trace event-for-event (the reproducibility
 // contract every serving test and benchmark relies on), and different
 // seeds actually change it.
 func TestTraceGeneratorsDeterministic(t *testing.T) {
 	tr := scenarioTree()
-	for _, g := range traceGens {
+	for _, g := range allGens() {
 		a := g.gen(rand.New(rand.NewSource(42)), tr, 10, 3000)
 		b := g.gen(rand.New(rand.NewSource(42)), tr, 10, 3000)
 		if !reflect.DeepEqual(a, b) {
@@ -55,7 +84,7 @@ func TestTraceGeneratorsDeterministic(t *testing.T) {
 // length.
 func TestTraceGeneratorsWellFormed(t *testing.T) {
 	tr := scenarioTree()
-	for _, g := range traceGens {
+	for _, g := range allGens() {
 		const objects, n = 7, 2500
 		trace := g.gen(rand.New(rand.NewSource(7)), tr, objects, n)
 		if len(trace) != n {
@@ -148,4 +177,64 @@ func absf(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// The churn semantics hold exactly: no failed leaf issues a request at or
+// after the failover position, and no joining leaf issues one before the
+// join position (the prefix must map 1:1 onto the pre-diff tree).
+func TestChurnScenarioBoundaries(t *testing.T) {
+	tr := scenarioTree()
+	leaves := tr.Leaves()
+	const objects, n = 10, 6000
+
+	failed := leaves[len(leaves)-3:]
+	isFailed := map[tree.NodeID]bool{}
+	for _, v := range failed {
+		isFailed[v] = true
+	}
+	trace := Failover(rand.New(rand.NewSource(3)), tr, objects, n, failed, n/2, 0.1)
+	sawFailedEarly := false
+	for i, ev := range trace {
+		if i >= n/2 && isFailed[ev.Node] {
+			t.Fatalf("failover: failed leaf %d requested at position %d", ev.Node, i)
+		}
+		if i < n/2 && isFailed[ev.Node] {
+			sawFailedEarly = true
+		}
+	}
+	if !sawFailedEarly {
+		t.Fatal("failover: doomed leaves carried no pre-failure traffic; nothing to orphan")
+	}
+
+	joining := leaves[:2]
+	isJoining := map[tree.NodeID]bool{joining[0]: true, joining[1]: true}
+	trace = ScaleOut(rand.New(rand.NewSource(4)), tr, objects, n, joining, n/2, 0.1)
+	sawJoinedLate := false
+	for i, ev := range trace {
+		if i < n/2 && isJoining[ev.Node] {
+			t.Fatalf("scale-out: joining leaf %d requested at position %d", ev.Node, i)
+		}
+		if i >= n/2 && isJoining[ev.Node] {
+			sawJoinedLate = true
+		}
+	}
+	if !sawJoinedLate {
+		t.Fatal("scale-out: joining leaves never absorbed traffic")
+	}
+
+	region := leaves[:6]
+	inRegion := map[tree.NodeID]bool{}
+	for _, v := range region {
+		inRegion[v] = true
+	}
+	trace = Brownout(rand.New(rand.NewSource(5)), tr, objects, n, region, 0.7, 0.1)
+	hits := 0
+	for _, ev := range trace {
+		if inRegion[ev.Node] {
+			hits++
+		}
+	}
+	if frac := float64(hits) / float64(n); frac < 0.6 {
+		t.Fatalf("brownout: region carries only %.2f of traffic, want concentration", frac)
+	}
 }

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hbn/internal/tree"
+)
+
+// Trace serialization: a small stable JSON schema so request traces — in
+// particular the churn scenarios driven across topology
+// reconfigurations — can be generated once, stored, and replayed
+// deterministically (the reconfiguration benchmarks replay the same trace
+// against the reconfigured and the cold-restarted cluster).
+
+type jsonTrace struct {
+	Events []jsonTraceEvent `json:"events"`
+}
+
+type jsonTraceEvent struct {
+	Object int   `json:"x"`
+	Node   int32 `json:"v"`
+	Write  bool  `json:"w,omitempty"`
+}
+
+// EncodeTrace writes a request trace as JSON.
+func EncodeTrace(out io.Writer, events []TraceEvent) error {
+	jt := jsonTrace{Events: make([]jsonTraceEvent, len(events))}
+	for i, e := range events {
+		jt.Events[i] = jsonTraceEvent{Object: e.Object, Node: int32(e.Node), Write: e.Write}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jt)
+}
+
+// DecodeTrace reads a trace from the JSON produced by EncodeTrace.
+// Negative object or node references are rejected here; range checks
+// against a concrete tree and object space happen where the trace is
+// consumed (Cluster.Ingest validates both per batch).
+func DecodeTrace(in io.Reader) ([]TraceEvent, error) {
+	var jt jsonTrace
+	if err := json.NewDecoder(in).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("workload: decode trace: %w", err)
+	}
+	events := make([]TraceEvent, len(jt.Events))
+	for i, e := range jt.Events {
+		if e.Object < 0 || e.Node < 0 {
+			return nil, fmt.Errorf("workload: decode trace: event %d references (%d,%d); negative IDs are invalid", i, e.Object, e.Node)
+		}
+		events[i] = TraceEvent{Object: e.Object, Node: tree.NodeID(e.Node), Write: e.Write}
+	}
+	return events, nil
+}

@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Every churn scenario's trace survives an encode/decode round trip
+// event-for-event — the contract that lets reconfiguration benchmarks
+// store a trace once and replay it against both the migrated and the
+// cold-restarted cluster.
+func TestTraceEncodeDecodeRoundTrip(t *testing.T) {
+	tr := scenarioTree()
+	for _, g := range churnGens {
+		trace := g.gen(rand.New(rand.NewSource(31)), tr, 9, 2000)
+		var buf bytes.Buffer
+		if err := EncodeTrace(&buf, trace); err != nil {
+			t.Fatalf("%s: encode: %v", g.name, err)
+		}
+		got, err := DecodeTrace(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", g.name, err)
+		}
+		if !reflect.DeepEqual(got, trace) {
+			t.Fatalf("%s: round trip changed the trace", g.name)
+		}
+	}
+	// Empty traces round-trip too.
+	var buf bytes.Buffer
+	if err := EncodeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeTrace(&buf); err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v, %v", got, err)
+	}
+}
+
+func TestDecodeTraceRejectsMalformed(t *testing.T) {
+	for _, tc := range []struct {
+		name, in, want string
+	}{
+		{"garbage", "{", "decode trace"},
+		{"negative object", `{"events":[{"x":-1,"v":0}]}`, "negative"},
+		{"negative node", `{"events":[{"x":0,"v":-3}]}`, "negative"},
+	} {
+		_, err := DecodeTrace(strings.NewReader(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: got error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
