@@ -13,6 +13,7 @@
 //	hbnbench -experiment none -serve    # trace-driven serving benchmark
 //	hbnbench -experiment none -ingestbench      # requests/sec, batched vs per-request
 //	hbnbench -experiment none -reconfig # live topology churn (failover/scale-out/brownout)
+//	hbnbench -experiment none -churn    # compound fault scripts, stop-the-world vs rolling stalls
 //	hbnbench ... -cpuprofile cpu.pprof  # attach pprof evidence to perf PRs
 package main
 
@@ -62,6 +63,7 @@ type jsonOutput struct {
 	Serving    []jsonServe    `json:"serving,omitempty"`
 	Ingest     []jsonIngest   `json:"ingest,omitempty"`
 	Reconfig   []jsonReconfig `json:"reconfig,omitempty"`
+	Churn      []jsonChurn    `json:"churn,omitempty"`
 }
 
 func main() {
@@ -75,6 +77,7 @@ func main() {
 		serveB     = flag.Bool("serve", false, "run the trace-driven serving benchmark (sharded cluster, epoch re-solve vs baseline vs clairvoyant static)")
 		ingestB    = flag.Bool("ingestbench", false, "run the ingest throughput benchmark (requests/sec, batched ServeBatch path vs per-request reference, all four trace scenarios)")
 		reconfigB  = flag.Bool("reconfig", false, "run the live-reconfiguration benchmark (failover, scale-out, brownout: reconfigure latency, req/s during churn, congestion vs a cold restart)")
+		churnB     = flag.Bool("churn", false, "run the adversarial churn benchmark (compound fault-injection scenarios, stop-the-world vs rolling reconfiguration ingest stalls, conservation checked)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
 	)
@@ -147,6 +150,14 @@ func main() {
 			fatal(err)
 		}
 	}
+	var churn []jsonChurn
+	if *churnB {
+		var err error
+		churn, err = runChurnBench(*quick, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	// The measured work is done: flush profiles before emitting output so
 	// the profile covers exactly the benchmark/experiment bodies.
@@ -181,6 +192,7 @@ func main() {
 			Serving:    serving,
 			Ingest:     ingest,
 			Reconfig:   reconfig,
+			Churn:      churn,
 		}); err != nil {
 			fatal(err)
 		}
@@ -207,6 +219,9 @@ func main() {
 		}
 		if len(reconfig) > 0 {
 			printReconfigBench(reconfig)
+		}
+		if len(churn) > 0 {
+			printChurnBench(churn)
 		}
 	}
 	for _, r := range results {

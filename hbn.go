@@ -122,6 +122,21 @@
 // the change. `hbnbench -reconfig` measures reconfigure latency, serving
 // throughput during churn, and post-churn congestion against a cold
 // restart on the new topology.
+//
+// Cluster.Reconfigure swaps every shard behind one write-gate hold, so
+// ingestion stalls for the whole migration. Cluster.ReconfigureRolling
+// bounds that stall instead: it plans the same migration while ingestion
+// continues, then migrates one shard at a time — un-migrated shards keep
+// serving the old tree, migrated shards serve the new one through the
+// diff's remap — so the largest single ingest stall is one shard's
+// adoption (ReconfigStats.MaxIngestStall measures it). The final
+// placement is bit-identical to the stop-the-world path. Degenerate
+// diffs are rejected with typed sentinels (ErrRemoveRoot,
+// ErrNoProcessors, ...), and a reconfiguration attempted while another
+// is in flight fails fast with ErrReconfigInProgress — it never queues.
+// `hbnbench -churn` drives compound fault scripts (cascading failovers,
+// flapping links, scale-out under a write storm) through both flavors
+// and checks the conservation invariants.
 package hbn
 
 import (
@@ -214,6 +229,21 @@ type (
 
 // None is the sentinel "no node" value.
 const None = tree.None
+
+// Typed reconfiguration errors, matched with errors.Is through the
+// wrapped errors Reconfigure / ReconfigureRolling / ApplyDiff return.
+var (
+	// ErrReconfigInProgress: another reconfiguration already holds the
+	// cluster's flag; the attempt failed fast and nothing was queued.
+	ErrReconfigInProgress = serve.ErrReconfigInProgress
+	// TopologyDiff validation sentinels (degenerate diffs).
+	ErrRemoveRoot        = topo.ErrRemoveRoot
+	ErrRemoveRange       = topo.ErrRemoveRange
+	ErrOverlappingRemove = topo.ErrOverlappingRemove
+	ErrNoProcessors      = topo.ErrNoProcessors
+	ErrBadGraft          = topo.ErrBadGraft
+	ErrBadBandwidth      = topo.ErrBadBandwidth
+)
 
 // Kind distinguishes processors (leaves) from buses (inner nodes), for
 // declaring grafted nodes in a TopologyDiff.

@@ -1147,6 +1147,22 @@ func (ot *OfflineTracker) DrainDrifted(dst []int) []int {
 	return dst
 }
 
+// MarkDrifted re-marks objects as drifted, as if they had just been
+// recorded. The serving layer's staged reconfiguration rebuilds each
+// shard tracker mid-stream and must carry the old tracker's un-drained
+// drift flags across (the frequencies themselves come over via
+// NewOfflineTrackerWith) — otherwise deltas recorded between the plan's
+// drift fold and the shard's swap would never be announced to the epoch
+// re-solver. Objects already marked are not re-queued.
+func (ot *OfflineTracker) MarkDrifted(xs []int) {
+	for _, x := range xs {
+		if !ot.drift[x] {
+			ot.drift[x] = true
+			ot.driftQ = append(ot.driftQ, x)
+		}
+	}
+}
+
 // Workload exposes the aggregated frequencies recorded so far (read-only).
 func (ot *OfflineTracker) Workload() *workload.W { return ot.w }
 

@@ -8,13 +8,36 @@ import (
 	"hbn/internal/dynamic"
 	"hbn/internal/topo"
 	"hbn/internal/tree"
+	"hbn/internal/workload"
 )
 
-// ReconfigStats summarizes one completed Reconfigure call.
+// ErrReconfigInProgress reports that a Reconfigure or ReconfigureRolling
+// call is already in flight. Reconfigurations never queue: a rolling call
+// holds the epoch lock for its whole (potentially long) duration, and
+// silently serializing a second topology change behind it would stack
+// diffs whose IDs refer to a tree that no longer exists by the time the
+// second one runs. Callers retry after the first call returns, diffing
+// against the then-current tree.
+var ErrReconfigInProgress = errors.New("serve: reconfiguration already in progress")
+
+// ReconfigStats summarizes one completed Reconfigure / ReconfigureRolling
+// call.
 type ReconfigStats struct {
-	// Elapsed is the wall time the cluster spent reconfiguring (ingestion
-	// is blocked for this long).
+	// Elapsed is the wall time of the whole reconfiguration. For the
+	// stop-the-world Reconfigure, ingestion is blocked for all of it.
 	Elapsed time.Duration
+	// PlanElapsed is the planning portion (diff application, migration
+	// solve, projection tables). A rolling call plans while ingestion runs
+	// at full speed; stop-the-world plans inside the gate.
+	PlanElapsed time.Duration
+	// MaxIngestStall bounds the longest single window during which any
+	// Ingest call could have been blocked by this reconfiguration: the
+	// whole Elapsed for stop-the-world; for rolling, the maximum over the
+	// two quiesce windows (publish and commit) and each individual shard's
+	// migration — the stall bound the staged swap exists to deliver.
+	MaxIngestStall time.Duration
+	// Rolling records which path produced these stats.
+	Rolling bool
 	// RemovedNodes / AddedNodes count the node difference (removals
 	// include pruned degenerate buses).
 	RemovedNodes, AddedNodes int
@@ -25,6 +48,13 @@ type ReconfigStats struct {
 	// Moved is the adoption-priced migration distance: each re-solved copy
 	// charged its tree distance to the object's nearest surviving copy.
 	Moved int64
+	// DroppedLoad is the aggregate edge load that sat on removed edges and
+	// left with the hardware; DroppedServiceLoad is its service-only part.
+	// These close the conservation ledger across topology changes: summed
+	// service load after a reconfigure equals the sum before it minus
+	// DroppedServiceLoad, so Σ ServiceLoad(final) + Σ DroppedServiceLoad
+	// over all reconfigures equals the total cost Ingest returned.
+	DroppedLoad, DroppedServiceLoad int64
 	// Remap translates old IDs onto the new topology, so callers can
 	// project in-flight traces, external load tables, or monitoring state
 	// the same way the cluster did.
@@ -48,15 +78,22 @@ type ReconfigStats struct {
 // Reconfigure is safe under concurrent Ingest and background epoch
 // passes: it write-acquires the ingest gate (waiting out in-flight
 // batches and blocking new ones for the duration) and holds the epoch
-// lock. Requests ingested after it returns must use NEW node IDs —
-// translate in-flight traffic through the returned ReconfigStats.Remap.
-// The renumbering is dense, so the cluster can only reject stale IDs
-// that fall outside the new tree or on a bus; an untranslated old ID
-// that happens to alias a surviving processor is indistinguishable from
-// a genuine request for it and is served as such. ID translation is the
-// caller's responsibility, exactly as with any resharding.
+// lock. A concurrent Reconfigure/ReconfigureRolling fails fast with
+// ErrReconfigInProgress. Requests ingested after it returns must use NEW
+// node IDs — translate in-flight traffic through the returned
+// ReconfigStats.Remap. The renumbering is dense, so the cluster can only
+// reject stale IDs that fall outside the new tree or on a bus; an
+// untranslated old ID that happens to alias a surviving processor is
+// indistinguishable from a genuine request for it and is served as such.
+// ID translation is the caller's responsibility, exactly as with any
+// resharding. For a swap whose ingest stall is bounded by one shard's
+// migration instead of the whole operation, see ReconfigureRolling.
 func (c *Cluster) Reconfigure(d topo.Diff) (ReconfigStats, error) {
 	var rs ReconfigStats
+	if !c.reconfiguring.CompareAndSwap(false, true) {
+		return rs, ErrReconfigInProgress
+	}
+	defer c.reconfiguring.Store(false)
 	c.closeMu.Lock()
 	defer c.closeMu.Unlock()
 	if c.closed.Load() {
@@ -66,11 +103,161 @@ func (c *Cluster) Reconfigure(d topo.Diff) (ReconfigStats, error) {
 	defer c.epochMu.Unlock()
 	start := time.Now()
 
-	// Fold all outstanding drift on the old topology first, so the
-	// migration re-solves the complete observed history.
-	changed := c.collectDriftLocked()
+	oldTree := c.t
+	mig, changed, err := c.planLocked(d)
+	if err != nil {
+		return rs, err
+	}
+	rs.PlanElapsed = time.Since(start)
+	rs.fillPlan(c, mig)
 
-	// Snapshot every object's live copy set from its owner shard.
+	// Swap the topology and the epoch machinery. The migration's solver
+	// already ran a full Solve on the remapped frequencies, so the epoch
+	// pipeline continues with incremental Resolve from here.
+	c.installEpochState(mig, mig.Remap.Workload(c.prev), newIsLeaf(mig.Tree))
+
+	// Rebuild each shard on the new tree. The gate is held, so the live
+	// copy sets the projector sees are exactly the plan snapshot.
+	proj := topo.NewProjector(oldTree, mig.Tree, mig.Remap)
+	for si, sh := range c.shards {
+		sh.mu.Lock()
+		c.migrateShard(sh, si, mig, proj, &rs)
+		sh.mu.Unlock()
+	}
+
+	rs.Elapsed = time.Since(start)
+	rs.MaxIngestStall = rs.Elapsed
+	c.finishReconfigLocked(&rs, changed, mig.Congestion)
+	return rs, nil
+}
+
+// ReconfigureRolling applies a topology diff as a staged (rolling) swap:
+// the end state is bit-identical to Reconfigure on a quiesced cluster,
+// but ingestion is never blocked for longer than one shard's migration
+// (plus two brief quiesce windows that publish and commit the roll) —
+// the measured bound comes back in ReconfigStats.MaxIngestStall.
+//
+// The cluster double-buffers the topology for the duration: planning
+// (diff, migration solve, projection tables) runs with ingestion at full
+// speed; then the roll state is published under a quiesce and shards
+// migrate onto the new tree one at a time, each under only its own lock.
+// Ingest keeps accepting OLD node IDs throughout — batches landing on
+// not-yet-migrated shards serve against the old tree as if nothing were
+// happening, while migrated shards translate each request across the
+// remap, redirecting traffic addressed to removed processors to their
+// nearest surviving leaf (Migration.LeafFallback) so every request is
+// served and conserved mid-swap. A final quiesce commits the new tree as
+// the cluster's addressing space; from then on callers must use NEW IDs,
+// translating via ReconfigStats.Remap exactly as with Reconfigure.
+//
+// Mid-roll, load accessors (EdgeLoad, ServiceLoad, MaxEdgeLoad,
+// TotalLoad) report in the NEW tree's edge space — un-migrated shards'
+// loads are projected forward through the remap, with loads on doomed
+// edges omitted exactly as they will be dropped at migration — and Tree
+// returns the new tree, so (Tree, EdgeLoad) stay mutually consistent at
+// every instant. Copies reports per-shard state and may mix old- and
+// new-tree IDs while the roll is in flight.
+//
+// Epoch passes pause for the duration (the roll holds the epoch lock and
+// epoch-crossing Ingest calls skip the inline pass while one is in
+// flight); drift recorded mid-roll is carried across the rebuild and
+// picked up by the next pass. A concurrent Reconfigure or
+// ReconfigureRolling fails fast with ErrReconfigInProgress — never
+// queues, never deadlocks.
+func (c *Cluster) ReconfigureRolling(d topo.Diff) (ReconfigStats, error) {
+	rs := ReconfigStats{Rolling: true}
+	if !c.reconfiguring.CompareAndSwap(false, true) {
+		return rs, ErrReconfigInProgress
+	}
+	defer c.reconfiguring.Store(false)
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+	if c.closed.Load() {
+		return rs, errors.New("serve: cluster is closed")
+	}
+	start := time.Now()
+
+	// Plan with ingestion running: the drift fold and migration solve see
+	// a consistent snapshot (tracker rows are read under shard locks), and
+	// anything recorded after it is either carried across the rebuild or
+	// folded by a later epoch pass.
+	oldTree := c.t
+	mig, changed, err := c.planLocked(d)
+	if err != nil {
+		return rs, err
+	}
+	rs.PlanElapsed = time.Since(start)
+	rs.fillPlan(c, mig)
+
+	// The commit work that would otherwise sit inside the final quiesce
+	// window is precomputed here, outside any gate: c.prev and c.isLeaf
+	// are only ever written under epochMu, which we hold.
+	newPrev := mig.Remap.Workload(c.prev)
+	isLeaf := newIsLeaf(mig.Tree)
+
+	// Publish the roll. From here every gated reader sees the
+	// double-buffered state: partition stops aliasing caller batches,
+	// migrated shards translate IDs, load accessors project forward.
+	roll := &rollState{newTree: mig.Tree, remap: mig.Remap, fallback: mig.LeafFallback}
+	var maxStall time.Duration
+	stall := func(t0 time.Time) {
+		if d := time.Since(t0); d > maxStall {
+			maxStall = d
+		}
+	}
+	t0 := time.Now()
+	c.quiesce(func() { c.roll = roll })
+	stall(t0)
+
+	// Migrate one shard at a time, each under only its own lock: a
+	// concurrent Ingest stalls only if it owns requests for the shard
+	// being swapped, and only for that shard's rebuild. The projector
+	// projects each object's LIVE copy set at its shard's swap instant —
+	// threshold dynamics that ran since the plan snapshot migrate as they
+	// are, never rolled back to the snapshot (on a quiesced cluster the
+	// live sets ARE the snapshot, giving bit-identity with Reconfigure).
+	proj := topo.NewProjector(oldTree, mig.Tree, mig.Remap)
+	for si, sh := range c.shards {
+		t0 = time.Now()
+		sh.mu.Lock()
+		c.migrateShard(sh, si, mig, proj, &rs)
+		sh.onNew = true
+		sh.mu.Unlock()
+		stall(t0)
+		if c.rollHook != nil {
+			c.rollHook(si + 1)
+		}
+	}
+
+	// Commit: the new tree becomes the cluster's addressing space and the
+	// roll state disappears. onNew is cleared under the full gate (not
+	// shard locks): gated readers synchronize via the gate itself.
+	t0 = time.Now()
+	c.quiesce(func() {
+		c.installEpochState(mig, newPrev, isLeaf)
+		c.roll = nil
+		for _, sh := range c.shards {
+			sh.onNew = false
+		}
+	})
+	stall(t0)
+
+	rs.Elapsed = time.Since(start)
+	rs.MaxIngestStall = maxStall
+	c.finishReconfigLocked(&rs, changed, mig.Congestion)
+	return rs, nil
+}
+
+// planLocked folds outstanding drift, snapshots every object's live copy
+// set, and plans the migration (caller holds epochMu). On a failed plan
+// nothing has been swapped and the cluster keeps serving on the old
+// topology — but the drift fold already mutated solver workload rows
+// whose changed list is dropped here, and the solver's incremental
+// contract forbids Resolve over mutated rows it was not told about; the
+// solver is disarmed so the next epoch pass runs a full Solve, which is
+// always valid.
+func (c *Cluster) planLocked(d topo.Diff) (mig *topo.Migration, drifted int, err error) {
+	changed := c.collectDriftLocked()
 	sets := make([][]tree.NodeID, c.numObjects)
 	for si, sh := range c.shards {
 		sh.mu.Lock()
@@ -79,83 +266,104 @@ func (c *Cluster) Reconfigure(d topo.Diff) (ReconfigStats, error) {
 		}
 		sh.mu.Unlock()
 	}
-
-	mig, err := topo.Migrate(c.t, d, c.w, sets, topo.Options{Parallelism: c.opts.Parallelism})
+	mig, err = topo.Migrate(c.t, d, c.w, sets, topo.Options{Parallelism: c.opts.Parallelism})
 	if err != nil {
-		// Nothing has been swapped and the cluster keeps serving on the
-		// old topology — but the drift fold above already mutated solver
-		// workload rows whose changed list we are about to drop, and the
-		// solver's incremental contract forbids Resolve over mutated rows
-		// it was not told about. Disarm it: the next epoch pass runs a
-		// full Solve, which is always valid.
 		c.solved = false
-		return rs, fmt.Errorf("serve: reconfigure: %w", err)
+		return nil, 0, fmt.Errorf("serve: reconfigure: %w", err)
 	}
+	return mig, len(changed), nil
+}
+
+// fillPlan copies the plan-derived counters into the stats.
+func (rs *ReconfigStats) fillPlan(c *Cluster, mig *topo.Migration) {
 	rs.Remap = mig.Remap
 	added := countAdded(mig.Remap)
 	rs.RemovedNodes = c.t.Len() - len(mig.Remap.NodeBack) + added
 	rs.AddedNodes = added
-	rs.Recovered = len(mig.Recovered)
+}
 
-	// Swap the topology and the epoch machinery. The migration's solver
-	// already ran a full Solve on the remapped frequencies, so the epoch
-	// pipeline continues with incremental Resolve from here.
-	oldPrev := c.prev
+// installEpochState swaps the epoch machinery onto the migration's tree
+// (caller holds epochMu; the stop-the-world path additionally holds the
+// gate, the rolling path runs it inside the commit quiesce).
+func (c *Cluster) installEpochState(mig *topo.Migration, prev *workload.W, isLeaf []bool) {
 	c.t = mig.Tree
 	c.solver = mig.Solver
 	c.w = mig.W
-	c.prev = mig.Remap.Workload(oldPrev)
+	c.prev = prev
 	c.solved = true
-	c.isLeaf = make([]bool, c.t.Len())
-	for _, v := range c.t.Leaves() {
-		c.isLeaf[v] = true
-	}
+	c.isLeaf = isLeaf
+}
 
-	// Rebuild each shard on the new tree: fresh strategy and tracker with
-	// the old load history, request counts and frequency rows carried
-	// across the remap, then the two-phase adoption — survivors first
-	// (first-touch, free: the data is physically there), the re-solved
-	// target second (priced movement from the survivors).
-	for si, sh := range c.shards {
-		sh.mu.Lock()
-		ns := dynamic.New(c.t, c.numObjects, dynamic.Options{Threshold: c.opts.Threshold})
-		ns.ImportLoads(
-			mig.Remap.EdgeLoads(sh.strat.EdgeLoad),
-			mig.Remap.EdgeLoads(sh.strat.MoveLoad()),
-			sh.strat.Requests(),
-		)
-		nt := dynamic.NewOfflineTrackerWith(c.t, mig.Remap.Workload(sh.tracker.Workload()))
-		for x := si; x < c.numObjects; x += len(c.shards) {
-			if p := mig.Projected[x]; len(p) > 0 {
-				ns.AdoptCopySet(x, p)
+func newIsLeaf(t *tree.Tree) []bool {
+	isLeaf := make([]bool, t.Len())
+	for _, v := range t.Leaves() {
+		isLeaf[v] = true
+	}
+	return isLeaf
+}
+
+// migrateShard rebuilds one shard on the migration's tree (caller holds
+// sh.mu and epochMu): a fresh strategy and tracker with the old load
+// history, request counts, frequency rows and un-drained drift flags
+// carried across the remap, then the two-phase adoption — the projected
+// live copy set first (first-touch, free: the data is physically there),
+// the re-solved target second (priced movement from the survivors).
+// Loads on removed edges are dropped with the hardware and accounted in
+// rs.DroppedLoad / rs.DroppedServiceLoad.
+func (c *Cluster) migrateShard(sh *shard, si int, mig *topo.Migration, proj *topo.Projector, rs *ReconfigStats) {
+	edgeLoad := sh.strat.EdgeLoad
+	moveLoad := sh.strat.MoveLoad()
+	for e, l := range edgeLoad {
+		if mig.Remap.Edge[e] == tree.NoEdge {
+			rs.DroppedLoad += l
+			rs.DroppedServiceLoad += l - moveLoad[e]
+		}
+	}
+	ns := dynamic.New(mig.Tree, c.numObjects, dynamic.Options{Threshold: c.opts.Threshold})
+	ns.ImportLoads(
+		mig.Remap.EdgeLoads(edgeLoad),
+		mig.Remap.EdgeLoads(moveLoad),
+		sh.strat.Requests(),
+	)
+	carried := sh.tracker.DrainDrifted(nil)
+	nt := dynamic.NewOfflineTrackerWith(mig.Tree, mig.Remap.Workload(sh.tracker.Workload()))
+	nt.MarkDrifted(carried)
+	for x := si; x < c.numObjects; x += len(c.shards) {
+		p, recovered := proj.Project(sh.strat.Copies(x))
+		if len(p) > 0 {
+			ns.AdoptCopySet(x, p)
+			if recovered {
+				rs.Recovered++
+			} else {
 				rs.Projected++
 			}
-			if t := mig.Targets[x]; len(t) > 0 {
-				rs.Moved += ns.AdoptCopySet(x, t)
-			}
 		}
-		sh.strat = ns
-		sh.tracker = nt
-		sh.mu.Unlock()
+		if t := mig.Targets[x]; len(t) > 0 {
+			rs.Moved += ns.AdoptCopySet(x, t)
+		}
 	}
-	rs.Projected -= rs.Recovered // recovery restores count separately
+	sh.strat = ns
+	sh.tracker = nt
+}
 
-	rs.Elapsed = time.Since(start)
+// finishReconfigLocked books the completed reconfiguration into the
+// cluster stats and epoch log (caller holds epochMu; every shard is on
+// the new tree).
+func (c *Cluster) finishReconfigLocked(rs *ReconfigStats, drifted int, congestion float64) {
 	c.stats.Epochs++
 	c.stats.Reconfigs++
-	c.stats.Drifted += int64(len(changed))
+	c.stats.Drifted += int64(drifted)
 	c.stats.AdoptMoved += rs.Moved
 	c.stats.ResolveTime += rs.Elapsed
 	c.epochLog = append(c.epochLog, EpochStat{
 		Epoch:            c.stats.Epochs,
 		Requests:         c.served.Load(),
-		Drifted:          len(changed),
+		Drifted:          drifted,
 		Moved:            rs.Moved,
-		StaticCongestion: mig.Congestion,
+		StaticCongestion: congestion,
 		MaxEdgeLoad:      c.maxEdgeLoadLocked(),
 		ResolveNs:        rs.Elapsed.Nanoseconds(),
 	})
-	return rs, nil
 }
 
 // countAdded counts remap entries for freshly grafted (surviving) nodes.

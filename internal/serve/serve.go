@@ -45,6 +45,7 @@ import (
 	"hbn/internal/core"
 	"hbn/internal/dynamic"
 	"hbn/internal/par"
+	"hbn/internal/topo"
 	"hbn/internal/tree"
 	"hbn/internal/workload"
 )
@@ -127,6 +128,28 @@ type shard struct {
 	strat   *dynamic.Strategy
 	tracker *dynamic.OfflineTracker
 	cost    int64 // total service cost of this shard
+	// onNew marks that a staged reconfiguration has already migrated this
+	// shard onto the roll's new tree (guarded by mu; reset under the full
+	// ingest gate when the roll commits). While it is set and a roll is
+	// active, this shard's requests are translated from old to new IDs on
+	// the way in.
+	onNew bool
+}
+
+// rollState is the double-buffered topology of one staged (rolling)
+// reconfiguration in flight: the cluster's visible tree (c.t) is still
+// the OLD one — Ingest keeps validating and accepting old IDs — while
+// shards migrate onto the new tree one at a time. The struct is immutable
+// once published (installed and cleared under the full ingest gate;
+// read under its read side), so gated readers never race.
+type rollState struct {
+	newTree *tree.Tree
+	remap   *topo.Remap
+	// fallback maps every old leaf to its serving leaf on the new tree
+	// (itself when it survives, the nearest surviving leaf otherwise), so
+	// traffic addressed to doomed processors keeps being served — and
+	// conserved — throughout the swap.
+	fallback []tree.NodeID
 }
 
 // ingestScratch is the reusable partition state of one in-flight Ingest
@@ -137,12 +160,13 @@ type shard struct {
 // ingesters each hold their own — making Ingest allocation-free once the
 // high-water batch size has been seen.
 type ingestScratch struct {
-	c     *Cluster
-	serve func(worker, si int)
-	buf   []Request
-	start []int32 // per shard: start offset into buf (len nshards+1)
-	fill  []int32 // scatter cursors
-	costs []int64
+	c       *Cluster
+	serve   func(worker, si int)
+	buf     []Request
+	aliased bool    // buf aliases the caller's batch (1 shard, no roll)
+	start   []int32 // per shard: start offset into buf (len nshards+1)
+	fill    []int32 // scatter cursors
+	costs   []int64
 }
 
 func (sc *ingestScratch) serveShard(_, si int) {
@@ -153,6 +177,17 @@ func (sc *ingestScratch) serveShard(_, si int) {
 	sh := sc.c.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if sh.onNew {
+		// A staged reconfiguration has moved this shard onto the new tree
+		// while the batch is still addressed in old IDs: translate in the
+		// scratch buffer (partition copied the batch for exactly this
+		// case), sending traffic for doomed processors to their fallback
+		// leaves so every request keeps being served and conserved.
+		fb := sc.c.roll.fallback
+		for i := range part {
+			part[i].Node = fb[part[i].Node]
+		}
+	}
 	var cost int64
 	if sc.c.opts.Unbatched {
 		for _, r := range part {
@@ -183,8 +218,20 @@ func (sc *ingestScratch) partition(batch []Request) {
 	for i := range sc.costs {
 		sc.costs[i] = 0
 	}
+	sc.aliased = false
 	if nshards == 1 {
-		sc.buf = batch
+		if sc.c.roll != nil {
+			// Mid-roll the serve step may rewrite node IDs in place; never
+			// alias the caller's batch then.
+			if cap(sc.buf) < len(batch) {
+				sc.buf = make([]Request, len(batch))
+			}
+			sc.buf = sc.buf[:len(batch)]
+			copy(sc.buf, batch)
+		} else {
+			sc.buf = batch
+			sc.aliased = true
+		}
 		sc.start[0], sc.start[1] = 0, int32(len(batch))
 		return
 	}
@@ -239,10 +286,42 @@ type Cluster struct {
 
 	served  atomic.Int64
 	closed  atomic.Bool
-	closeMu sync.RWMutex // read-held across Ingest; Close write-acquires to wait out in-flight batches
+	closeMu sync.RWMutex // the ingest gate; see quiesce
 	trigger chan struct{}
 	done    chan struct{}
 	wg      sync.WaitGroup
+
+	// reconfiguring serializes Reconfigure/ReconfigureRolling calls: a
+	// second call arriving while one is in flight fails fast with
+	// ErrReconfigInProgress instead of queueing behind epochMu (which a
+	// rolling call holds for its whole duration).
+	reconfiguring atomic.Bool
+	// roll is the staged reconfiguration in flight, nil otherwise.
+	// Written only inside quiesce (the full ingest gate); read under the
+	// gate's read side.
+	roll *rollState
+	// rollHook, when set (tests only, before the call), runs after each
+	// shard's migration with the count of shards migrated so far — the
+	// probe that lets tests freeze a roll mid-swap and observe the
+	// double-buffered serving state deterministically.
+	rollHook func(migrated int)
+}
+
+// quiesce write-acquires the ingest gate, runs fn (which may be nil) and
+// releases. This is the cluster's one gating primitive: returning
+// guarantees that every gated call — Ingest batches, load accessors —
+// that began before quiesce has fully finished, that none started while
+// fn ran, and that fn's writes are visible to every gated call that
+// starts afterwards. Close uses it as a pure barrier to wait out
+// in-flight batches; the reconfiguration paths use it to publish
+// topology-generation changes (the roll state, the tree swap) atomically
+// with respect to serving.
+func (c *Cluster) quiesce(fn func()) {
+	c.closeMu.Lock()
+	defer c.closeMu.Unlock()
+	if fn != nil {
+		fn()
+	}
 }
 
 // NewCluster creates a cluster for numObjects objects on t. The tree must
@@ -295,30 +374,56 @@ func NewCluster(t *tree.Tree, numObjects int, opts Options) (*Cluster, error) {
 // Requests are partitioned onto their owner shards and served in parallel;
 // concurrent Ingest calls are safe (shards serialize internally). If the
 // batch crosses an epoch boundary, the epoch pass runs inline (or is
-// handed to the background loop when Options.Background is set).
+// handed to the background loop when Options.Background is set). While a
+// staged reconfiguration is in flight the inline pass is skipped — the
+// roll itself ends with a full re-solve and adoption, and blocking a
+// serving batch behind the whole roll would defeat its stall bound; the
+// drift is picked up at the next crossing.
 func (c *Cluster) Ingest(batch []Request) (int64, error) {
+	total, crossed, err := c.serveGated(batch)
+	if err != nil || !crossed {
+		return total, err
+	}
+	if !c.reconfiguring.Load() {
+		// Outside the gate: the pass serializes on epochMu alone, so a
+		// reconfiguration quiescing the gate never waits on this batch's
+		// epoch work (and vice versa — no lock-order cycle).
+		if err := c.resolveEpoch(); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// serveGated validates, partitions and serves one batch under the ingest
+// gate's read side. In background mode an epoch crossing enqueues the
+// (non-blocking) trigger here, still under the gate, so Close's quiesce
+// barrier keeps its guarantee that no drained batch is about to enqueue
+// one; in inline mode crossed=true tells Ingest to run the pass AFTER
+// releasing the gate. Nothing that runs under the gate may wait on
+// epochMu.
+func (c *Cluster) serveGated(batch []Request) (total int64, crossed bool, err error) {
 	c.closeMu.RLock()
 	defer c.closeMu.RUnlock()
 	if c.closed.Load() {
-		return 0, errors.New("serve: cluster is closed")
+		return 0, false, errors.New("serve: cluster is closed")
 	}
 	for i := range batch {
 		r := &batch[i]
 		if r.Object < 0 || r.Object >= c.numObjects {
-			return 0, fmt.Errorf("serve: request %d: object %d out of range [0,%d)", i, r.Object, c.numObjects)
+			return 0, false, fmt.Errorf("serve: request %d: object %d out of range [0,%d)", i, r.Object, c.numObjects)
 		}
 		if r.Node < 0 || int(r.Node) >= len(c.isLeaf) || !c.isLeaf[r.Node] {
-			return 0, fmt.Errorf("serve: request %d: node %d is not a processor", i, r.Node)
+			return 0, false, fmt.Errorf("serve: request %d: node %d is not a processor", i, r.Node)
 		}
 	}
 	sc := c.scratch.Get().(*ingestScratch)
 	sc.partition(batch)
 	par.ForEach(c.opts.Parallelism, len(c.shards), sc.serve)
-	var total int64
 	for _, ct := range sc.costs {
 		total += ct
 	}
-	if len(c.shards) == 1 {
+	if sc.aliased {
 		sc.buf = nil // aliased the caller's batch; don't retain it in the pool
 	}
 	c.scratch.Put(sc)
@@ -329,11 +434,11 @@ func (c *Cluster) Ingest(batch []Request) (int64, error) {
 			case c.trigger <- struct{}{}:
 			default: // a pass is already pending; it will see our drift
 			}
-		} else if err := c.resolveEpoch(); err != nil {
-			return total, err
+		} else {
+			crossed = true
 		}
 	}
-	return total, nil
+	return total, crossed, nil
 }
 
 // ResolveNow forces an epoch pass synchronously (used by benchmarks to
@@ -494,11 +599,10 @@ func (c *Cluster) Close() error {
 	if c.opts.Background {
 		close(c.done)
 		c.wg.Wait()
-		// Wait out in-flight Ingest calls: once the write lock is held, no
+		// Wait out in-flight Ingest calls: after the quiesce barrier, no
 		// batch that passed the closed check can still be serving (or about
 		// to enqueue a trigger).
-		c.closeMu.Lock()
-		c.closeMu.Unlock() //nolint:staticcheck // barrier, not a critical section
+		c.quiesce(nil)
 		// A trigger enqueued after the loop's final select would be
 		// dropped, abandoning the drift it announced; drain it with one
 		// last synchronous pass (a no-op when ResolveNow already ran).
@@ -528,13 +632,36 @@ func (c *Cluster) EdgeLoad() []int64 {
 }
 
 // edgeLoadLocked is EdgeLoad for callers that already exclude a
-// concurrent Reconfigure (holding closeMu in either mode, or epochMu).
+// concurrent topology swap (holding closeMu in either mode, or epochMu).
 func (c *Cluster) edgeLoadLocked() []int64 {
-	out := make([]int64, c.t.NumEdges())
+	return c.foldLoadsLocked(func(sh *shard) []int64 { return sh.strat.EdgeLoad })
+}
+
+// foldLoadsLocked sums a per-shard load vector over all shards. While a
+// staged reconfiguration is mid-swap the shards straddle two ID spaces;
+// the fold reports in the NEW tree's edge space — already-migrated
+// shards add directly, the rest project forward through the roll's remap
+// (loads sitting on doomed switches are omitted from the view, exactly
+// as they will be dropped when their shard migrates).
+func (c *Cluster) foldLoadsLocked(loads func(*shard) []int64) []int64 {
+	roll := c.roll
+	n := c.t.NumEdges()
+	if roll != nil {
+		n = roll.newTree.NumEdges()
+	}
+	out := make([]int64, n)
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		for e, l := range sh.strat.EdgeLoad {
-			out[e] += l
+		if roll != nil && !sh.onNew {
+			for e, l := range loads(sh) {
+				if ne := roll.remap.Edge[e]; ne != tree.NoEdge {
+					out[ne] += l
+				}
+			}
+		} else {
+			for e, l := range loads(sh) {
+				out[e] += l
+			}
 		}
 		sh.mu.Unlock()
 	}
@@ -546,15 +673,7 @@ func (c *Cluster) edgeLoadLocked() []int64 {
 func (c *Cluster) ServiceLoad() []int64 {
 	c.closeMu.RLock()
 	defer c.closeMu.RUnlock()
-	out := make([]int64, c.t.NumEdges())
-	for _, sh := range c.shards {
-		sh.mu.Lock()
-		for e, l := range sh.strat.ServiceLoad() {
-			out[e] += l
-		}
-		sh.mu.Unlock()
-	}
-	return out
+	return c.foldLoadsLocked(func(sh *shard) []int64 { return sh.strat.ServiceLoad() })
 }
 
 // MaxEdgeLoad returns the maximum aggregate edge load.
@@ -586,11 +705,17 @@ func (c *Cluster) TotalLoad() int64 {
 }
 
 // Tree returns the cluster's current network. After a Reconfigure this is
-// the post-diff tree; the returned value is immutable and remains valid
-// (as a snapshot of that topology generation) across later reconfigures.
+// the post-diff tree; while a staged reconfiguration is mid-swap it is
+// the NEW tree, so (Tree, EdgeLoad) stay mutually consistent at every
+// instant (Ingest addressing stays old-ID until the roll commits). The
+// returned value is immutable and remains valid (as a snapshot of that
+// topology generation) across later reconfigures.
 func (c *Cluster) Tree() *tree.Tree {
 	c.closeMu.RLock()
 	defer c.closeMu.RUnlock()
+	if c.roll != nil {
+		return c.roll.newTree
+	}
 	return c.t
 }
 

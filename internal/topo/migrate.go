@@ -32,16 +32,23 @@ type Migration struct {
 	// lost copy set in the old tree) where the object is restored from
 	// outside the network. nil for objects that had no copies.
 	Projected [][]tree.NodeID
-	// Targets holds, per object, the copy set to adopt: the re-solved
-	// near-optimal placement for objects with observed demand, the
-	// projection itself for objects without. Adopting Targets after
-	// Projected through dynamic.Strategy.AdoptCopySet prices the
-	// migration movement from the survivors — each new copy is charged
-	// its distance to the nearest surviving copy. nil for objects with
-	// neither copies nor demand.
+	// Targets holds, per object, the re-solved near-optimal copy set for
+	// objects with observed demand, nil for objects the solver placed
+	// nothing for (no surviving demand) — those simply keep their
+	// projection. Adopting Targets after Projected through
+	// dynamic.Strategy.AdoptCopySet prices the migration movement from
+	// the survivors — each new copy is charged its distance to the
+	// nearest surviving copy.
 	Targets [][]tree.NodeID
 	// Recovered lists the objects whose copies were all lost (ascending).
 	Recovered []int
+	// LeafFallback maps every OLD-tree leaf to a serving leaf of the new
+	// tree: a surviving leaf maps to its own new ID, a removed leaf to
+	// the nearest surviving leaf (BFS distance on the old tree,
+	// deterministic). Non-leaf entries hold tree.None. The staged
+	// (rolling) reconfiguration uses this to keep serving traffic that is
+	// still addressed to doomed processors while the swap is in flight.
+	LeafFallback []tree.NodeID
 	// Solver is armed on (Tree, W): Solve has run, so the caller's epoch
 	// machinery can continue incrementally with Solver.Resolve. A solver's
 	// warm per-object state is indexed by node IDs, so no solver survives
@@ -99,38 +106,93 @@ func Migrate(t *tree.Tree, d Diff, w *workload.W, copySets [][]tree.NodeID, opts
 		Solver:     solver,
 		Congestion: res.Report.Congestion.Float(),
 	}
-	var rec *recoverScratch
+	proj := NewProjector(t, nt, m)
 	for x := 0; x < numObjects; x++ {
 		var old []tree.NodeID
 		if x < len(copySets) {
 			old = copySets[x]
 		}
-		proj := m.ProjectNodes(old)
-		if len(proj) == 0 && len(old) > 0 {
-			// Every copy was lost: restore at the surviving leaf nearest to
-			// the lost set (minimal-movement recovery; measured on the old
-			// tree, where the distances are defined).
-			if rec == nil {
-				rec = newRecoverScratch(t)
-			}
-			home, ok := rec.nearestSurvivingLeaf(t, nt, m, old)
-			if !ok {
-				home = nt.Leaves()[0] // all old leaves gone: restore on the new fabric
-			}
-			proj = []tree.NodeID{home}
+		p, recovered := proj.Project(old)
+		if recovered {
 			mig.Recovered = append(mig.Recovered, x)
 		}
-		mig.Projected[x] = proj
-		tgt := proj
+		mig.Projected[x] = p
 		if cs := res.Final.Copies[x]; len(cs) > 0 {
-			tgt = make([]tree.NodeID, len(cs))
+			tgt := make([]tree.NodeID, len(cs))
 			for i, c := range cs {
 				tgt[i] = c.Node
 			}
+			mig.Targets[x] = tgt
 		}
-		mig.Targets[x] = tgt
 	}
+	mig.LeafFallback = LeafFallbacks(t, nt, m)
 	return mig, nil
+}
+
+// Projector projects live copy sets across a topology diff, applying the
+// same minimal-movement rule Migrate applies to its snapshot: surviving
+// copies stay exactly where they are (renumbered), and a set whose copies
+// were ALL lost is recovered at the single surviving leaf nearest to the
+// lost set (BFS on the old tree, deterministic). The staged (rolling)
+// reconfiguration uses one Projector to migrate each shard's copy sets
+// from their LIVE state at that shard's swap instant — under a quiesced
+// cluster this reproduces Migrate's snapshot projection bit-identically.
+// Not safe for concurrent use; callers serialize (one shard at a time).
+type Projector struct {
+	t, nt *tree.Tree
+	m     *Remap
+	rec   *recoverScratch
+}
+
+// NewProjector creates a projector for the diff that turned t into nt
+// with remap m (as returned by Apply, or carried on a Migration).
+func NewProjector(t, nt *tree.Tree, m *Remap) *Projector {
+	return &Projector{t: t, nt: nt, m: m}
+}
+
+// Project maps one old-tree copy set onto the new tree. recovered reports
+// that every copy was lost and the result is the single recovery leaf;
+// a nil/empty input returns nil, false (nothing to place).
+func (p *Projector) Project(old []tree.NodeID) (proj []tree.NodeID, recovered bool) {
+	proj = p.m.ProjectNodes(old)
+	if len(proj) > 0 || len(old) == 0 {
+		return proj, false
+	}
+	if p.rec == nil {
+		p.rec = newRecoverScratch(p.t)
+	}
+	home, ok := p.rec.nearestSurvivingLeaf(p.t, p.nt, p.m, old)
+	if !ok {
+		home = p.nt.Leaves()[0] // all old leaves gone: restore on the new fabric
+	}
+	return []tree.NodeID{home}, true
+}
+
+// LeafFallbacks computes, for every OLD-tree leaf, the new-tree leaf that
+// serves its traffic after the diff: itself (renumbered) when it
+// survives, the nearest surviving leaf otherwise. Non-leaf entries hold
+// tree.None. See Migration.LeafFallback.
+func LeafFallbacks(t, nt *tree.Tree, m *Remap) []tree.NodeID {
+	out := make([]tree.NodeID, t.Len())
+	for i := range out {
+		out[i] = tree.None
+	}
+	var rec *recoverScratch
+	for _, v := range t.Leaves() {
+		if nv := m.Node[v]; nv != tree.None {
+			out[v] = nv
+			continue
+		}
+		if rec == nil {
+			rec = newRecoverScratch(t)
+		}
+		home, ok := rec.nearestSurvivingLeaf(t, nt, m, []tree.NodeID{v})
+		if !ok {
+			home = nt.Leaves()[0]
+		}
+		out[v] = home
+	}
+	return out
 }
 
 // recoverScratch is the reusable BFS state of nearestSurvivingLeaf.

@@ -28,10 +28,38 @@
 package topo
 
 import (
+	"errors"
 	"fmt"
 
 	"hbn/internal/tree"
 	"hbn/internal/workload"
+)
+
+// Typed diff-validation errors. Apply (and everything layered on it:
+// Migrate, serve.Cluster.Reconfigure) rejects a degenerate diff up front
+// with one of these sentinels wrapped in positional context, so callers
+// can classify the rejection with errors.Is instead of relying on
+// downstream build/validation panics or string matching.
+var (
+	// ErrRemoveRoot: the diff removes node 0, which anchors the surviving
+	// component.
+	ErrRemoveRoot = errors.New("node 0 anchors the surviving component and cannot be removed")
+	// ErrRemoveRange: a removal references a node outside the old tree.
+	ErrRemoveRange = errors.New("removed node out of range")
+	// ErrOverlappingRemove: a removal is redundant — the same node is
+	// listed twice, or an ancestor's listed subtree already covers it.
+	// Redundant removals are almost always a caller computing removal sets
+	// against a stale tree, so they are rejected rather than absorbed.
+	ErrOverlappingRemove = errors.New("removal already covered by another removed subtree")
+	// ErrNoProcessors: the diff leaves the network without a single
+	// processor (every leaf removed and none grafted back).
+	ErrNoProcessors = errors.New("diff removes the last processor and grafts no replacement")
+	// ErrBadGraft: a graft entry is malformed (unknown kind, bad parent
+	// reference, parent removed by the same diff, parent is a processor).
+	ErrBadGraft = errors.New("invalid graft")
+	// ErrBadBandwidth: a bandwidth override is malformed (out of range,
+	// removed target, non-positive bandwidth, wrong node kind).
+	ErrBadBandwidth = errors.New("invalid bandwidth override")
 )
 
 // Graft describes one node added by a Diff. The parent is either a
@@ -193,22 +221,52 @@ func Apply(t *tree.Tree, d Diff) (*tree.Tree, *Remap, error) {
 
 	// Removal: mark each listed node, then propagate to descendants in the
 	// canonical orientation (one preorder pass: Steps lists parents before
-	// children).
+	// children). Degenerate removal sets — out-of-range or root references,
+	// duplicates, nodes already covered by a listed ancestor's subtree, or
+	// a set that leaves no processor standing — are rejected here with
+	// typed errors before any structure is built.
 	removed := make([]bool, n)
-	for _, v := range d.Remove {
+	explicit := make([]bool, n)
+	for i, v := range d.Remove {
 		if v < 0 || int(v) >= n {
-			return nil, nil, fmt.Errorf("topo: remove: node %d out of range [0,%d)", v, n)
+			return nil, nil, fmt.Errorf("topo: remove[%d]: node %d outside [0,%d): %w", i, v, n, ErrRemoveRange)
 		}
 		if v == 0 {
-			return nil, nil, fmt.Errorf("topo: remove: node 0 anchors the surviving component and cannot be removed")
+			return nil, nil, fmt.Errorf("topo: remove[%d]: %w", i, ErrRemoveRoot)
 		}
+		if explicit[v] {
+			return nil, nil, fmt.Errorf("topo: remove[%d]: node %d listed twice: %w", i, v, ErrOverlappingRemove)
+		}
+		explicit[v] = true
 		removed[v] = true
 	}
 	if len(d.Remove) > 0 {
 		steps := t.Rooted0().Steps()
 		for i := 1; i < len(steps); i++ {
 			if removed[steps[i].Parent] {
+				if explicit[steps[i].V] {
+					return nil, nil, fmt.Errorf("topo: remove: node %d is inside removed subtree under %d: %w",
+						steps[i].V, steps[i].Parent, ErrOverlappingRemove)
+				}
 				removed[steps[i].V] = true
+			}
+		}
+		survivors := 0
+		for v := 0; v < n; v++ {
+			if !removed[v] && t.Kind(tree.NodeID(v)) == tree.Processor {
+				survivors++
+			}
+		}
+		if survivors == 0 {
+			grafted := false
+			for _, g := range d.Add {
+				if g.Kind == tree.Processor {
+					grafted = true
+					break
+				}
+			}
+			if !grafted {
+				return nil, nil, fmt.Errorf("topo: remove: %w", ErrNoProcessors)
 			}
 		}
 	}
@@ -218,28 +276,28 @@ func Apply(t *tree.Tree, d Diff) (*tree.Tree, *Remap, error) {
 	parent := make([]int32, len(d.Add))
 	for i, g := range d.Add {
 		if g.Kind != tree.Processor && g.Kind != tree.Bus {
-			return nil, nil, fmt.Errorf("topo: add[%d]: unknown kind %v", i, g.Kind)
+			return nil, nil, fmt.Errorf("topo: add[%d]: unknown kind %v: %w", i, g.Kind, ErrBadGraft)
 		}
 		if g.ParentAdded > 0 {
 			j := g.ParentAdded - 1
 			if j >= i {
-				return nil, nil, fmt.Errorf("topo: add[%d]: ParentAdded %d must reference an earlier entry", i, g.ParentAdded)
+				return nil, nil, fmt.Errorf("topo: add[%d]: ParentAdded %d must reference an earlier entry: %w", i, g.ParentAdded, ErrBadGraft)
 			}
 			if d.Add[j].Kind != tree.Bus {
-				return nil, nil, fmt.Errorf("topo: add[%d]: parent add[%d] is a processor; grafts attach under buses", i, j)
+				return nil, nil, fmt.Errorf("topo: add[%d]: parent add[%d] is a processor; grafts attach under buses: %w", i, j, ErrBadGraft)
 			}
 			parent[i] = int32(n + j)
 			continue
 		}
 		p := g.Parent
 		if p < 0 || int(p) >= n {
-			return nil, nil, fmt.Errorf("topo: add[%d]: parent %d out of range [0,%d)", i, p, n)
+			return nil, nil, fmt.Errorf("topo: add[%d]: parent %d out of range [0,%d): %w", i, p, n, ErrBadGraft)
 		}
 		if removed[p] {
-			return nil, nil, fmt.Errorf("topo: add[%d]: parent %d is removed by the same diff", i, p)
+			return nil, nil, fmt.Errorf("topo: add[%d]: parent %d is removed by the same diff: %w", i, p, ErrBadGraft)
 		}
 		if t.Kind(p) != tree.Bus {
-			return nil, nil, fmt.Errorf("topo: add[%d]: parent %d is a processor; grafts attach under buses", i, p)
+			return nil, nil, fmt.Errorf("topo: add[%d]: parent %d is a processor; grafts attach under buses: %w", i, p, ErrBadGraft)
 		}
 		parent[i] = int32(p)
 	}
@@ -308,30 +366,30 @@ func Apply(t *tree.Tree, d Diff) (*tree.Tree, *Remap, error) {
 	busBW := make(map[tree.NodeID]int64, len(d.SetBusBandwidth))
 	for _, s := range d.SetBusBandwidth {
 		if s.Node < 0 || int(s.Node) >= n {
-			return nil, nil, fmt.Errorf("topo: set bus bandwidth: node %d out of range [0,%d)", s.Node, n)
+			return nil, nil, fmt.Errorf("topo: set bus bandwidth: node %d out of range [0,%d): %w", s.Node, n, ErrBadBandwidth)
 		}
 		if !alive[s.Node] {
-			return nil, nil, fmt.Errorf("topo: set bus bandwidth: node %d is removed", s.Node)
+			return nil, nil, fmt.Errorf("topo: set bus bandwidth: node %d is removed: %w", s.Node, ErrBadBandwidth)
 		}
 		if t.Kind(s.Node) != tree.Bus {
-			return nil, nil, fmt.Errorf("topo: set bus bandwidth: node %d is a processor", s.Node)
+			return nil, nil, fmt.Errorf("topo: set bus bandwidth: node %d is a processor: %w", s.Node, ErrBadBandwidth)
 		}
 		if s.Bandwidth < 1 {
-			return nil, nil, fmt.Errorf("topo: set bus bandwidth: node %d bandwidth %d < 1", s.Node, s.Bandwidth)
+			return nil, nil, fmt.Errorf("topo: set bus bandwidth: node %d bandwidth %d < 1: %w", s.Node, s.Bandwidth, ErrBadBandwidth)
 		}
 		busBW[s.Node] = s.Bandwidth
 	}
 	switchBW := make(map[tree.EdgeID]int64, len(d.SetSwitchBandwidth))
 	for _, s := range d.SetSwitchBandwidth {
 		if s.Edge < 0 || int(s.Edge) >= ne {
-			return nil, nil, fmt.Errorf("topo: set switch bandwidth: edge %d out of range [0,%d)", s.Edge, ne)
+			return nil, nil, fmt.Errorf("topo: set switch bandwidth: edge %d out of range [0,%d): %w", s.Edge, ne, ErrBadBandwidth)
 		}
 		u, v := t.Endpoints(s.Edge)
 		if !alive[u] || !alive[v] {
-			return nil, nil, fmt.Errorf("topo: set switch bandwidth: edge %d is removed", s.Edge)
+			return nil, nil, fmt.Errorf("topo: set switch bandwidth: edge %d is removed: %w", s.Edge, ErrBadBandwidth)
 		}
 		if s.Bandwidth < 1 {
-			return nil, nil, fmt.Errorf("topo: set switch bandwidth: edge %d bandwidth %d < 1", s.Edge, s.Bandwidth)
+			return nil, nil, fmt.Errorf("topo: set switch bandwidth: edge %d bandwidth %d < 1: %w", s.Edge, s.Bandwidth, ErrBadBandwidth)
 		}
 		switchBW[s.Edge] = s.Bandwidth
 	}

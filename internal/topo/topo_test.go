@@ -2,6 +2,7 @@ package topo
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -281,36 +282,43 @@ func TestApplyErrors(t *testing.T) {
 	leaf := tr.Leaves()[0]
 	ring := tree.NodeID(1)
 	cases := []struct {
-		name string
-		d    Diff
-		want string
+		name     string
+		d        Diff
+		want     string
+		sentinel error
 	}{
-		{"remove root", Diff{Remove: []tree.NodeID{0}}, "cannot be removed"},
-		{"remove out of range", Diff{Remove: []tree.NodeID{99}}, "out of range"},
-		{"remove everything", Diff{Remove: []tree.NodeID{1, 5}}, "empty"},
-		{"graft under processor", Diff{Add: []Graft{{Kind: tree.Processor, Parent: leaf}}}, "attach under buses"},
+		{"remove root", Diff{Remove: []tree.NodeID{0}}, "cannot be removed", ErrRemoveRoot},
+		{"remove out of range", Diff{Remove: []tree.NodeID{99}}, "out of range", ErrRemoveRange},
+		{"remove everything", Diff{Remove: []tree.NodeID{1, 5}}, "last processor", ErrNoProcessors},
+		{"remove listed twice", Diff{Remove: []tree.NodeID{leaf, leaf}}, "twice", ErrOverlappingRemove},
+		{"graft under processor", Diff{Add: []Graft{{Kind: tree.Processor, Parent: leaf}}}, "attach under buses", ErrBadGraft},
 		{"graft under removed", Diff{
 			Remove: []tree.NodeID{ring},
 			Add:    []Graft{{Kind: tree.Processor, Parent: ring}},
-		}, "removed by the same diff"},
+		}, "removed by the same diff", ErrBadGraft},
 		{"graft forward ref", Diff{Add: []Graft{
 			{Kind: tree.Processor, ParentAdded: 2},
 			{Kind: tree.Bus, Parent: 0},
-		}}, "earlier entry"},
+		}}, "earlier entry", ErrBadGraft},
 		{"set bw on removed edge", Diff{
 			Remove:             []tree.NodeID{leaf},
 			SetSwitchBandwidth: []SwitchBandwidth{{Edge: mustEdge(t, tr, ring, leaf), Bandwidth: 3}},
-		}, "removed"},
-		{"set bus bw on processor", Diff{SetBusBandwidth: []BusBandwidth{{Node: leaf, Bandwidth: 3}}}, "processor"},
-		{"set bw below 1", Diff{SetBusBandwidth: []BusBandwidth{{Node: ring, Bandwidth: 0}}}, "< 1"},
+		}, "removed", ErrBadBandwidth},
+		{"set bus bw on processor", Diff{SetBusBandwidth: []BusBandwidth{{Node: leaf, Bandwidth: 3}}}, "processor", ErrBadBandwidth},
+		{"set bw below 1", Diff{SetBusBandwidth: []BusBandwidth{{Node: ring, Bandwidth: 0}}}, "< 1", ErrBadBandwidth},
+		// The fat-switch rejection comes from tree validation, not a topo
+		// sentinel, so it only pins the message.
 		{"graft processor fat switch", Diff{Add: []Graft{
 			{Kind: tree.Processor, Parent: 0, SwitchBandwidth: 7},
-		}}, "must be 1"},
+		}}, "must be 1", nil},
 	}
 	for _, tc := range cases {
 		_, _, err := Apply(tr, tc.d)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Fatalf("%s: got error %v, want substring %q", tc.name, err, tc.want)
+		}
+		if tc.sentinel != nil && !errors.Is(err, tc.sentinel) {
+			t.Fatalf("%s: error %v does not wrap %v", tc.name, err, tc.sentinel)
 		}
 	}
 }

@@ -258,6 +258,75 @@ func Failover(rng *rand.Rand, t *tree.Tree, numObjects, n int, failed []tree.Nod
 	return events
 }
 
+// CascadeFailover generates home-biased traffic for a SEQUENCE of
+// failure waves — the compound version of Failover. Wave k (of W) fails
+// the leaves waves[k] at trace position (k+1)·n/(W+1), with earlier
+// waves' failures persisting: traffic addressed to any leaf failed so far
+// re-homes to the next leaf in leaf order that is still alive in the
+// CURRENT wave — so a replacement chosen in one wave can itself fail in
+// the next and the traffic hops again, exactly the cascading-failover
+// pattern that distinguishes compound churn from one clean failure. Every
+// object's home set is drawn from all leaves up front (so each wave
+// orphans some locality). At least one leaf must survive all waves.
+func CascadeFailover(rng *rand.Rand, t *tree.Tree, numObjects, n int, waves [][]tree.NodeID, writeFrac float64) []TraceEvent {
+	checkTrace(t, numObjects, n)
+	leaves := t.Leaves()
+	failed := make(map[tree.NodeID]bool)
+	// replacements[k] maps each leaf failed by waves 0..k to its serving
+	// survivor as of wave k.
+	replacements := make([]map[tree.NodeID]tree.NodeID, len(waves))
+	for k, wave := range waves {
+		for _, v := range wave {
+			if !t.IsLeaf(v) {
+				panic(fmt.Sprintf("workload: CascadeFailover: node %d is not a leaf", v))
+			}
+			failed[v] = true
+		}
+		if len(failed) >= len(leaves) {
+			panic("workload: CascadeFailover: no leaf survives the cascade")
+		}
+		repl := make(map[tree.NodeID]tree.NodeID, len(failed))
+		for i, v := range leaves {
+			if !failed[v] {
+				continue
+			}
+			for j := 1; j < len(leaves); j++ {
+				if r := leaves[(i+j)%len(leaves)]; !failed[r] {
+					repl[v] = r
+					break
+				}
+			}
+		}
+		replacements[k] = repl
+	}
+	homes := make([][]tree.NodeID, numObjects)
+	for x := range homes {
+		homes[x] = sampleLeaves(rng, leaves, 1+rng.Intn(min(4, len(leaves))), nil)
+	}
+	const homeBias = 0.9
+	events := make([]TraceEvent, 0, n)
+	for i := 0; i < n; i++ {
+		// Wave k is live from position (k+1)·n/(W+1); before the first
+		// boundary no failures have happened.
+		wave := -1
+		if n > 0 {
+			wave = i*(len(waves)+1)/n - 1
+		}
+		x := rng.Intn(numObjects)
+		node := leaves[rng.Intn(len(leaves))]
+		if rng.Float64() < homeBias {
+			node = homes[x][rng.Intn(len(homes[x]))]
+		}
+		if wave >= 0 {
+			if r, ok := replacements[min(wave, len(waves)-1)][node]; ok {
+				node = r
+			}
+		}
+		events = append(events, TraceEvent{Object: x, Node: node, Write: rng.Float64() < writeFrac})
+	}
+	return events
+}
+
 // ScaleOut generates traffic for capacity joining at trace position
 // joinAt: t is the POST-join tree, joining its freshly added leaves.
 // Before joinAt every request originates from the pre-existing leaves

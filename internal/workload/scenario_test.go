@@ -48,6 +48,14 @@ var churnGens = []struct {
 	{"brownout", func(rng *rand.Rand, t *tree.Tree, o, n int) []TraceEvent {
 		return Brownout(rng, t, o, n, t.Leaves()[:4], 0.7, 0.08)
 	}},
+	{"cascade-failover", func(rng *rand.Rand, t *tree.Tree, o, n int) []TraceEvent {
+		leaves := t.Leaves()
+		waves := [][]tree.NodeID{
+			leaves[len(leaves)-2:],
+			leaves[len(leaves)-4 : len(leaves)-2],
+		}
+		return CascadeFailover(rng, t, o, n, waves, 0.08)
+	}},
 }
 
 func allGens() []struct {
@@ -236,5 +244,52 @@ func TestChurnScenarioBoundaries(t *testing.T) {
 	}
 	if frac := float64(hits) / float64(n); frac < 0.6 {
 		t.Fatalf("brownout: region carries only %.2f of traffic, want concentration", frac)
+	}
+}
+
+// CascadeFailover's compound semantics hold exactly: once wave k's
+// boundary passes, no leaf failed by waves 0..k issues another request —
+// including a leaf that served as wave k-1's replacement before failing
+// itself (the hop-again case that distinguishes a cascade from repeated
+// clean failovers).
+func TestCascadeFailoverBoundaries(t *testing.T) {
+	tr := scenarioTree()
+	leaves := tr.Leaves()
+	const objects, n = 10, 9000
+
+	// Wave 1 fails exactly the leaf that is wave 0's replacement (the next
+	// surviving leaf in leaf order), forcing re-homed traffic to hop again.
+	first := leaves[len(leaves)-4]
+	second := leaves[len(leaves)-3]
+	waves := [][]tree.NodeID{{first}, {second}}
+	trace := CascadeFailover(rand.New(rand.NewSource(9)), tr, objects, n, waves, 0.1)
+	if len(trace) != n {
+		t.Fatalf("trace length %d, want %d", len(trace), n)
+	}
+
+	// Boundary of wave k is position (k+1)*n/(len(waves)+1).
+	b0, b1 := n/3, 2*n/3
+	secondBeforeB1, secondAfterB0 := 0, 0
+	for i, ev := range trace {
+		if i >= b0 && ev.Node == first {
+			t.Fatalf("wave-0 leaf %d requested at position %d (boundary %d)", first, i, b0)
+		}
+		if i >= b1 && ev.Node == second {
+			t.Fatalf("wave-1 leaf %d requested at position %d (boundary %d)", second, i, b1)
+		}
+		if i < b1 && ev.Node == second {
+			secondBeforeB1++
+		}
+		if i >= b0 && i < b1 && ev.Node == second {
+			secondAfterB0++
+		}
+	}
+	if secondBeforeB1 == 0 {
+		t.Fatal("wave-1 leaf carried no traffic before its own failure")
+	}
+	// Between the two boundaries the wave-1 leaf absorbs the wave-0 leaf's
+	// re-homed traffic on top of its own, so it must still be active there.
+	if secondAfterB0 == 0 {
+		t.Fatal("wave-0 replacement absorbed no traffic between the boundaries")
 	}
 }

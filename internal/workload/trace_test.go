@@ -52,3 +52,55 @@ func TestDecodeTraceRejectsMalformed(t *testing.T) {
 		}
 	}
 }
+
+// FuzzDecodeTrace feeds arbitrary bytes to the trace decoder: any input
+// must either be rejected with an error or yield a trace whose IDs are
+// non-negative and which survives encode→decode bit-for-bit (decoding
+// must never fabricate a trace the encoder can't reproduce, and must
+// never panic — truncated files and hostile JSON are the realistic
+// failure mode for traces stored on disk between benchmark runs).
+func FuzzDecodeTrace(f *testing.F) {
+	tr := scenarioTree()
+	trace := Failover(rand.New(rand.NewSource(1)), tr, 4, 64, tr.Leaves()[:1], 32, 0.1)
+	var seed bytes.Buffer
+	if err := EncodeTrace(&seed, trace); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"events":[]}`))
+	f.Add([]byte(`{"events":[{"x":0,"v":1,"w":true}]}`))
+	f.Add([]byte(`{"events":[{"x":-1,"v":0}]}`))
+	f.Add([]byte(`{"events":[{"x":0,"v":-3}]}`))
+	f.Add([]byte(`{"events":[{"x":9999999999,"v":2147483647}]}`))
+	f.Add([]byte(`{"events":[{"x":"a","v":[]}]}`))
+	f.Add(seed.Bytes()[:seed.Len()/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input owes nothing further
+		}
+		for i, ev := range got {
+			if ev.Object < 0 || ev.Node < 0 {
+				t.Fatalf("event %d: negative ID survived decode: %+v", i, ev)
+			}
+		}
+		var buf bytes.Buffer
+		if err := EncodeTrace(&buf, got); err != nil {
+			t.Fatalf("re-encode of accepted trace: %v", err)
+		}
+		again, err := DecodeTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded trace: %v", err)
+		}
+		if len(again) != len(got) {
+			t.Fatalf("round trip changed length: %d -> %d", len(got), len(again))
+		}
+		for i := range got {
+			if again[i] != got[i] {
+				t.Fatalf("round trip changed event %d: %+v -> %+v", i, got[i], again[i])
+			}
+		}
+	})
+}
