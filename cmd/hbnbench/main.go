@@ -14,6 +14,7 @@
 //	hbnbench -experiment none -ingestbench      # requests/sec, batched vs per-request
 //	hbnbench -experiment none -reconfig # live topology churn (failover/scale-out/brownout)
 //	hbnbench -experiment none -churn    # compound fault scripts, stop-the-world vs rolling stalls
+//	hbnbench -experiment none -snapshot # crash-consistent snapshot/restore latency, stall, image size
 //	hbnbench ... -cpuprofile cpu.pprof  # attach pprof evidence to perf PRs
 package main
 
@@ -64,6 +65,7 @@ type jsonOutput struct {
 	Ingest     []jsonIngest   `json:"ingest,omitempty"`
 	Reconfig   []jsonReconfig `json:"reconfig,omitempty"`
 	Churn      []jsonChurn    `json:"churn,omitempty"`
+	Snapshot   []jsonSnapshot `json:"snapshot,omitempty"`
 }
 
 func main() {
@@ -78,6 +80,7 @@ func main() {
 		ingestB    = flag.Bool("ingestbench", false, "run the ingest throughput benchmark (requests/sec, batched ServeBatch path vs per-request reference, all four trace scenarios)")
 		reconfigB  = flag.Bool("reconfig", false, "run the live-reconfiguration benchmark (failover, scale-out, brownout: reconfigure latency, req/s during churn, congestion vs a cold restart)")
 		churnB     = flag.Bool("churn", false, "run the adversarial churn benchmark (compound fault-injection scenarios, stop-the-world vs rolling reconfiguration ingest stalls, conservation checked)")
+		snapshotB  = flag.Bool("snapshot", false, "run the snapshot durability benchmark (crash-consistent snapshot latency, ingest stall, image size, restore-to-first-served-request)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
 	)
@@ -158,6 +161,14 @@ func main() {
 			fatal(err)
 		}
 	}
+	var snapshots []jsonSnapshot
+	if *snapshotB {
+		var err error
+		snapshots, err = runSnapshotBench(*quick, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	// The measured work is done: flush profiles before emitting output so
 	// the profile covers exactly the benchmark/experiment bodies.
@@ -193,6 +204,7 @@ func main() {
 			Ingest:     ingest,
 			Reconfig:   reconfig,
 			Churn:      churn,
+			Snapshot:   snapshots,
 		}); err != nil {
 			fatal(err)
 		}
@@ -222,6 +234,9 @@ func main() {
 		}
 		if len(churn) > 0 {
 			printChurnBench(churn)
+		}
+		if len(snapshots) > 0 {
+			printSnapshotBench(snapshots)
 		}
 	}
 	for _, r := range results {

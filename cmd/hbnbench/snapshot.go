@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hbn/internal/serve"
+	"hbn/internal/tree"
+)
+
+// The -snapshot benchmark measures the durability story's four costs on
+// every drifting trace scenario: how long a crash-consistent snapshot
+// takes end to end, how much of that the ingest path actually feels (the
+// consistent cut is taken under the write gate; the encode and disk write
+// happen after it is released), how large the image is, and how long a
+// cold process needs from Restore() to its first served request. Each
+// measurement is the best of a few repetitions — snapshots and restores
+// are deterministic, so the minimum is the run least disturbed by
+// scheduler noise.
+
+// jsonSnapshot is one scenario's durability measurements in -json mode.
+type jsonSnapshot struct {
+	Scenario string `json:"scenario"`
+	Requests int    `json:"requests"`
+	Shards   int    `json:"shards"`
+	Bytes    int64  `json:"snapshot_bytes"`
+	// SnapshotMS is the full Snapshot() call; CutStallMS is the slice of it
+	// that blocks ingest (the quiesced cut), EncodeMS and WriteMS the
+	// off-gate remainder.
+	SnapshotMS float64 `json:"snapshot_ms"`
+	CutStallMS float64 `json:"cut_stall_ms"`
+	EncodeMS   float64 `json:"encode_ms"`
+	WriteMS    float64 `json:"write_ms"`
+	// RestoreMS is restore-to-first-served-request: Restore() plus one
+	// ingested request on the recovered cluster.
+	RestoreMS float64 `json:"restore_ms"`
+}
+
+// runSnapshotBench snapshots and restores a warmed cluster on every trace
+// scenario.
+func runSnapshotBench(quick bool, seed int64) ([]jsonSnapshot, error) {
+	t := tree.SCICluster(8, 8, 32, 16)
+	requests := 200000
+	objects := 256
+	if quick {
+		requests = 20000
+		objects = 64
+	}
+	const shards = 8
+	const batch = 1024
+	dir, err := os.MkdirTemp("", "hbnbench-snapshot")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var out []jsonSnapshot
+	for i, sc := range serveScenarios() {
+		trace := sc.gen(rand.New(rand.NewSource(seed+int64(i))), t, objects, requests)
+		c, err := serve.NewCluster(t, objects, serve.Options{
+			Shards:        shards,
+			Threshold:     8,
+			EpochRequests: int64(requests / 4), // a few epochs' worth of solver state in the image
+		})
+		if err != nil {
+			return nil, fmt.Errorf("snapshot %s: %w", sc.name, err)
+		}
+		for lo := 0; lo < len(trace); lo += batch {
+			hi := lo + batch
+			if hi > len(trace) {
+				hi = len(trace)
+			}
+			if _, err := c.Ingest(trace[lo:hi]); err != nil {
+				return nil, fmt.Errorf("snapshot %s ingest: %w", sc.name, err)
+			}
+		}
+
+		const reps = 5
+		path := filepath.Join(dir, sc.name+".hbn")
+		js := jsonSnapshot{Scenario: sc.name, Requests: len(trace), Shards: shards}
+		for rep := 0; rep < reps; rep++ {
+			ss, err := c.Snapshot(path)
+			if err != nil {
+				return nil, fmt.Errorf("snapshot %s: %w", sc.name, err)
+			}
+			if rep == 0 || ms(ss.Elapsed) < js.SnapshotMS {
+				js.Bytes = ss.Bytes
+				js.SnapshotMS = ms(ss.Elapsed)
+				js.CutStallMS = ms(ss.CutStall)
+				js.EncodeMS = ms(ss.EncodeElapsed)
+				js.WriteMS = ms(ss.WriteElapsed)
+			}
+		}
+		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
+			r, _, err := serve.Restore(path, serve.RestoreOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("restore %s: %w", sc.name, err)
+			}
+			if _, err := r.Ingest(trace[:1]); err != nil {
+				return nil, fmt.Errorf("restore %s first request: %w", sc.name, err)
+			}
+			if d := ms(time.Since(start)); rep == 0 || d < js.RestoreMS {
+				js.RestoreMS = d
+			}
+			r.Close()
+		}
+		c.Close()
+		out = append(out, js)
+	}
+	return out, nil
+}
+
+// printSnapshotBench renders the -snapshot results as an aligned table.
+func printSnapshotBench(results []jsonSnapshot) {
+	fmt.Printf("snapshot durability: %d requests, %d shards (crash-consistent image, quiesced cut)\n",
+		results[0].Requests, results[0].Shards)
+	fmt.Printf("%-18s %10s %9s %9s %9s %9s %11s\n",
+		"scenario", "bytes", "snap-ms", "stall-ms", "enc-ms", "write-ms", "restore-ms")
+	for _, r := range results {
+		fmt.Printf("%-18s %10d %9.3f %9.3f %9.3f %9.3f %11.3f\n",
+			r.Scenario, r.Bytes, r.SnapshotMS, r.CutStallMS, r.EncodeMS, r.WriteMS, r.RestoreMS)
+	}
+}

@@ -137,6 +137,34 @@
 // `hbnbench -churn` drives compound fault scripts (cascading failovers,
 // flapping links, scale-out under a write storm) through both flavors
 // and checks the conservation invariants.
+//
+// # Durability
+//
+// A Cluster checkpoints its entire state — topology, per-object copy
+// sets, per-shard frequency trackers and load accounts, epoch counters
+// and solver arming — into a single versioned, checksummed snapshot
+// file, and a cold process restores it into a warm cluster whose
+// subsequent serving is bit-identical to the original's:
+//
+//	ss, err := cluster.Snapshot("/var/lib/hbn/cluster.hbn")
+//	// ss.CutStall is all the ingest path felt; encode + disk write
+//	// happened after the gate was released.
+//	...
+//	restored, info, err := hbn.Restore("/var/lib/hbn/cluster.hbn",
+//	    hbn.RestoreOptions{})
+//
+// Snapshot takes a consistent cut under the same write gate epochs and
+// reconfigurations use, so the ingest stall is bounded by the cut (a
+// few object table copies), not by the serialization or the disk. The
+// file is written crash-consistently — temp file, fsync, atomic rename,
+// with the previous generation retained — so a crash at any byte leaves
+// a recoverable state: Restore falls back from the primary to the
+// retained generation (RestoreInfo.Fallback) and reports typed
+// ErrSnapshotCorrupt / ErrNoSnapshot otherwise, never a torn cluster.
+// The crash-point sweep in internal/chaos proves this by injecting a
+// crash at every byte offset of the image while ingesters run.
+// `hbnbench -snapshot` measures snapshot latency, ingest stall, image
+// size and restore-to-first-served-request across the trace scenarios.
 package hbn
 
 import (
@@ -150,6 +178,7 @@ import (
 	"hbn/internal/ratio"
 	"hbn/internal/ring"
 	"hbn/internal/serve"
+	"hbn/internal/snapshot"
 	"hbn/internal/topo"
 	"hbn/internal/tree"
 	"hbn/internal/workload"
@@ -225,6 +254,14 @@ type (
 	Migration = topo.Migration
 	// ReconfigStats summarizes one Cluster.Reconfigure call.
 	ReconfigStats = serve.ReconfigStats
+	// SnapshotStats summarizes one Cluster.Snapshot call (image size, cut
+	// stall, encode and write times).
+	SnapshotStats = serve.SnapshotStats
+	// RestoreOptions choose the runtime shape (parallelism, background
+	// re-solving) of a restored Cluster.
+	RestoreOptions = serve.RestoreOptions
+	// RestoreInfo reports which snapshot generation a Restore recovered.
+	RestoreInfo = serve.RestoreInfo
 )
 
 // None is the sentinel "no node" value.
@@ -243,6 +280,14 @@ var (
 	ErrNoProcessors      = topo.ErrNoProcessors
 	ErrBadGraft          = topo.ErrBadGraft
 	ErrBadBandwidth      = topo.ErrBadBandwidth
+	// ErrClusterClosed: the operation raced with or followed Cluster.Close.
+	ErrClusterClosed = serve.ErrClosed
+	// ErrSnapshotCorrupt: the snapshot image failed its structural or
+	// checksum validation (truncated, bit-flipped, torn, or hostile).
+	ErrSnapshotCorrupt = snapshot.ErrCorrupt
+	// ErrNoSnapshot: neither the primary nor the retained generation
+	// exists at the given path.
+	ErrNoSnapshot = snapshot.ErrNoSnapshot
 )
 
 // Kind distinguishes processors (leaves) from buses (inner nodes), for
@@ -342,6 +387,15 @@ func NewOnline(t *Tree, numObjects, threshold int) *OnlineStrategy {
 // and EpochRequests: 0 a Cluster serves exactly like NewOnline.
 func NewCluster(t *Tree, numObjects int, opts ClusterOptions) (*Cluster, error) {
 	return serve.NewCluster(t, numObjects, opts)
+}
+
+// Restore recovers a Cluster from a snapshot written by Cluster.Snapshot,
+// falling back to the retained previous generation when the primary is
+// damaged or missing (see the package comment's Durability section). The
+// restored cluster serves bit-identically to the one that was
+// snapshotted; opts choose its runtime shape only.
+func Restore(path string, opts RestoreOptions) (*Cluster, *RestoreInfo, error) {
+	return serve.Restore(path, opts)
 }
 
 // ApplyDiff executes a topology diff against t: removals (whole subtrees

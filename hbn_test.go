@@ -1,7 +1,10 @@
 package hbn
 
 import (
+	"errors"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 	"testing/quick"
 )
@@ -229,5 +232,83 @@ func TestQuickSolveBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(13))}); err != nil {
 		t.Error(err)
+	}
+}
+
+// The public durability API: Snapshot checkpoints a live cluster,
+// Restore recovers a bit-identically-serving one, and corruption and
+// absence report the re-exported typed sentinels (the deep properties —
+// crash-point sweeps, exhaustive corruption rejection — live in
+// internal/snapshot, internal/serve and internal/chaos; this pins the
+// public surface).
+func TestPublicDurability(t *testing.T) {
+	tr, _ := buildExample(t)
+	c, err := NewCluster(tr, 2, ClusterOptions{Shards: 2, Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	leaves := tr.Leaves()
+	trace := []TraceEvent{
+		{Object: 0, Node: leaves[0]}, {Object: 0, Node: leaves[1]},
+		{Object: 1, Node: leaves[2]}, {Object: 1, Node: leaves[2], Write: true},
+	}
+	if _, err := c.Ingest(trace); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "cluster.hbn")
+	ss, err := c.Snapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Bytes <= 0 || ss.CutStall > ss.Elapsed {
+		t.Fatalf("implausible snapshot stats: %+v", ss)
+	}
+
+	r, info, err := Restore(path, RestoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if info.Fallback || info.Seq != ss.Seq {
+		t.Fatalf("restore info: %+v, want primary generation %d", info, ss.Seq)
+	}
+	if got, want := r.Stats(), c.Stats(); got != want {
+		t.Fatalf("restored stats %+v, want %+v", got, want)
+	}
+	ca, err := c.Ingest(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := r.Ingest(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != cb {
+		t.Fatalf("restored cluster served differently: cost %d vs %d", cb, ca)
+	}
+
+	// Typed sentinels through the public surface.
+	if _, _, err := Restore(filepath.Join(t.TempDir(), "void.hbn"), RestoreOptions{}); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("missing snapshot: %v, want ErrNoSnapshot", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	broken := filepath.Join(t.TempDir(), "broken.hbn")
+	if err := os.WriteFile(broken, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Restore(broken, RestoreOptions{}); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("corrupt snapshot: %v, want ErrSnapshotCorrupt", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(trace); !errors.Is(err, ErrClusterClosed) {
+		t.Fatalf("ingest after close: %v, want ErrClusterClosed", err)
 	}
 }

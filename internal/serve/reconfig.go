@@ -97,7 +97,7 @@ func (c *Cluster) Reconfigure(d topo.Diff) (ReconfigStats, error) {
 	c.closeMu.Lock()
 	defer c.closeMu.Unlock()
 	if c.closed.Load() {
-		return rs, errors.New("serve: cluster is closed")
+		return rs, ErrClosed
 	}
 	c.epochMu.Lock()
 	defer c.epochMu.Unlock()
@@ -173,7 +173,7 @@ func (c *Cluster) ReconfigureRolling(d topo.Diff) (ReconfigStats, error) {
 	c.epochMu.Lock()
 	defer c.epochMu.Unlock()
 	if c.closed.Load() {
-		return rs, errors.New("serve: cluster is closed")
+		return rs, ErrClosed
 	}
 	start := time.Now()
 
@@ -355,6 +355,8 @@ func (c *Cluster) finishReconfigLocked(rs *ReconfigStats, drifted int, congestio
 	c.stats.Drifted += int64(drifted)
 	c.stats.AdoptMoved += rs.Moved
 	c.stats.ResolveTime += rs.Elapsed
+	c.stats.DroppedLoad += rs.DroppedLoad
+	c.stats.DroppedServiceLoad += rs.DroppedServiceLoad
 	c.epochLog = append(c.epochLog, EpochStat{
 		Epoch:            c.stats.Epochs,
 		Requests:         c.served.Load(),

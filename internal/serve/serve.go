@@ -53,6 +53,12 @@ import (
 // Request is one online access (an alias of the canonical trace event).
 type Request = workload.TraceEvent
 
+// ErrClosed reports an operation on a cluster after Close. Accessors
+// (loads, stats, copies, snapshots) stay usable on a closed cluster; the
+// mutating paths — Ingest, ResolveNow, Reconfigure, ReconfigureRolling —
+// fail with an error satisfying errors.Is(err, ErrClosed).
+var ErrClosed = errors.New("serve: cluster is closed")
+
 // Options tune a Cluster.
 type Options struct {
 	// Shards is the number of object shards (and dynamic strategies)
@@ -121,6 +127,13 @@ type Stats struct {
 	Drifted     int64         // objects re-solved, summed over passes
 	AdoptMoved  int64         // adoption movement distance, summed (incl. migration)
 	ResolveTime time.Duration // total solver wall time (incl. migration solves)
+	// DroppedLoad / DroppedServiceLoad accumulate the per-reconfigure
+	// ReconfigStats ledger across the cluster's lifetime, closing the
+	// conservation equality Σ ServiceLoad + DroppedServiceLoad ==
+	// ServiceCost as an internal invariant — one that snapshots carry and
+	// the crash harness re-checks after every recovery.
+	DroppedLoad        int64
+	DroppedServiceLoad int64
 }
 
 type shard struct {
@@ -282,7 +295,8 @@ type Cluster struct {
 	nodesBuf   []tree.NodeID
 	stats      Stats
 	epochLog   []EpochStat
-	lastErr    error // most recent background pass failure
+	lastErr    error  // most recent background pass failure
+	snapSeq    uint64 // monotone snapshot sequence number (see Snapshot)
 
 	served  atomic.Int64
 	closed  atomic.Bool
@@ -406,7 +420,7 @@ func (c *Cluster) serveGated(batch []Request) (total int64, crossed bool, err er
 	c.closeMu.RLock()
 	defer c.closeMu.RUnlock()
 	if c.closed.Load() {
-		return 0, false, errors.New("serve: cluster is closed")
+		return 0, false, ErrClosed
 	}
 	for i := range batch {
 		r := &batch[i]
@@ -445,7 +459,7 @@ func (c *Cluster) serveGated(batch []Request) (total int64, crossed bool, err er
 // flush at trace end, and by tests).
 func (c *Cluster) ResolveNow() error {
 	if c.closed.Load() {
-		return errors.New("serve: cluster is closed")
+		return ErrClosed
 	}
 	return c.resolveEpoch()
 }

@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"hbn/internal/snapshot"
+	"hbn/internal/topo"
+	"hbn/internal/workload"
+)
+
+// compareClusters asserts two clusters are observationally identical:
+// stats, per-edge aggregate and service loads, every object's copy set,
+// and the epoch log. blankTimes strips wall-clock fields (meaningful when
+// the two clusters ran their epochs independently; at-cut comparisons
+// pass false because restore carries times verbatim).
+func compareClusters(t *testing.T, label string, a, b *Cluster, numObjects int, blankTimes bool) {
+	t.Helper()
+	sa, sb := a.Stats(), b.Stats()
+	if blankTimes {
+		sa.ResolveTime, sb.ResolveTime = 0, 0
+	}
+	if sa != sb {
+		t.Fatalf("%s: stats differ:\n  a: %+v\n  b: %+v", label, sa, sb)
+	}
+	if !reflect.DeepEqual(a.EdgeLoad(), b.EdgeLoad()) {
+		t.Fatalf("%s: edge loads differ", label)
+	}
+	if !reflect.DeepEqual(a.ServiceLoad(), b.ServiceLoad()) {
+		t.Fatalf("%s: service loads differ", label)
+	}
+	for x := 0; x < numObjects; x++ {
+		if !reflect.DeepEqual(a.Copies(x), b.Copies(x)) {
+			t.Fatalf("%s: object %d copies differ: %v vs %v", label, x, a.Copies(x), b.Copies(x))
+		}
+	}
+	la, lb := a.EpochLog(), b.EpochLog()
+	if blankTimes {
+		for i := range la {
+			la[i].ResolveNs = 0
+		}
+		for i := range lb {
+			lb[i].ResolveNs = 0
+		}
+	}
+	if !reflect.DeepEqual(la, lb) {
+		t.Fatalf("%s: epoch logs differ:\n  a: %+v\n  b: %+v", label, la, lb)
+	}
+}
+
+// Snapshot → Restore round-trips the identity across the topology zoo and
+// shard counts {1, 4, 64}: the restored cluster equals the source at the
+// cut point (stats, aggregate loads, adopted placements — times included,
+// they travel in the image), and serving the same trace suffix on both
+// keeps them bit-identical through further epoch passes.
+func TestSnapshotRestoreIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, tc := range testTrees(rng) {
+		for _, shards := range []int{1, 4, 64} {
+			t.Run(fmt.Sprintf("%s/shards=%d", tc.name, shards), func(t *testing.T) {
+				const objects = 48
+				trace := workload.DriftingZipf(rand.New(rand.NewSource(7)), tc.tr, objects, 6000, 4, 1.0, 0.07)
+				cut := 4000
+				c, err := NewCluster(tc.tr, objects, Options{
+					Shards: shards, EpochRequests: 900, Threshold: 3, DecayShift: 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ingestAll(t, c, trace[:cut], 256)
+
+				path := filepath.Join(t.TempDir(), "snap.hbn")
+				ss, err := c.Snapshot(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ss.Seq != 1 || ss.Bytes <= 0 {
+					t.Fatalf("bad snapshot stats: %+v", ss)
+				}
+
+				r, info, err := Restore(path, RestoreOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if info.Fallback || info.Seq != 1 {
+					t.Fatalf("bad restore info: %+v", info)
+				}
+				compareClusters(t, "at cut", c, r, objects, false)
+
+				// Same suffix on both: epoch passes, adoption decisions and
+				// threshold dynamics must all line up exactly.
+				ingestAll(t, c, trace[cut:], 256)
+				ingestAll(t, r, trace[cut:], 256)
+				if err := c.ResolveNow(); err != nil {
+					t.Fatal(err)
+				}
+				if err := r.ResolveNow(); err != nil {
+					t.Fatal(err)
+				}
+				compareClusters(t, "after suffix", c, r, objects, true)
+			})
+		}
+	}
+}
+
+// A snapshot of the restored cluster is byte-identical to a fresh
+// snapshot of the source: the capture itself is deterministic, so
+// generation N+1 of a restored lineage matches what the original would
+// have written.
+func TestSnapshotOfRestoreIsByteIdentical(t *testing.T) {
+	tr := testTrees(rand.New(rand.NewSource(3)))[3].tr // sci
+	const objects = 32
+	trace := workload.DriftingZipf(rand.New(rand.NewSource(5)), tr, objects, 3000, 3, 1.0, 0.05)
+	c, err := NewCluster(tr, objects, Options{Shards: 4, EpochRequests: 700, Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, c, trace, 256)
+
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.hbn")
+	if _, err := c.Snapshot(p1); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := Restore(p1, RestoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := filepath.Join(dir, "b.hbn")
+	p3 := filepath.Join(dir, "c.hbn")
+	if _, err := c.Snapshot(p2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Snapshot(p3); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := os.ReadFile(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b2, b3) {
+		t.Fatalf("snapshots of source and restored cluster differ (%d vs %d bytes)", len(b2), len(b3))
+	}
+}
+
+// The ingest stall is bounded by the in-memory cut, not the disk write:
+// the BeforeWrite hook runs after the gate is released, so an Ingest call
+// issued from inside it must succeed (it would deadlock forever if the
+// gate were still held), and the measured CutStall stays far below a
+// WriteElapsed inflated by the hook's sleep.
+func TestSnapshotStall(t *testing.T) {
+	tr := testTrees(rand.New(rand.NewSource(3)))[3].tr
+	const objects = 32
+	trace := workload.DriftingZipf(rand.New(rand.NewSource(5)), tr, objects, 3000, 3, 1.0, 0.05)
+	c, err := NewCluster(tr, objects, Options{Shards: 4, EpochRequests: 700, Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, c, trace[:2000], 256)
+
+	const sleep = 40 * time.Millisecond
+	var hookErr error
+	hooked := false
+	ss, err := c.SnapshotWith(filepath.Join(t.TempDir(), "snap.hbn"), snapshot.SaveOptions{
+		BeforeWrite: func() {
+			hooked = true
+			_, hookErr = c.Ingest(trace[2000:2200])
+			time.Sleep(sleep)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hooked {
+		t.Fatal("BeforeWrite hook did not run")
+	}
+	if hookErr != nil {
+		t.Fatalf("ingest during the disk write failed: %v", hookErr)
+	}
+	if ss.WriteElapsed < sleep {
+		t.Fatalf("WriteElapsed %v should include the %v hook sleep", ss.WriteElapsed, sleep)
+	}
+	if ss.CutStall >= ss.WriteElapsed {
+		t.Fatalf("cut stall %v not bounded below the write %v", ss.CutStall, ss.WriteElapsed)
+	}
+	// The hook's requests landed after the cut: they are not in the image.
+	r, _, err := Restore(filepath.Join(t.TempDir(), "nope"), RestoreOptions{})
+	if err == nil {
+		r.Close()
+		t.Fatal("restore of a missing path succeeded")
+	}
+}
+
+// Snapshot and reconfiguration exclude each other through the same
+// fail-fast flag: a snapshot attempted mid-roll and a reconfiguration
+// attempted mid-snapshot both return ErrReconfigInProgress.
+func TestSnapshotReconfigMutualExclusion(t *testing.T) {
+	tr := testTrees(rand.New(rand.NewSource(3)))[3].tr
+	const objects = 32
+	trace := workload.DriftingZipf(rand.New(rand.NewSource(5)), tr, objects, 2000, 2, 1.0, 0.05)
+	dir := t.TempDir()
+
+	t.Run("snapshot during roll", func(t *testing.T) {
+		c, err := NewCluster(tr, objects, Options{Shards: 4, EpochRequests: 500, Threshold: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ingestAll(t, c, trace, 256)
+		var rollErr error
+		c.rollHook = func(migrated int) {
+			if migrated == 1 {
+				_, rollErr = c.Snapshot(filepath.Join(dir, "mid.hbn"))
+			}
+		}
+		if _, err := c.ReconfigureRolling(topo.Diff{}); err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(rollErr, ErrReconfigInProgress) {
+			t.Fatalf("snapshot mid-roll: got %v, want ErrReconfigInProgress", rollErr)
+		}
+	})
+
+	t.Run("reconfigure during snapshot", func(t *testing.T) {
+		c, err := NewCluster(tr, objects, Options{Shards: 4, EpochRequests: 500, Threshold: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ingestAll(t, c, trace, 256)
+		var recErr error
+		_, err = c.SnapshotWith(filepath.Join(dir, "snap.hbn"), snapshot.SaveOptions{
+			BeforeWrite: func() { _, recErr = c.Reconfigure(topo.Diff{}) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(recErr, ErrReconfigInProgress) {
+			t.Fatalf("reconfigure mid-snapshot: got %v, want ErrReconfigInProgress", recErr)
+		}
+	})
+}
+
+// Restore walks the generation ladder: a damaged primary falls back to
+// the retained previous generation; with both generations unusable the
+// typed errors distinguish "never written" from "written and damaged".
+func TestRestoreFallbackLadder(t *testing.T) {
+	tr := testTrees(rand.New(rand.NewSource(3)))[3].tr
+	const objects = 32
+	trace := workload.DriftingZipf(rand.New(rand.NewSource(5)), tr, objects, 3000, 3, 1.0, 0.05)
+	c, err := NewCluster(tr, objects, Options{Shards: 4, EpochRequests: 700, Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.hbn")
+
+	ingestAll(t, c, trace[:1500], 256)
+	if _, err := c.Snapshot(path); err != nil { // seq 1 → primary
+		t.Fatal(err)
+	}
+	ingestAll(t, c, trace[1500:], 256)
+	if _, err := c.Snapshot(path); err != nil { // seq 2 → primary, seq 1 → prev
+		t.Fatal(err)
+	}
+
+	// Bit-flip the primary: restore lands on generation 1.
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), img...)
+	bad[len(bad)/2] ^= 0x01
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, info, err := Restore(path, RestoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Fallback || info.Seq != 1 || info.Path != snapshot.PrevPath(path) {
+		t.Fatalf("bad fallback info: %+v", info)
+	}
+	if r.SnapshotSeq() != 1 {
+		t.Fatalf("restored seq %d, want 1", r.SnapshotSeq())
+	}
+
+	// Both generations damaged: typed corruption, never a panic.
+	if err := os.WriteFile(snapshot.PrevPath(path), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Restore(path, RestoreOptions{}); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("both damaged: got %v, want ErrCorrupt", err)
+	}
+
+	// Nothing ever written: ErrNoSnapshot (the fresh-start signal).
+	if _, _, err := Restore(filepath.Join(t.TempDir(), "never.hbn"), RestoreOptions{}); !errors.Is(err, snapshot.ErrNoSnapshot) {
+		t.Fatalf("missing both: got %v, want ErrNoSnapshot", err)
+	}
+}
+
+// The mutating entry points of a closed cluster all fail with the typed
+// ErrClosed sentinel (satellite: replaces the old ad-hoc errors).
+func TestClosedTypedErrors(t *testing.T) {
+	tr := testTrees(rand.New(rand.NewSource(3)))[0].tr
+	c, err := NewCluster(tr, 8, Options{Shards: 2, Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	leaves := tr.Leaves()
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"Ingest", func() error { _, err := c.Ingest([]Request{{Object: 0, Node: leaves[0]}}); return err }},
+		{"ResolveNow", func() error { return c.ResolveNow() }},
+		{"Reconfigure", func() error { _, err := c.Reconfigure(topo.Diff{}); return err }},
+		{"ReconfigureRolling", func() error { _, err := c.ReconfigureRolling(topo.Diff{}); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.call(); !errors.Is(err, ErrClosed) {
+				t.Fatalf("got %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// A closed cluster can still be snapshotted — the shutdown-for-handoff
+// sequence: Close, Snapshot, Restore elsewhere, continue serving.
+func TestSnapshotAfterClose(t *testing.T) {
+	tr := testTrees(rand.New(rand.NewSource(3)))[3].tr
+	const objects = 32
+	trace := workload.DriftingZipf(rand.New(rand.NewSource(5)), tr, objects, 3000, 3, 1.0, 0.05)
+	c, err := NewCluster(tr, objects, Options{Shards: 4, EpochRequests: 700, Threshold: 3, Background: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, c, trace[:2000], 256)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.hbn")
+	if _, err := c.Snapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := Restore(path, RestoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareClusters(t, "handoff", c, r, objects, false)
+	ingestAll(t, r, trace[2000:], 256) // the successor serves on
+	if r.Stats().Requests != int64(len(trace)) {
+		t.Fatalf("successor served %d of %d", r.Stats().Requests, len(trace))
+	}
+}

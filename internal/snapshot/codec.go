@@ -1,0 +1,522 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+
+	"hbn/internal/dynamic"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// Header layout: magic(8) + version(4) + bodyLen(8); trailer: crc(4).
+const (
+	magic      = "HBNSNAP1"
+	version    = 1
+	headerSize = len(magic) + 4 + 8
+	crcSize    = 4
+	// maxCells bounds the decoded workload dimensions (objects × nodes),
+	// the same guard workload.Decode applies: a forged count must not be
+	// able to demand a huge dense allocation before validation.
+	maxCells = 1 << 26
+)
+
+// enc is the append-only body encoder.
+type enc struct{ b []byte }
+
+func (e *enc) uvarint(v uint64)  { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) varint(v int64)    { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) byte(v byte)       { e.b = append(e.b, v) }
+func (e *enc) f64(v float64)     { e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v)) }
+func (e *enc) bytes(p []byte) {
+	e.uvarint(uint64(len(p)))
+	e.b = append(e.b, p...)
+}
+
+// workload writes w as a sparse (object, node, reads, writes) list; the
+// dimensions are implied by the surrounding state (NumObjects × tree
+// nodes), so they cannot disagree with it.
+func (e *enc) workload(w *workload.W) {
+	cells := 0
+	for x := 0; x < w.NumObjects(); x++ {
+		for _, a := range w.Row(x) {
+			if a.Reads != 0 || a.Writes != 0 {
+				cells++
+			}
+		}
+	}
+	e.uvarint(uint64(cells))
+	for x := 0; x < w.NumObjects(); x++ {
+		for v, a := range w.Row(x) {
+			if a.Reads != 0 || a.Writes != 0 {
+				e.uvarint(uint64(x))
+				e.uvarint(uint64(v))
+				e.uvarint(uint64(a.Reads))
+				e.uvarint(uint64(a.Writes))
+			}
+		}
+	}
+}
+
+// Encode serializes st into a complete snapshot image (header + body +
+// checksum), ready for WriteFile.
+func Encode(st *State) []byte {
+	e := &enc{}
+	e.uvarint(st.Seq)
+	e.uvarint(uint64(st.NumObjects))
+	e.uvarint(uint64(len(st.ShardStates)))
+	e.varint(int64(st.Threshold))
+	e.varint(st.EpochRequests)
+	e.uvarint(uint64(st.DecayShift))
+	var flags byte
+	if st.Unbatched {
+		flags |= 1
+	}
+	if st.Solved {
+		flags |= 2
+	}
+	e.byte(flags)
+	e.varint(st.Served)
+	e.varint(st.Epochs)
+	e.varint(st.Reconfigs)
+	e.varint(st.DriftedTotal)
+	e.varint(st.AdoptMoved)
+	e.varint(st.ResolveTimeNs)
+	e.varint(st.DroppedLoad)
+	e.varint(st.DroppedServiceLoad)
+
+	var tb bytes.Buffer
+	if err := tree.Encode(&tb, st.Tree); err != nil {
+		// The tree came out of a live cluster; its codec round-trips by
+		// construction. Failing to serialize it is a programming error.
+		panic("snapshot: tree encode: " + err.Error())
+	}
+	e.bytes(tb.Bytes())
+
+	e.workload(st.SolverW)
+	e.workload(st.PrevW)
+
+	e.uvarint(uint64(len(st.EpochLog)))
+	for _, r := range st.EpochLog {
+		e.varint(r.Epoch)
+		e.varint(r.Requests)
+		e.uvarint(uint64(r.Drifted))
+		e.varint(r.Moved)
+		e.f64(r.StaticCongestion)
+		e.varint(r.MaxEdgeLoad)
+		e.varint(r.ResolveNs)
+	}
+
+	for i := range st.ShardStates {
+		ss := &st.ShardStates[i]
+		for _, l := range ss.EdgeLoad {
+			e.varint(l)
+		}
+		for _, l := range ss.MoveLoad {
+			e.varint(l)
+		}
+		e.varint(ss.Requests)
+		e.varint(ss.Cost)
+		e.workload(ss.TrackerW)
+		e.uvarint(uint64(len(ss.Drift)))
+		for _, x := range ss.Drift {
+			e.uvarint(uint64(x))
+		}
+	}
+
+	for i := range st.Objects {
+		o := &st.Objects[i]
+		var f byte
+		if o.Present {
+			f |= 1
+		}
+		if o.TableValid {
+			f |= 2
+		}
+		e.byte(f)
+		if !o.Present {
+			continue
+		}
+		e.uvarint(uint64(len(o.Copies)))
+		for _, v := range o.Copies {
+			e.uvarint(uint64(v))
+		}
+		if o.TableValid {
+			for _, v := range o.Nearest {
+				e.uvarint(uint64(v))
+			}
+			for _, d := range o.NDist {
+				e.uvarint(uint64(d))
+			}
+		} else {
+			e.uvarint(uint64(o.AnchorTop))
+		}
+		e.uvarint(uint64(len(o.Counters)))
+		for _, ec := range o.Counters {
+			e.uvarint(uint64(ec.Edge))
+			e.uvarint(uint64(ec.Count))
+		}
+	}
+
+	body := e.b
+	out := make([]byte, 0, headerSize+len(body)+crcSize)
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint32(out, version)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(body)))
+	out = append(out, body...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
+	return out
+}
+
+// dec is the sticky-error body decoder. Every count it trusts is first
+// bounded by the bytes that remain (each encoded element is at least one
+// byte), so corrupt input cannot demand allocations larger than itself.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = corrupt(format, args...)
+	}
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// nonneg reads a varint that must be >= 0.
+func (d *dec) nonneg(what string) int64 {
+	v := d.varint()
+	if v < 0 {
+		d.fail("negative %s %d", what, v)
+	}
+	return v
+}
+
+func (d *dec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+// count reads an element count and rejects it unless it fits both the
+// caller's cap and the remaining body bytes (every encoded element is at
+// least one byte, so a count larger than the remainder is forged).
+func (d *dec) count(max int, what string) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(max) || v > uint64(len(d.b)) {
+		d.fail("%s count %d out of range", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+// val reads a plain non-negative value bounded by max (no remaining-bytes
+// cap: values, unlike counts, do not imply further bytes).
+func (d *dec) val(max int64, what string) int64 {
+	v := d.uvarint()
+	if d.err == nil && v > uint64(max) {
+		d.fail("%s %d out of range", what, v)
+		return 0
+	}
+	return int64(v)
+}
+
+// id reads a node/edge/object index bounded by n.
+func (d *dec) id(n int, what string) int {
+	v := d.uvarint()
+	if d.err == nil && v >= uint64(n) {
+		d.fail("%s %d out of range [0,%d)", what, v, n)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *dec) bytes(what string) []byte {
+	n := d.count(len(d.b), what)
+	if d.err != nil {
+		return nil
+	}
+	p := d.b[:n]
+	d.b = d.b[n:]
+	return p
+}
+
+func (d *dec) workload(objects, nodes int) *workload.W {
+	w := workload.New(objects, nodes)
+	n := d.count(len(d.b), "workload cell")
+	for i := 0; i < n && d.err == nil; i++ {
+		x := d.id(objects, "workload object")
+		v := d.id(nodes, "workload node")
+		r := d.uvarint()
+		wr := d.uvarint()
+		if r > math.MaxInt64 || wr > math.MaxInt64 {
+			d.fail("workload frequency overflow")
+		}
+		if d.err == nil {
+			w.Set(x, tree.NodeID(v), workload.Access{Reads: int64(r), Writes: int64(wr)})
+		}
+	}
+	return w
+}
+
+func (d *dec) loads(n int, what string) []int64 {
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.nonneg(what)
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// Decode parses and verifies a complete snapshot image. All failures wrap
+// ErrCorrupt; Decode never panics and never allocates more than a small
+// multiple of len(data) regardless of what the length prefixes claim.
+func Decode(data []byte) (*State, error) {
+	if len(data) < headerSize+crcSize {
+		return nil, corrupt("file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, corrupt("bad magic")
+	}
+	off := len(magic)
+	ver := binary.LittleEndian.Uint32(data[off:])
+	if ver != version {
+		return nil, corrupt("unsupported version %d", ver)
+	}
+	bodyLen := binary.LittleEndian.Uint64(data[off+4:])
+	if bodyLen != uint64(len(data)-headerSize-crcSize) {
+		return nil, corrupt("length prefix %d does not match %d body bytes (torn write?)",
+			bodyLen, len(data)-headerSize-crcSize)
+	}
+	body := data[headerSize : headerSize+int(bodyLen)]
+	want := binary.LittleEndian.Uint32(data[headerSize+int(bodyLen):])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, corrupt("checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return decodeBody(body)
+}
+
+func decodeBody(body []byte) (*State, error) {
+	d := &dec{b: body}
+	st := &State{}
+	st.Seq = d.uvarint()
+	numObjects := d.count(math.MaxInt32, "object")
+	nshards := d.count(math.MaxInt32, "shard")
+	st.NumObjects = numObjects
+	st.Threshold = int(d.varint())
+	st.EpochRequests = d.varint()
+	st.DecayShift = uint32(d.val(63, "decay shift"))
+	flags := d.byte()
+	if flags&^byte(3) != 0 {
+		d.fail("unknown state flags %#x", flags)
+	}
+	st.Unbatched = flags&1 != 0
+	st.Solved = flags&2 != 0
+	st.Served = d.nonneg("served count")
+	st.Epochs = d.nonneg("epoch count")
+	st.Reconfigs = d.nonneg("reconfig count")
+	st.DriftedTotal = d.nonneg("drift total")
+	st.AdoptMoved = d.nonneg("adoption distance")
+	st.ResolveTimeNs = d.nonneg("resolve time")
+	st.DroppedLoad = d.nonneg("dropped load")
+	st.DroppedServiceLoad = d.nonneg("dropped service load")
+	if nshards < 1 {
+		d.fail("no shards")
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+
+	tb := d.bytes("tree blob")
+	if d.err != nil {
+		return nil, d.err
+	}
+	t, err := tree.Decode(bytes.NewReader(tb))
+	if err != nil {
+		return nil, corrupt("tree: %v", err)
+	}
+	if err := t.ValidateHBN(); err != nil {
+		return nil, corrupt("tree: %v", err)
+	}
+	st.Tree = t
+	nodes, edges := t.Len(), t.NumEdges()
+	if nodes > 0 && numObjects > maxCells/nodes {
+		return nil, corrupt("dimensions %d×%d exceed the %d-cell limit", numObjects, nodes, maxCells)
+	}
+
+	st.SolverW = d.workload(numObjects, nodes)
+	st.PrevW = d.workload(numObjects, nodes)
+
+	nlog := d.count(len(d.b), "epoch log")
+	if d.err == nil {
+		st.EpochLog = make([]EpochRec, nlog)
+		for i := range st.EpochLog {
+			r := &st.EpochLog[i]
+			r.Epoch = d.varint()
+			r.Requests = d.varint()
+			r.Drifted = int(d.val(math.MaxInt32, "epoch drift"))
+			r.Moved = d.varint()
+			r.StaticCongestion = d.f64()
+			r.MaxEdgeLoad = d.varint()
+			r.ResolveNs = d.varint()
+			if d.err != nil {
+				break
+			}
+		}
+	}
+
+	if d.err == nil {
+		st.ShardStates = make([]ShardState, nshards)
+		for i := range st.ShardStates {
+			ss := &st.ShardStates[i]
+			ss.EdgeLoad = d.loads(edges, "edge load")
+			ss.MoveLoad = d.loads(edges, "move load")
+			for e := range ss.MoveLoad {
+				if d.err == nil && ss.MoveLoad[e] > ss.EdgeLoad[e] {
+					d.fail("shard %d edge %d: move load %d exceeds edge load %d",
+						i, e, ss.MoveLoad[e], ss.EdgeLoad[e])
+				}
+			}
+			ss.Requests = d.nonneg("shard requests")
+			ss.Cost = d.nonneg("shard cost")
+			ss.TrackerW = d.workload(numObjects, nodes)
+			nd := d.count(numObjects, "drift queue")
+			if d.err != nil {
+				break
+			}
+			ss.Drift = make([]int, nd)
+			for j := range ss.Drift {
+				ss.Drift[j] = d.id(numObjects, "drifted object")
+			}
+			if d.err != nil {
+				break
+			}
+		}
+	}
+
+	if d.err == nil {
+		if numObjects > len(d.b) {
+			// Every object record is at least its one flags byte.
+			d.fail("object section shorter than %d objects", numObjects)
+		}
+	}
+	if d.err == nil {
+		st.Objects = make([]dynamic.ObjectState, numObjects)
+		for i := range st.Objects {
+			o := &st.Objects[i]
+			f := d.byte()
+			if f&^byte(3) != 0 {
+				d.fail("object %d: unknown flags %#x", i, f)
+			}
+			if d.err != nil {
+				break
+			}
+			if f&1 == 0 {
+				if f&2 != 0 {
+					d.fail("object %d: table without presence", i)
+					break
+				}
+				continue
+			}
+			o.Present = true
+			o.TableValid = f&2 != 0
+			nc := d.count(nodes, "copy")
+			if d.err != nil {
+				break
+			}
+			o.Copies = make([]tree.NodeID, nc)
+			for j := range o.Copies {
+				o.Copies[j] = tree.NodeID(d.id(nodes, "copy node"))
+			}
+			if o.TableValid {
+				o.Nearest = make([]tree.NodeID, nodes)
+				for j := range o.Nearest {
+					o.Nearest[j] = tree.NodeID(d.id(nodes, "nearest node"))
+				}
+				o.NDist = make([]int32, nodes)
+				for j := range o.NDist {
+					o.NDist[j] = int32(d.val(math.MaxInt32, "nearest distance"))
+				}
+			} else {
+				o.AnchorTop = tree.NodeID(d.id(nodes, "anchor"))
+			}
+			nk := d.count(edges, "counter")
+			if d.err != nil {
+				break
+			}
+			o.Counters = make([]dynamic.EdgeCounter, nk)
+			for j := range o.Counters {
+				o.Counters[j] = dynamic.EdgeCounter{
+					Edge:  tree.EdgeID(d.id(edges, "counter edge")),
+					Count: int32(d.val(math.MaxInt32, "counter value")),
+				}
+			}
+			if d.err != nil {
+				break
+			}
+		}
+	}
+
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, corrupt("%d trailing bytes", len(d.b))
+	}
+	return st, nil
+}

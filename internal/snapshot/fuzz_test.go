@@ -1,0 +1,43 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzSnapshotDecode feeds the decoder real snapshot images plus
+// truncations, bit-flips and junk. The contract under attack: corrupt
+// input is rejected with ErrCorrupt (never a panic, never an allocation
+// larger than a small multiple of the input — hostile length prefixes and
+// counts are capped before they are trusted), and anything Decode does
+// accept re-encodes canonically (Encode∘Decode is idempotent).
+func FuzzSnapshotDecode(f *testing.F) {
+	img := Encode(mkState(3))
+	f.Add(img)
+	f.Add(img[:len(img)/2])
+	f.Add(img[:headerSize])
+	flipped := bytes.Clone(img)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("HBNSNAP1 not really"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-typed decode error: %v", err)
+			}
+			return
+		}
+		re := Encode(st)
+		st2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded image does not decode: %v", err)
+		}
+		if !bytes.Equal(re, Encode(st2)) {
+			t.Fatalf("encode not idempotent")
+		}
+	})
+}

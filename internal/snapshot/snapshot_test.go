@@ -1,0 +1,310 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hbn/internal/dynamic"
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// mkState hand-builds a state that exercises every section of the codec:
+// sparse workloads, an epoch log, two shards with loads and drift queues,
+// and objects in all three modes (absent, anchored, table-backed).
+func mkState(seq uint64) *State {
+	tr := tree.SCICluster(2, 3, 16, 8)
+	n, ne := tr.Len(), tr.NumEdges()
+	leaves := tr.Leaves()
+	const objects = 4
+
+	sw := workload.New(objects, n)
+	sw.AddReads(0, leaves[0], 7)
+	sw.AddWrites(1, leaves[1], 3)
+	sw.AddReads(3, leaves[2], 1)
+	pw := workload.New(objects, n)
+	pw.AddReads(0, leaves[0], 5)
+	tw0 := workload.New(objects, n)
+	tw0.AddReads(0, leaves[0], 7)
+	tw1 := workload.New(objects, n)
+	tw1.AddWrites(1, leaves[1], 3)
+
+	nearest := make([]tree.NodeID, n)
+	ndist := make([]int32, n)
+	for v := range nearest {
+		nearest[v] = leaves[0]
+		ndist[v] = int32(v % 5)
+	}
+	nearest[leaves[1]] = leaves[1]
+
+	return &State{
+		Seq:           seq,
+		Tree:          tr,
+		NumObjects:    objects,
+		EpochRequests: 400,
+		Threshold:     3,
+		DecayShift:    1,
+		Unbatched:     false,
+		Solved:        true,
+		Served:        1500,
+		Epochs:        3,
+		Reconfigs:     1,
+		DriftedTotal:  9,
+		AdoptMoved:    17,
+		ResolveTimeNs: 123456,
+		DroppedLoad:   11, DroppedServiceLoad: 7,
+		EpochLog: []EpochRec{
+			{Epoch: 1, Requests: 400, Drifted: 3, Moved: 6, StaticCongestion: 1.25, MaxEdgeLoad: 40, ResolveNs: 1000},
+			{Epoch: 2, Requests: 800, Drifted: 2, Moved: 0, StaticCongestion: 0.5, MaxEdgeLoad: 55, ResolveNs: 900},
+		},
+		SolverW: sw,
+		PrevW:   pw,
+		ShardStates: []ShardState{
+			{EdgeLoad: seqLoads(ne, 3), MoveLoad: seqLoads(ne, 1), Requests: 700, Cost: 900, TrackerW: tw0, Drift: []int{0, 2}},
+			{EdgeLoad: seqLoads(ne, 2), MoveLoad: make([]int64, ne), Requests: 800, Cost: 1100, TrackerW: tw1, Drift: []int{3}},
+		},
+		Objects: []dynamic.ObjectState{
+			{}, // untouched
+			{Present: true, Copies: []tree.NodeID{leaves[0]}, AnchorTop: leaves[0],
+				Counters: []dynamic.EdgeCounter{{Edge: 0, Count: 2}, {Edge: tree.EdgeID(ne - 1), Count: 1}}},
+			{Present: true, Copies: []tree.NodeID{leaves[0], leaves[1]}, TableValid: true,
+				Nearest: nearest, NDist: ndist},
+			{Present: true, Copies: []tree.NodeID{leaves[2]}, AnchorTop: leaves[2]},
+		},
+	}
+}
+
+// seqLoads builds a deterministic non-negative load vector with every
+// entry >= base (so MoveLoad <= EdgeLoad holds between two calls with
+// different bases).
+func seqLoads(n int, base int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i%4)*base
+	}
+	return out
+}
+
+// Decode(Encode(st)) reproduces the image byte-for-byte: the encoding is
+// canonical, so a second encode is the identity on anything Decode
+// accepted.
+func TestCodecRoundTrip(t *testing.T) {
+	data := Encode(mkState(42))
+	st, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if st.Seq != 42 || st.NumObjects != 4 || len(st.ShardStates) != 2 || st.Served != 1500 {
+		t.Fatalf("decoded meta wrong: %+v", st)
+	}
+	again := Encode(st)
+	if !bytes.Equal(data, again) {
+		t.Fatalf("re-encode differs: %d vs %d bytes", len(data), len(again))
+	}
+	if st.Tree.Len() != mkState(42).Tree.Len() {
+		t.Fatalf("tree size changed")
+	}
+}
+
+// Every truncation of a valid image is rejected with ErrCorrupt — torn
+// writes can cut the stream at any byte.
+func TestDecodeRejectsEveryTruncation(t *testing.T) {
+	data := Encode(mkState(7))
+	for n := 0; n < len(data); n++ {
+		if _, err := Decode(data[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+// Every single-bit flip anywhere in the image is rejected: header damage
+// by the magic/version/length checks, body damage by the checksum, CRC
+// damage by the mismatch itself.
+func TestDecodeRejectsEveryBitFlip(t *testing.T) {
+	data := Encode(mkState(7))
+	buf := make([]byte, len(data))
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			copy(buf, data)
+			buf[i] ^= 1 << bit
+			if _, err := Decode(buf); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flip byte %d bit %d: got %v, want ErrCorrupt", i, bit, err)
+			}
+		}
+	}
+}
+
+// Hostile headers must fail fast without large allocations: the length
+// prefix is validated against the actual file size before anything trusts
+// it, and section counts are bounded by the bytes that remain.
+func TestDecodeRejectsHostileHeaders(t *testing.T) {
+	good := Encode(mkState(7))
+	huge := make([]byte, len(good))
+	copy(huge, good)
+	binary.LittleEndian.PutUint64(huge[len(magic)+4:], 1<<60) // forged bodyLen
+
+	badVersion := make([]byte, len(good))
+	copy(badVersion, good)
+	binary.LittleEndian.PutUint32(badVersion[len(magic):], 99)
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"short":          good[:headerSize+crcSize-1],
+		"bad magic":      append([]byte("NOTASNAP"), good[len(magic):]...),
+		"forged length":  huge,
+		"future version": badVersion,
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// WriteFile's crash points leave the file system exactly as a kill at
+// that instant would, and ReadLadder always recovers the last durable
+// generation.
+func TestWriteFileCrashSemantics(t *testing.T) {
+	newDir := func() (dir, path string) {
+		dir = t.TempDir()
+		return dir, filepath.Join(dir, "snap.hbn")
+	}
+
+	t.Run("during write, no prior generation", func(t *testing.T) {
+		_, path := newDir()
+		img := Encode(mkState(1))
+		for _, cut := range []int64{0, 1, int64(len(img) / 2), int64(len(img) - 1), int64(len(img)), int64(len(img)) + 50} {
+			err := WriteFile(path, img, SaveOptions{Crash: CrashDuringWrite, CrashAfter: cut})
+			if !errors.Is(err, ErrInjectedCrash) {
+				t.Fatalf("cut %d: got %v, want ErrInjectedCrash", cut, err)
+			}
+			if _, _, err := ReadLadder(path); !errors.Is(err, ErrNoSnapshot) {
+				t.Fatalf("cut %d: ladder got %v, want ErrNoSnapshot", cut, err)
+			}
+		}
+	})
+
+	t.Run("during write, prior generation survives", func(t *testing.T) {
+		_, path := newDir()
+		if err := WriteFile(path, Encode(mkState(1)), SaveOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		img2 := Encode(mkState(2))
+		for _, cut := range []int64{0, int64(len(img2) / 3), int64(len(img2))} {
+			if err := WriteFile(path, img2, SaveOptions{Crash: CrashDuringWrite, CrashAfter: cut}); !errors.Is(err, ErrInjectedCrash) {
+				t.Fatalf("cut %d: %v", cut, err)
+			}
+			st, from, err := ReadLadder(path)
+			if err != nil || st.Seq != 1 || from != path {
+				t.Fatalf("cut %d: recovered seq %d from %q, err %v; want seq 1 from primary", cut, st.Seq, from, err)
+			}
+		}
+	})
+
+	t.Run("before rename keeps the primary", func(t *testing.T) {
+		_, path := newDir()
+		if err := WriteFile(path, Encode(mkState(1)), SaveOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFile(path, Encode(mkState(2)), SaveOptions{Crash: CrashBeforeRename}); !errors.Is(err, ErrInjectedCrash) {
+			t.Fatal(err)
+		}
+		st, from, err := ReadLadder(path)
+		if err != nil || st.Seq != 1 || from != path {
+			t.Fatalf("recovered seq %d from %q, err %v", st.Seq, from, err)
+		}
+	})
+
+	t.Run("between renames falls back to prev", func(t *testing.T) {
+		_, path := newDir()
+		if err := WriteFile(path, Encode(mkState(1)), SaveOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFile(path, Encode(mkState(2)), SaveOptions{Crash: CrashBetweenRenames}); !errors.Is(err, ErrInjectedCrash) {
+			t.Fatal(err)
+		}
+		st, from, err := ReadLadder(path)
+		if err != nil || st.Seq != 1 || from != PrevPath(path) {
+			t.Fatalf("recovered seq %d from %q, err %v; want seq 1 from prev", st.Seq, from, err)
+		}
+		// The next successful snapshot heals the ladder.
+		if err := WriteFile(path, Encode(mkState(3)), SaveOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		st, from, err = ReadLadder(path)
+		if err != nil || st.Seq != 3 || from != path {
+			t.Fatalf("after heal: seq %d from %q, err %v", st.Seq, from, err)
+		}
+	})
+
+	t.Run("generations rotate", func(t *testing.T) {
+		_, path := newDir()
+		for seq := uint64(1); seq <= 3; seq++ {
+			if err := WriteFile(path, Encode(mkState(seq)), SaveOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st, _, err := ReadLadder(path)
+		if err != nil || st.Seq != 3 {
+			t.Fatalf("primary seq %d, err %v", st.Seq, err)
+		}
+		prev, err := ReadFile(PrevPath(path))
+		if err != nil || prev.Seq != 2 {
+			t.Fatalf("prev seq %d, err %v", prev.Seq, err)
+		}
+	})
+}
+
+// The recovery ladder's terminal states: both generations missing is
+// ErrNoSnapshot (fresh start); anything present but unusable is
+// ErrCorrupt (cold-solve fallback, and worry).
+func TestReadLadderTerminalStates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.hbn")
+
+	if _, _, err := ReadLadder(path); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("missing both: %v", err)
+	}
+
+	img := Encode(mkState(1))
+	if err := WriteFile(path, img, SaveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, img[:len(img)-3], 0o644); err != nil { // truncate the primary
+		t.Fatal(err)
+	}
+	if _, _, err := ReadLadder(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt primary, no prev: %v", err)
+	}
+
+	// A good prev rescues a corrupt primary.
+	if err := os.WriteFile(PrevPath(path), Encode(mkState(9)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, from, err := ReadLadder(path)
+	if err != nil || st.Seq != 9 || from != PrevPath(path) {
+		t.Fatalf("recovered seq %d from %q, err %v", st.Seq, from, err)
+	}
+
+	// Both damaged: ErrCorrupt, never a panic.
+	if err := os.WriteFile(PrevPath(path), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadLadder(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("both corrupt: %v", err)
+	}
+}
+
+// ReadFile keeps fs.ErrNotExist observable so the ladder can distinguish
+// "never written" from "written and damaged".
+func TestReadFileMissing(t *testing.T) {
+	_, err := ReadFile(filepath.Join(t.TempDir(), "absent"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("got %v, want fs.ErrNotExist", err)
+	}
+}
