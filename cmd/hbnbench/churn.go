@@ -91,10 +91,6 @@ func runChurnBench(quick bool, seed int64) ([]jsonChurn, error) {
 	return out, nil
 }
 
-func ms(d time.Duration) float64 {
-	return float64(d.Microseconds()) / 1000
-}
-
 // printChurnBench renders the -churn results as an aligned table.
 func printChurnBench(results []jsonChurn) {
 	fmt.Printf("churn benchmark: compound fault scripts, stop-the-world vs rolling reconfiguration (%d requests/run)\n",

@@ -15,6 +15,8 @@
 //	hbnbench -experiment none -reconfig # live topology churn (failover/scale-out/brownout)
 //	hbnbench -experiment none -churn    # compound fault scripts, stop-the-world vs rolling stalls
 //	hbnbench -experiment none -snapshot # crash-consistent snapshot/restore latency, stall, image size
+//	hbnbench -experiment none -ratio    # competitive ratio vs the clairvoyant static optimum
+//	hbnbench -experiment none -ratio -ratioguard BENCH_pr8.json  # fail on >10% ratio regression
 //	hbnbench ... -cpuprofile cpu.pprof  # attach pprof evidence to perf PRs
 package main
 
@@ -66,6 +68,7 @@ type jsonOutput struct {
 	Reconfig   []jsonReconfig `json:"reconfig,omitempty"`
 	Churn      []jsonChurn    `json:"churn,omitempty"`
 	Snapshot   []jsonSnapshot `json:"snapshot,omitempty"`
+	Ratio      []jsonRatio    `json:"ratio,omitempty"`
 }
 
 func main() {
@@ -81,6 +84,8 @@ func main() {
 		reconfigB  = flag.Bool("reconfig", false, "run the live-reconfiguration benchmark (failover, scale-out, brownout: reconfigure latency, req/s during churn, congestion vs a cold restart)")
 		churnB     = flag.Bool("churn", false, "run the adversarial churn benchmark (compound fault-injection scenarios, stop-the-world vs rolling reconfiguration ingest stalls, conservation checked)")
 		snapshotB  = flag.Bool("snapshot", false, "run the snapshot durability benchmark (crash-consistent snapshot latency, ingest stall, image size, restore-to-first-served-request)")
+		ratioB     = flag.Bool("ratio", false, "run the competitive-ratio benchmark (online congestion over the clairvoyant static optimum, pre-PR-8 flat strategy vs bandwidth-aware budgets with drift-triggered epochs)")
+		ratioGuard = flag.String("ratioguard", "", "baseline BENCH json to compare -ratio post_ratio values against; exit nonzero if any scenario regresses by more than 10% (implies -ratio)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
 	)
@@ -169,6 +174,14 @@ func main() {
 			fatal(err)
 		}
 	}
+	var ratios []jsonRatio
+	if *ratioB || *ratioGuard != "" {
+		var err error
+		ratios, err = runRatioBench(*quick, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	// The measured work is done: flush profiles before emitting output so
 	// the profile covers exactly the benchmark/experiment bodies.
@@ -205,6 +218,7 @@ func main() {
 			Reconfig:   reconfig,
 			Churn:      churn,
 			Snapshot:   snapshots,
+			Ratio:      ratios,
 		}); err != nil {
 			fatal(err)
 		}
@@ -237,6 +251,15 @@ func main() {
 		}
 		if len(snapshots) > 0 {
 			printSnapshotBench(snapshots)
+		}
+		if len(ratios) > 0 {
+			printRatioBench(ratios)
+		}
+	}
+	if *ratioGuard != "" {
+		if err := checkRatioGuard(*ratioGuard, ratios); err != nil {
+			fmt.Fprintln(os.Stderr, "hbnbench:", err)
+			os.Exit(1)
 		}
 	}
 	for _, r := range results {

@@ -230,45 +230,6 @@ func runReconfigBench(quick bool, seed int64) ([]jsonReconfig, error) {
 	return out, nil
 }
 
-// congestionOf is the serving-side congestion of a load vector: the
-// maximum relative load over switches and buses (a bus carries half the
-// sum of its incident switch loads, as in the paper's cost model).
-func congestionOf(t *tree.Tree, loads []int64) float64 {
-	var c float64
-	for e := 0; e < t.NumEdges(); e++ {
-		if v := float64(loads[e]) / float64(t.EdgeBandwidth(tree.EdgeID(e))); v > c {
-			c = v
-		}
-	}
-	for _, b := range t.Buses() {
-		var sum int64
-		for _, h := range t.Adj(b) {
-			sum += loads[h.Edge]
-		}
-		if v := float64(sum) / (2 * float64(t.NodeBandwidth(b))); v > c {
-			c = v
-		}
-	}
-	return c
-}
-
-func rate(events int, d time.Duration) float64 {
-	if d <= 0 {
-		return 0
-	}
-	return float64(events) / d.Seconds()
-}
-
-func maxOf(xs []int64) int64 {
-	var m int64
-	for _, x := range xs {
-		if x > m {
-			m = x
-		}
-	}
-	return m
-}
-
 // printReconfigBench renders the -reconfig results as an aligned table.
 func printReconfigBench(results []jsonReconfig) {
 	fmt.Printf("reconfiguration benchmark: %d requests, %d shards, diff at the halfway point\n",

@@ -2,8 +2,6 @@ package main
 
 import (
 	"testing"
-
-	"hbn/internal/tree"
 )
 
 // The -reconfig benchmark path end to end at -quick scale: three
@@ -40,33 +38,4 @@ func TestRunReconfigBenchQuick(t *testing.T) {
 		t.Fatalf("brownout should not move anything: %+v", b)
 	}
 	printReconfigBench(out) // rendering smoke
-}
-
-// congestionOf matches the paper's cost model on a hand-checked star:
-// edges divide by switch bandwidth, the bus carries half the incident
-// sum divided by its bandwidth.
-func TestCongestionOf(t *testing.T) {
-	tr := tree.Star(3, 4) // hub bw 4, three unit switches
-	loads := []int64{6, 2, 2}
-	// Edge congestion: 6/1 = 6; bus: (6+2+2)/2/4 = 1.25.
-	if got := congestionOf(tr, loads); got != 6 {
-		t.Fatalf("congestion %v, want 6", got)
-	}
-	// With fat switches the bus term dominates.
-	b := tree.NewBuilder()
-	hub := b.AddBus("hub", 1)
-	l0 := b.AddProcessor("")
-	l1 := b.AddProcessor("")
-	b.Connect(hub, l0, 1)
-	b.Connect(hub, l1, 1)
-	tr2 := b.MustBuildHBN()
-	if got := congestionOf(tr2, []int64{4, 4}); got != 4 {
-		t.Fatalf("congestion %v, want 4 (bus (4+4)/2/1)", got)
-	}
-	if maxOf([]int64{3, 9, 1}) != 9 {
-		t.Fatal("helper arithmetic broken")
-	}
-	if rate(100, 0) != 0 {
-		t.Fatal("rate must guard zero durations")
-	}
 }

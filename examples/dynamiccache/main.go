@@ -21,7 +21,10 @@ func main() {
 	fmt.Println("write%  dynamic-load  static-offline-load  ratio")
 	for _, wf := range []float64{0.05, 0.2, 0.5} {
 		reqs := dynamic.RandomSequence(rng, t, 6, 5000, wf)
-		online := hbn.NewOnline(t, 6, 2)
+		online, err := hbn.NewOnline(t, 6, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
 		online.ServeAll(reqs)
 		static, err := dynamic.StaticOffline(t, 6, reqs)
 		if err != nil {
@@ -35,7 +38,10 @@ func main() {
 	// Phase-change demo: a page that is read-shared, then becomes
 	// write-owned by another machine. The copy set follows.
 	fmt.Println("\nphase change on one object:")
-	online := hbn.NewOnline(t, 1, 1)
+	online, err := hbn.NewOnline(t, 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	leaves := t.Leaves()
 	reader1, reader2, writer := leaves[0], leaves[1], leaves[len(leaves)-1]
 	for i := 0; i < 10; i++ {

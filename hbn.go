@@ -282,6 +282,12 @@ var (
 	ErrBadBandwidth      = topo.ErrBadBandwidth
 	// ErrClusterClosed: the operation raced with or followed Cluster.Close.
 	ErrClusterClosed = serve.ErrClosed
+	// ErrBadClusterOptions: NewCluster rejected an out-of-range
+	// ClusterOptions value (Threshold < 1, negative cadences, DecayShift
+	// > 63, or a drift trigger with no check cadence).
+	ErrBadClusterOptions = serve.ErrBadOptions
+	// ErrBadOnlineOptions: NewOnline rejected its options (threshold < 1).
+	ErrBadOnlineOptions = dynamic.ErrBadOptions
 	// ErrSnapshotCorrupt: the snapshot image failed its structural or
 	// checksum validation (truncated, bit-flipped, torn, or hostile).
 	ErrSnapshotCorrupt = snapshot.ErrCorrupt
@@ -374,9 +380,19 @@ func Baseline(name string, seed int64, t *Tree, w *Workload) (*Placement, error)
 func BaselineNames() []string { return baseline.Names() }
 
 // NewOnline creates the dynamic (online) strategy with the given
-// replication threshold (1 = replicate eagerly).
-func NewOnline(t *Tree, numObjects, threshold int) *OnlineStrategy {
+// replication threshold (1 = replicate eagerly). A threshold below 1 is
+// rejected with an error satisfying errors.Is(err, ErrBadOnlineOptions).
+func NewOnline(t *Tree, numObjects, threshold int) (*OnlineStrategy, error) {
 	return dynamic.New(t, numObjects, dynamic.Options{Threshold: threshold})
+}
+
+// NewOnlineBandwidthAware is NewOnline with per-edge replication budgets
+// scaled by edge bandwidth: edge e replicates after max(1,
+// threshold·bw(e)/maxBw) reads instead of a flat threshold, so cheap
+// low-bandwidth links — whose crossings dominate congestion — replicate
+// sooner. With uniform bandwidths it serves bit-identically to NewOnline.
+func NewOnlineBandwidthAware(t *Tree, numObjects, threshold int) (*OnlineStrategy, error) {
+	return dynamic.New(t, numObjects, dynamic.Options{Threshold: threshold, BandwidthAware: true})
 }
 
 // NewCluster creates the concurrent online serving layer: requests ingest

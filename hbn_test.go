@@ -134,9 +134,15 @@ func TestPublicGenerators(t *testing.T) {
 
 func TestPublicOnline(t *testing.T) {
 	tr, _ := buildExample(t)
-	s := NewOnline(tr, 1, 2)
-	if s == nil {
-		t.Fatal("nil strategy")
+	s, err := NewOnline(tr, 1, 2)
+	if err != nil || s == nil {
+		t.Fatalf("NewOnline: %v (strategy %v)", err, s)
+	}
+	if _, err := NewOnline(tr, 1, 0); !errors.Is(err, ErrBadOnlineOptions) {
+		t.Fatalf("threshold 0 error = %v, want ErrBadOnlineOptions", err)
+	}
+	if ba, err := NewOnlineBandwidthAware(tr, 1, 2); err != nil || ba == nil {
+		t.Fatalf("NewOnlineBandwidthAware: %v", err)
 	}
 }
 

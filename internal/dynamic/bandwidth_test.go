@@ -1,0 +1,59 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbn/internal/tree"
+)
+
+// With uniform edge bandwidths every per-edge budget collapses to exactly
+// Threshold, so BandwidthAware must serve bit-identically to the flat
+// hop-threshold strategy — same costs, loads, copy sets, read counters and
+// broadcast edges — across the topology zoo, all scenarios, and thresholds
+// {2, 3, 8}. This is the property that makes the flag safe to hold open on
+// clusters that happen to be uniform: it changes nothing until bandwidths
+// actually differ.
+func TestBandwidthAwareUniformMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	// Processor switches are pinned at bandwidth 1 by the HBN invariant, so
+	// "uniform" here means every inner switch matches them: spine and
+	// uplink bandwidths of 1 on every generator that takes them.
+	trees := map[string]*tree.Tree{
+		"star":             tree.Star(8, 8),
+		"caterpillar":      tree.Caterpillar(6, 3, 8, 1),
+		"sci-flat-uplinks": tree.SCICluster(3, 4, 16, 1),
+		"random":           tree.Random(rng, 25, 4, 0.4, 1),
+	}
+	const objects = 8
+	for name, tr := range trees {
+		for scen, reqs := range batchScenarios(rng, tr, objects, 1200) {
+			for _, threshold := range []int{2, 3, 8} {
+				flat := MustNew(tr, objects, Options{Threshold: threshold})
+				aware := MustNew(tr, objects, Options{Threshold: threshold, BandwidthAware: true})
+				fc, ac := flat.ServeAll(reqs), aware.ServeAll(reqs)
+				ctx := name + "/" + scen
+				if fc != ac {
+					t.Fatalf("%s threshold=%d: bandwidth-aware cost %d != flat %d",
+						ctx, threshold, ac, fc)
+				}
+				requireEqualState(t, ctx, flat, aware)
+			}
+		}
+	}
+}
+
+// The inverse sanity check: on a genuinely non-uniform tree the flag must
+// actually change serving (cheap edges replicate sooner), or the uniform
+// property above would be vacuous.
+func TestBandwidthAwareDivergesOnNonUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(506))
+	tr := tree.SCICluster(3, 4, 16, 8) // leaf edges bw 1, uplinks bw 8
+	const objects = 8
+	reqs := RandomSequence(rng, tr, objects, 2000, 0.1)
+	flat := MustNew(tr, objects, Options{Threshold: 8})
+	aware := MustNew(tr, objects, Options{Threshold: 8, BandwidthAware: true})
+	if fc, ac := flat.ServeAll(reqs), aware.ServeAll(reqs); fc == ac {
+		t.Fatalf("bandwidth-aware serving identical to flat (%d) on a non-uniform tree", fc)
+	}
+}

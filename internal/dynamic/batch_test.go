@@ -77,10 +77,10 @@ func TestServeBatchMatchesSequential(t *testing.T) {
 		const objects = 8
 		for name, reqs := range batchScenarios(rng, tr, objects, 1200) {
 			for _, threshold := range []int{2, 3, 8} {
-				ref := New(tr, objects, Options{Threshold: threshold})
+				ref := MustNew(tr, objects, Options{Threshold: threshold})
 				refCost := ref.ServeAll(reqs)
 
-				s := New(tr, objects, Options{Threshold: threshold})
+				s := MustNew(tr, objects, Options{Threshold: threshold})
 				var cost int64
 				for lo := 0; lo < len(reqs); {
 					hi := lo + 1 + rng.Intn(200)
@@ -111,8 +111,8 @@ func TestServeBatchMatchesSequentialWithAdoption(t *testing.T) {
 		const objects = 5
 		reqs := RandomSequence(rng, tr, objects, 900, 0.25)
 
-		ref := New(tr, objects, Options{Threshold: 2})
-		s := New(tr, objects, Options{Threshold: 2})
+		ref := MustNew(tr, objects, Options{Threshold: 2})
+		s := MustNew(tr, objects, Options{Threshold: 2})
 		var refCost, cost int64
 		for lo := 0; lo < len(reqs); {
 			hi := lo + 1 + rng.Intn(150)
@@ -180,7 +180,7 @@ func TestBroadcastEdgesMatchSteinerRecompute(t *testing.T) {
 		tr := tree.Random(rng, 10+rng.Intn(35), 4, 0.4, 8)
 		leaves := tr.Leaves()
 		const objects = 3
-		s := New(tr, objects, Options{Threshold: 1 + rng.Intn(3)})
+		s := MustNew(tr, objects, Options{Threshold: 1 + rng.Intn(3)})
 		reqs := RandomSequence(rng, tr, objects, 400, 0.2)
 		check := func(step int) {
 			for x := 0; x < objects; x++ {
@@ -219,7 +219,7 @@ func benchStrategyTrace() (*tree.Tree, []Request) {
 // serving the drifting-Zipf trace 1024 requests at a time via Serve.
 func BenchmarkServeLoop1024(b *testing.B) {
 	t, trace := benchStrategyTrace()
-	s := New(t, 256, Options{Threshold: 8})
+	s := MustNew(t, 256, Options{Threshold: 8})
 	b.ReportAllocs()
 	b.ResetTimer()
 	n := 0
@@ -235,7 +235,7 @@ func BenchmarkServeLoop1024(b *testing.B) {
 // same trace and batch size.
 func BenchmarkServeBatch1024(b *testing.B) {
 	t, trace := benchStrategyTrace()
-	s := New(t, 256, Options{Threshold: 8})
+	s := MustNew(t, 256, Options{Threshold: 8})
 	b.ReportAllocs()
 	b.ResetTimer()
 	n := 0
@@ -249,7 +249,7 @@ func BenchmarkServeBatch1024(b *testing.B) {
 // exactly like Serve — before serving anything.
 func TestServeBatchValidation(t *testing.T) {
 	tr := tree.Star(3, 8)
-	s := New(tr, 1, Options{})
+	s := MustNew(tr, 1, Options{Threshold: 1})
 	if got := s.ServeBatch(nil); got != 0 {
 		t.Fatalf("empty batch cost %d", got)
 	}

@@ -48,6 +48,7 @@
 package dynamic
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"slices"
@@ -64,12 +65,94 @@ import (
 // conversion.
 type Request = workload.TraceEvent
 
+// ErrBadOptions reports an invalid Options value, matched with errors.Is
+// through the wrapped error New returns. Rejecting instead of coercing is
+// deliberate: a threshold of 0 is always a caller bug (it would replicate
+// before the first read is even counted), and silently serving with a
+// different threshold than configured makes every downstream congestion
+// number a lie.
+var ErrBadOptions = errors.New("dynamic: invalid options")
+
 // Options tune the strategy.
 type Options struct {
 	// Threshold is the number of reads that must cross an edge (since the
 	// last write) before the object is replicated across it. 1 replicates
-	// eagerly.
+	// eagerly. Must be >= 1; New rejects anything else with ErrBadOptions.
 	Threshold int
+	// BandwidthAware scales each edge's crossing budget by its bandwidth:
+	// edge e replicates after max(1, Threshold·bw(e)/maxBw) reads, where
+	// maxBw is the tree's largest switch bandwidth. The congestion a read
+	// crossing costs on e is 1/bw(e), so cheap low-bandwidth switches — the
+	// processor links, and any uplink a brownout has degraded — exhaust
+	// their budget sooner and replicate earlier, while the fattest switches
+	// keep the full hop budget. With uniform edge bandwidths every budget
+	// is exactly Threshold and serving is bit-identical to the flat
+	// hop-threshold strategy (property-tested). False keeps the flat
+	// threshold on every edge.
+	BandwidthAware bool
+	// WriteBudget is the number of consecutive writes — with no read of the
+	// object in between — a multi-copy set absorbs (each one a broadcast
+	// over its Steiner edges) before it contracts to a single copy near the
+	// writer. It is the deletion-side dual of Threshold: replicas are
+	// created after Threshold read crossings and destroyed only after
+	// WriteBudget uninterrupted writes, so an object whose replicas still
+	// serve reads keeps them and pays the same broadcast a static placement
+	// would, while a write-dominated object collapses onto its writer and
+	// then writes for free. 0 and 1 both contract on every write — the
+	// strategy's behavior before the budget existed, and still the default:
+	// lazy contraction is an explicit opt-in (Threshold is the natural
+	// setting, making destruction as reluctant as creation). Negative
+	// values are rejected with ErrBadOptions.
+	WriteBudget int
+}
+
+// writeBudget is the effective contraction budget (see WriteBudget).
+func (o Options) writeBudget() uint32 {
+	if o.WriteBudget > 1 {
+		return uint32(o.WriteBudget)
+	}
+	return 1
+}
+
+// validate rejects option values that would silently change serving
+// semantics if coerced.
+func (o Options) validate() error {
+	if o.Threshold < 1 {
+		return fmt.Errorf("%w: Threshold %d, want >= 1", ErrBadOptions, o.Threshold)
+	}
+	if o.WriteBudget < 0 {
+		return fmt.Errorf("%w: WriteBudget %d, want >= 0 (0 and 1 contract eagerly)", ErrBadOptions, o.WriteBudget)
+	}
+	return nil
+}
+
+// edgeBudgets computes the per-edge replication thresholds for t under o:
+// the flat Threshold everywhere, or the bandwidth-scaled budget when
+// BandwidthAware is set. The lane is shared by all objects (a threshold is
+// a property of the switch, not of the object crossing it), so the packed
+// per-object counter words stay one word per (object, edge).
+func edgeBudgets(t *tree.Tree, o Options) []int32 {
+	out := make([]int32, t.NumEdges())
+	if !o.BandwidthAware {
+		for e := range out {
+			out[e] = int32(o.Threshold)
+		}
+		return out
+	}
+	var maxBw int64 = 1
+	for e := 0; e < t.NumEdges(); e++ {
+		if bw := t.EdgeBandwidth(tree.EdgeID(e)); bw > maxBw {
+			maxBw = bw
+		}
+	}
+	for e := range out {
+		b := int64(o.Threshold) * t.EdgeBandwidth(tree.EdgeID(e)) / maxBw
+		if b < 1 {
+			b = 1
+		}
+		out[e] = int32(b)
+	}
+	return out
 }
 
 // Strategy is the online state.
@@ -77,6 +160,20 @@ type Strategy struct {
 	t    *tree.Tree
 	r    *tree.Rooted
 	opts Options
+
+	// edgeThresh is the per-edge crossing budget (the threshold lane): the
+	// read counter packed in readCW replicates across edge e once it
+	// reaches edgeThresh[e]. Computed once in New (see edgeBudgets) and
+	// shared by every object, so the hot-path threshold test stays a
+	// single indexed load with no per-object memory cost.
+	edgeThresh []int32
+	// wBudget/wStreak are the contraction side of the same rent-to-buy
+	// dynamics: wStreak[x] counts consecutive writes of x with no
+	// intervening read, and a multi-copy set contracts only when the
+	// streak reaches wBudget (see Options.WriteBudget). Any read resets
+	// the streak.
+	wBudget uint32
+	wStreak []uint32
 
 	// pos/subEnd are the shared preorder positions and per-node subtree
 	// end positions (preorder subtrees are contiguous intervals), so "is
@@ -150,10 +247,11 @@ type Strategy struct {
 }
 
 // New creates a strategy with no copies; each object materializes at its
-// first requester.
-func New(t *tree.Tree, numObjects int, opts Options) *Strategy {
-	if opts.Threshold < 1 {
-		opts.Threshold = 1
+// first requester. It returns an error wrapping ErrBadOptions when opts is
+// invalid (Threshold < 1).
+func New(t *tree.Tree, numObjects int, opts Options) (*Strategy, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	r := t.Rooted0()
 	steps := r.Steps()
@@ -176,6 +274,9 @@ func New(t *tree.Tree, numObjects int, opts Options) *Strategy {
 		pos:        r.Pos(),
 		subEnd:     subEnd,
 		opts:       opts,
+		edgeThresh: edgeBudgets(t, opts),
+		wBudget:    opts.writeBudget(),
+		wStreak:    make([]uint32, numObjects),
 		isCopy:     make([][]bool, numObjects),
 		copyList:   make([][]tree.NodeID, numObjects),
 		nearest:    make([][]tree.NodeID, numObjects),
@@ -190,8 +291,22 @@ func New(t *tree.Tree, numObjects int, opts Options) *Strategy {
 		steinerCt:  make([]int32, t.Len()),
 		EdgeLoad:   make([]int64, t.NumEdges()),
 		moveLoad:   make([]int64, t.NumEdges()),
-	}
+	}, nil
 }
+
+// MustNew is New for callers whose options are known valid (tests, and
+// layers that validated the same fields already); it panics on error.
+func MustNew(t *tree.Tree, numObjects int, opts Options) *Strategy {
+	s, err := New(t, numObjects, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// EdgeThreshold returns edge e's replication budget: the flat Threshold,
+// or the bandwidth-scaled budget when BandwidthAware is set.
+func (s *Strategy) EdgeThreshold(e tree.EdgeID) int32 { return s.edgeThresh[e] }
 
 // Requests returns the number of requests served so far.
 func (s *Strategy) Requests() int64 { return int64(s.requests) }
@@ -311,6 +426,7 @@ func (s *Strategy) pathToNearest(x int, node tree.NodeID) (tree.NodeID, []tree.E
 // resolution walk itself — no path buffer is built; the (at most
 // 1-in-Threshold) crossing rebuilds the path for the replication cascade.
 func (s *Strategy) serveRead(x int, node tree.NodeID) int64 {
+	s.wStreak[x] = 0 // reads keep the replica set alive
 	if s.isCopy[x][node] {
 		return 0 // local read
 	}
@@ -380,7 +496,7 @@ func (s *Strategy) serveRead(x int, node tree.NodeID) int64 {
 	}
 	c++
 	cw[last] = uint64(gen)<<32 | uint64(uint32(c))
-	if int(c) < s.opts.Threshold {
+	if c < s.edgeThresh[last] {
 		return cost
 	}
 	s.replicateAcross(x, last)
@@ -390,7 +506,7 @@ func (s *Strategy) serveRead(x int, node tree.NodeID) int64 {
 		e := path[i]
 		cc := s.readCount(x, e) + 1
 		s.setReadCount(x, e, cc)
-		if int(cc) < s.opts.Threshold {
+		if cc < s.edgeThresh[e] {
 			break
 		}
 		s.replicateAcross(x, e)
@@ -413,11 +529,16 @@ func (s *Strategy) replicateAcross(x int, e tree.EdgeID) {
 }
 
 // serveWrite is the write path for one request from node (the copy set
-// must be non-empty): pay the path to the nearest copy, broadcast the
-// update over the copy set's Steiner edges, then contract the set to the
-// copy nearest the writer migrated one hop towards it (repeated writes
-// pull the object to the writer). Deletions are free; the migration moves
-// data across one edge.
+// must be non-empty): pay the path to the nearest copy and broadcast the
+// update over the copy set's Steiner edges. A multi-copy set contracts
+// only when the object's uninterrupted write streak reaches the write
+// budget — replicas that still serve reads are worth their broadcast
+// rent, and destroying them just to rebuild them Threshold reads later
+// was the dominant online-vs-optimal waste — at which point the set
+// collapses to the copy nearest the writer migrated one hop towards it
+// (repeated write streaks pull the object to the writer). A single copy
+// migrates on every write, as before the budget existed. Deletions are
+// free; the migration moves data across one edge.
 func (s *Strategy) serveWrite(x int, node tree.NodeID) int64 {
 	target, path := s.pathToNearest(x, node)
 	cost := int64(len(path))
@@ -426,6 +547,10 @@ func (s *Strategy) serveWrite(x int, node tree.NodeID) int64 {
 	}
 	if len(s.copyList[x]) > 1 {
 		cost += s.broadcast(x)
+		s.wStreak[x]++
+		if s.wStreak[x] < s.wBudget {
+			return cost // replicas still earning their keep: no contraction
+		}
 	}
 	home := target
 	if node != target && len(path) > 0 {
@@ -436,7 +561,8 @@ func (s *Strategy) serveWrite(x int, node tree.NodeID) int64 {
 		s.moveLoad[e]++
 	}
 	s.contract(x, home)
-	// Writes reset the read counters of the object.
+	s.wStreak[x] = 0
+	// Contraction resets the read counters of the object.
 	s.curGen[x]++
 	return cost
 }
@@ -489,8 +615,11 @@ func (s *Strategy) ServeBatch(reqs []Request) int64 {
 		if r.Write {
 			total += s.serveWrite(x, r.Node)
 		} else if !s.isCopy[x][r.Node] {
-			// Local reads (the steady-state majority) fall through free.
 			total += s.serveRead(x, r.Node)
+		} else {
+			// Local reads (the steady-state majority) fall through free —
+			// but even a free read interrupts the write streak.
+			s.wStreak[x] = 0
 		}
 	}
 	return total
@@ -624,13 +753,16 @@ func (s *Strategy) serveRuns(reqs []Request) int64 {
 // threshold crossings the copy set, the nearest tables and hence the path
 // are all fixed, and each read only adds one unit to every path edge's
 // loads and one to the path's copy-side read counter — so a chunk of
-// m = min(remaining, Threshold - counter) reads folds into one walk. A
+// m = min(remaining, edgeThresh[e] - counter) reads folds into one walk,
+// with the chunk boundary re-derived per chunk from the copy-side edge's
+// own budget (budgets differ per edge under BandwidthAware). A
 // chunk that reaches the threshold replicates (and cascades towards the
 // requester) exactly like the per-request path, then the next chunk
 // re-resolves the now-closer nearest copy. Once node itself holds a copy
 // the rest of the run is free and touches nothing.
 func (s *Strategy) serveReadRun(x int, node tree.NodeID, k int) int64 {
 	s.requests += k
+	s.wStreak[x] = 0 // reads keep the replica set alive
 	if s.isCopy[x][node] {
 		return 0 // local reads
 	}
@@ -643,7 +775,7 @@ func (s *Strategy) serveReadRun(x int, node tree.NodeID, k int) int64 {
 		}
 		e := path[len(path)-1]
 		c := s.readCount(x, e)
-		need := int32(s.opts.Threshold) - c
+		need := s.edgeThresh[e] - c
 		m := remaining
 		if need < m {
 			m = need
@@ -666,7 +798,7 @@ func (s *Strategy) serveReadRun(x int, node tree.NodeID, k int) int64 {
 			pe := path[i]
 			cc := s.readCount(x, pe) + 1
 			s.setReadCount(x, pe, cc)
-			if int(cc) < s.opts.Threshold {
+			if cc < s.edgeThresh[pe] {
 				break
 			}
 			s.replicateAcross(x, pe)
@@ -675,22 +807,47 @@ func (s *Strategy) serveReadRun(x int, node tree.NodeID, k int) int64 {
 	return cost
 }
 
-// serveWriteRun serves k consecutive writes of object x from node. Writes
-// migrate the single post-contraction copy one hop towards the writer per
-// request, so the run cannot fold while the copy is remote; but once the
+// serveWriteRun serves k consecutive writes of object x from node. While
+// the copy set is multi-copy and the write streak stays under the budget,
+// every write pays the same path and the same Steiner broadcast, so those
+// writes fold into one charge; the budget-crossing write (and the per-hop
+// migration of a lone remote copy) is served individually, and once the
 // object sits alone on the writer every further write is free and only
 // advances the generation stamps, which folds into one addition.
 func (s *Strategy) serveWriteRun(x int, node tree.NodeID, k int) int64 {
 	s.requests += k
 	var cost int64
-	for n := 0; n < k; n++ {
-		if len(s.copyList[x]) == 1 && s.copyList[x][0] == node {
+	for n := 0; n < k; {
+		if list := s.copyList[x]; len(list) == 1 && list[0] == node {
 			left := uint32(k - n)
 			s.curGen[x] += left
 			s.bcastGen[x] += left
+			s.wStreak[x] = 0
 			break
 		}
+		if len(s.copyList[x]) > 1 && s.wStreak[x]+1 < s.wBudget {
+			// Fold the writes that cannot contract: the set (and so the
+			// nearest copy, the path and the broadcast edges) is unchanged
+			// across them, only the streak advances.
+			m := int32(s.wBudget - s.wStreak[x] - 1)
+			if r := int32(k - n); r < m {
+				m = r
+			}
+			_, path := s.pathToNearest(x, node)
+			lm := int64(m)
+			for _, e := range path {
+				s.EdgeLoad[e] += lm
+			}
+			for _, e := range s.bcast[x] {
+				s.EdgeLoad[e] += lm
+			}
+			cost += lm * int64(len(path)+len(s.bcast[x]))
+			s.wStreak[x] += uint32(m)
+			n += int(m)
+			continue
+		}
 		cost += s.serveWrite(x, node)
+		n++
 	}
 	return cost
 }
@@ -772,8 +929,8 @@ func (s *Strategy) rebuildNearest(x int) {
 // (duplicates ignored; must be non-empty) — the import half of the serving
 // layer's epoch re-solve, which pushes a freshly solved static placement
 // into the online strategy as its warm state. The nearest tables are
-// rebuilt from scratch and the read counters reset, so threshold dynamics
-// restart from the adopted placement.
+// rebuilt from scratch and the read counters and write streak reset, so
+// threshold dynamics restart from the adopted placement.
 //
 // The returned value is the copy-movement distance: the sum over newly
 // added copy nodes of their tree distance to the previous copy set (zero
@@ -847,6 +1004,7 @@ func (s *Strategy) AdoptCopySet(x int, nodes []tree.NodeID) int64 {
 	s.installTables(x)
 	s.rebuildBroadcast(x)
 	s.curGen[x]++
+	s.wStreak[x] = 0 // threshold dynamics restart from the adopted set
 	return moved
 }
 

@@ -9,7 +9,7 @@ import (
 
 func TestFirstTouchIsFree(t *testing.T) {
 	tr := tree.Star(3, 8)
-	s := New(tr, 1, Options{Threshold: 1})
+	s := MustNew(tr, 1, Options{Threshold: 1})
 	if cost := s.Serve(Request{Object: 0, Node: 1}); cost != 0 {
 		t.Fatalf("first touch cost %d", cost)
 	}
@@ -20,7 +20,7 @@ func TestFirstTouchIsFree(t *testing.T) {
 
 func TestReadReplicatesAfterThreshold(t *testing.T) {
 	tr := tree.Star(3, 8)
-	s := New(tr, 1, Options{Threshold: 2})
+	s := MustNew(tr, 1, Options{Threshold: 2})
 	s.Serve(Request{Object: 0, Node: 1})
 	// Leaf 2 reads twice: first pays 2 edges, second replicates.
 	c1 := s.Serve(Request{Object: 0, Node: 2, Write: false})
@@ -53,7 +53,7 @@ func TestReadReplicatesAfterThreshold(t *testing.T) {
 
 func TestWriteContractsCopySet(t *testing.T) {
 	tr := tree.Star(4, 8)
-	s := New(tr, 1, Options{Threshold: 1})
+	s := MustNew(tr, 1, Options{Threshold: 1})
 	s.Serve(Request{Object: 0, Node: 1})
 	// Replicate eagerly to leaves 2 and 3.
 	s.Serve(Request{Object: 0, Node: 2})
@@ -72,7 +72,7 @@ func TestWriteContractsCopySet(t *testing.T) {
 
 func TestRepeatedWritesMigrateToWriter(t *testing.T) {
 	tr := tree.Caterpillar(4, 1, 8, 8)
-	s := New(tr, 1, Options{Threshold: 1})
+	s := MustNew(tr, 1, Options{Threshold: 1})
 	// Find the two extreme leaves.
 	leaves := tr.Leaves()
 	a, b := leaves[0], leaves[len(leaves)-1]
@@ -94,7 +94,7 @@ func TestCopySetStaysConnected(t *testing.T) {
 	rng := rand.New(rand.NewSource(121))
 	for trial := 0; trial < 20; trial++ {
 		tr := tree.Random(rng, 8+rng.Intn(15), 4, 0.4, 8)
-		s := New(tr, 3, Options{Threshold: 1 + rng.Intn(3)})
+		s := MustNew(tr, 3, Options{Threshold: 1 + rng.Intn(3)})
 		reqs := RandomSequence(rng, tr, 3, 300, 0.25)
 		for i, r := range reqs {
 			s.Serve(r)
@@ -135,7 +135,7 @@ func TestCompetitiveAgainstStaticOffline(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		tr := tree.BalancedKAry(2, 3, 0)
 		reqs := RandomSequence(rng, tr, 5, 2000, 0.15)
-		s := New(tr, 5, Options{Threshold: 2})
+		s := MustNew(tr, 5, Options{Threshold: 2})
 		s.ServeAll(reqs)
 		static, err := StaticOffline(tr, 5, reqs)
 		if err != nil {
@@ -157,7 +157,7 @@ func TestCompetitiveAgainstStaticOffline(t *testing.T) {
 
 func TestServePanicsOnBadObject(t *testing.T) {
 	tr := tree.Star(3, 8)
-	s := New(tr, 1, Options{})
+	s := MustNew(tr, 1, Options{Threshold: 1})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")

@@ -41,6 +41,10 @@ type ObjectState struct {
 	// entries only). Generations themselves are not state: only whether a
 	// counter is current matters, so restore renumbers from 1.
 	Counters []EdgeCounter
+	// WriteStreak is the object's count of consecutive writes with no
+	// intervening read — always strictly below the strategy's write budget
+	// (reaching the budget contracts the set and resets the streak).
+	WriteStreak uint32
 }
 
 // ExportObject captures object x's serving state. The returned slices are
@@ -75,6 +79,7 @@ func (s *Strategy) ExportObject(x int) ObjectState {
 		// map): equal strategies export byte-identical states.
 		slices.SortFunc(st.Counters, func(a, b EdgeCounter) int { return int(a.Edge - b.Edge) })
 	}
+	st.WriteStreak = s.wStreak[x]
 	return st
 }
 
@@ -93,7 +98,7 @@ func (s *Strategy) RestoreObject(x int, st ObjectState) error {
 		return fmt.Errorf("dynamic: restore: object %d out of range", x)
 	}
 	if !st.Present {
-		if len(st.Copies) != 0 || len(st.Counters) != 0 || st.TableValid {
+		if len(st.Copies) != 0 || len(st.Counters) != 0 || st.TableValid || st.WriteStreak != 0 {
 			return fmt.Errorf("dynamic: restore object %d: state without presence", x)
 		}
 		return nil
@@ -161,6 +166,18 @@ func (s *Strategy) RestoreObject(x int, st ObjectState) error {
 		if ec.Count < 0 {
 			return fmt.Errorf("dynamic: restore object %d: negative counter on edge %d", x, ec.Edge)
 		}
+		// Serving keeps every live counter strictly below its edge's budget
+		// (reaching it replicates and resets to zero), so a saturated
+		// counter can only come from a corrupt image or one captured under
+		// different threshold options.
+		if ec.Count >= s.edgeThresh[ec.Edge] {
+			return fmt.Errorf("dynamic: restore object %d: counter %d on edge %d at or above its budget %d", x, ec.Count, ec.Edge, s.edgeThresh[ec.Edge])
+		}
+	}
+	// The streak is reset the moment it reaches the budget (the set
+	// contracts), so a live streak is always strictly below it.
+	if st.WriteStreak >= s.wBudget {
+		return fmt.Errorf("dynamic: restore object %d: write streak %d at or above the budget %d", x, st.WriteStreak, s.wBudget)
 	}
 
 	s.isCopy[x] = ic
@@ -177,6 +194,7 @@ func (s *Strategy) RestoreObject(x int, st ObjectState) error {
 	for _, ec := range st.Counters {
 		s.setReadCount(x, ec.Edge, ec.Count)
 	}
+	s.wStreak[x] = st.WriteStreak
 	s.rebuildBroadcast(x)
 	return nil
 }
@@ -186,4 +204,13 @@ func (s *Strategy) RestoreObject(x int, st ObjectState) error {
 // reads the queue that the next epoch pass will still consume.
 func (ot *OfflineTracker) Drifted() []int {
 	return slices.Clone(ot.driftQ)
+}
+
+// DriftedFunc calls f for each drifted object in first-touch order without
+// draining the queue or allocating — the drift-magnitude trigger peeks at
+// the rows an epoch pass would fold without committing to one.
+func (ot *OfflineTracker) DriftedFunc(f func(x int)) {
+	for _, x := range ot.driftQ {
+		f(x)
+	}
 }

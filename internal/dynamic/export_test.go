@@ -21,7 +21,7 @@ func TestExportRestoreRoundTrip(t *testing.T) {
 	const objects = 24
 	trace := workload.DriftingZipf(rng, tr, objects, 4000, 3, 1.0, 0.08)
 
-	s := New(tr, objects, Options{Threshold: 3})
+	s := MustNew(tr, objects, Options{Threshold: 3})
 	for _, r := range trace[:3000] {
 		s.Serve(r)
 	}
@@ -31,7 +31,7 @@ func TestExportRestoreRoundTrip(t *testing.T) {
 		s.AdoptCopySet(x, []tree.NodeID{leaves[x%len(leaves)], leaves[(x+3)%len(leaves)]})
 	}
 
-	r := New(tr, objects, Options{Threshold: 3})
+	r := MustNew(tr, objects, Options{Threshold: 3})
 	r.ImportLoads(append([]int64(nil), s.EdgeLoad...), s.MoveLoad(), s.Requests())
 	modes := map[string]int{}
 	for x := 0; x < objects; x++ {
@@ -81,7 +81,7 @@ func TestRestoreObjectRejects(t *testing.T) {
 	tr := tree.Star(6, 8) // root bus + 6 leaves: all leaves share the root parent
 	leaves := tr.Leaves()
 	n := tr.Len()
-	fresh := func() *Strategy { return New(tr, 4, Options{Threshold: 2}) }
+	fresh := func() *Strategy { return MustNew(tr, 4, Options{Threshold: 2}) }
 	fullNearest := func(v tree.NodeID) ([]tree.NodeID, []int32) {
 		nr := make([]tree.NodeID, n)
 		nd := make([]int32, n)

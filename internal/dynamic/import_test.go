@@ -15,11 +15,11 @@ import (
 func TestImportLoadsAndTrackerSeed(t *testing.T) {
 	tr := tree.SCICluster(2, 3, 8, 4)
 	const objects = 4
-	src := New(tr, objects, Options{Threshold: 2})
+	src := MustNew(tr, objects, Options{Threshold: 2})
 	reqs := RandomSequence(rand.New(rand.NewSource(7)), tr, objects, 500, 0.1)
 	src.ServeAll(reqs)
 
-	dst := New(tr, objects, Options{Threshold: 2})
+	dst := MustNew(tr, objects, Options{Threshold: 2})
 	dst.ImportLoads(src.EdgeLoad, src.MoveLoad(), src.Requests())
 	for e := range src.EdgeLoad {
 		if dst.EdgeLoad[e] != src.EdgeLoad[e] {

@@ -132,7 +132,7 @@ func TestNearestTablesMatchBFS(t *testing.T) {
 	for trial := 0; trial < 12; trial++ {
 		tr := tree.Random(rng, 8+rng.Intn(40), 4, 0.4, 8)
 		const objects = 4
-		s := New(tr, objects, Options{Threshold: 1 + rng.Intn(3)})
+		s := MustNew(tr, objects, Options{Threshold: 1 + rng.Intn(3)})
 		reqs := RandomSequence(rng, tr, objects, 400, 0.25)
 		leaves := tr.Leaves()
 		for i, r := range reqs {
@@ -164,7 +164,7 @@ func TestNearestTablesMatchBFS(t *testing.T) {
 func TestAdoptCopySetMovement(t *testing.T) {
 	tr := tree.Caterpillar(5, 1, 8, 8) // a path of leaves hanging off a bus spine
 	leaves := tr.Leaves()
-	s := New(tr, 2, Options{Threshold: 1})
+	s := MustNew(tr, 2, Options{Threshold: 1})
 
 	// First adoption materializes for free.
 	if moved := s.AdoptCopySet(0, []tree.NodeID{leaves[0]}); moved != 0 {

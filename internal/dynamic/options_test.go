@@ -1,0 +1,41 @@
+package dynamic
+
+import (
+	"errors"
+	"testing"
+
+	"hbn/internal/tree"
+)
+
+// Out-of-range options are rejected with the typed sentinel, never
+// coerced: a zero threshold or a negative write budget is always a caller
+// bug, and serving with a silently substituted value would be worse than
+// failing. Callers branch on errors.Is(err, ErrBadOptions), so the
+// wrapping is part of the contract.
+func TestNewRejectsBadOptions(t *testing.T) {
+	tr := tree.Star(4, 2)
+	cases := []struct {
+		name string
+		opts Options
+		bad  bool
+	}{
+		{"zero threshold", Options{Threshold: 0}, true},
+		{"negative threshold", Options{Threshold: -3}, true},
+		{"negative write budget", Options{Threshold: 2, WriteBudget: -1}, true},
+		{"minimal valid", Options{Threshold: 1}, false},
+		{"eager write budget", Options{Threshold: 2, WriteBudget: 0}, false},
+		{"lazy write budget", Options{Threshold: 2, WriteBudget: 2, BandwidthAware: true}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tr, 4, tc.opts)
+			if tc.bad {
+				if !errors.Is(err, ErrBadOptions) {
+					t.Fatalf("got %v, want ErrBadOptions", err)
+				}
+			} else if err != nil {
+				t.Fatalf("valid options rejected: %v", err)
+			}
+		})
+	}
+}

@@ -649,7 +649,7 @@ func E11Dynamic(cfg Config) (*Result, error) {
 		for trial := 0; trial < cfg.scale(12, 4); trial++ {
 			t := tree.BalancedKAry(2, 3, 0)
 			reqs := dynamic.RandomSequence(rng, t, objects, cfg.scale(2000, 400), wf)
-			s := dynamic.New(t, objects, dynamic.Options{Threshold: threshold})
+			s := dynamic.MustNew(t, objects, dynamic.Options{Threshold: threshold})
 			s.ServeAll(reqs)
 			static, err := dynamic.StaticOffline(t, objects, reqs)
 			if err != nil {

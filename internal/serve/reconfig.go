@@ -319,7 +319,8 @@ func (c *Cluster) migrateShard(sh *shard, si int, mig *topo.Migration, proj *top
 			rs.DroppedServiceLoad += l - moveLoad[e]
 		}
 	}
-	ns := dynamic.New(mig.Tree, c.numObjects, dynamic.Options{Threshold: c.opts.Threshold})
+	// The options were validated at NewCluster, so MustNew cannot panic.
+	ns := dynamic.MustNew(mig.Tree, c.numObjects, c.dynOpts())
 	ns.ImportLoads(
 		mig.Remap.EdgeLoads(edgeLoad),
 		mig.Remap.EdgeLoads(moveLoad),
@@ -365,6 +366,7 @@ func (c *Cluster) finishReconfigLocked(rs *ReconfigStats, drifted int, congestio
 		StaticCongestion: congestion,
 		MaxEdgeLoad:      c.maxEdgeLoadLocked(),
 		ResolveNs:        rs.Elapsed.Nanoseconds(),
+		Trigger:          TriggerManual,
 	})
 }
 

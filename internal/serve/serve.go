@@ -38,6 +38,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,18 +60,55 @@ type Request = workload.TraceEvent
 // fail with an error satisfying errors.Is(err, ErrClosed).
 var ErrClosed = errors.New("serve: cluster is closed")
 
+// ErrBadOptions reports an invalid Options value, matched with errors.Is
+// through the wrapped error NewCluster returns. Out-of-range values are
+// rejected instead of coerced: a negative epoch cadence or a 65-bit decay
+// shift is always a caller bug, and serving with silently substituted
+// options makes the recorded stats unreproducible.
+var ErrBadOptions = errors.New("serve: invalid options")
+
 // Options tune a Cluster.
 type Options struct {
 	// Shards is the number of object shards (and dynamic strategies)
 	// serving in parallel. <= 0 means 1.
 	Shards int
 	// EpochRequests triggers an epoch re-solve every time this many
-	// requests have been served. 0 disables re-solving entirely (the
-	// cluster is then exactly a sharded dynamic.Strategy).
+	// requests have been served. 0 disables the cadence (the cluster then
+	// re-solves only on drift triggers, or never when those are off too);
+	// negative values are rejected with ErrBadOptions.
 	EpochRequests int64
 	// Threshold is the read-replication threshold of the per-shard dynamic
-	// strategies (see dynamic.Options).
+	// strategies (see dynamic.Options). Must be >= 1.
 	Threshold int
+	// BandwidthAware scales each shard strategy's per-edge replication
+	// budget by edge bandwidth (see dynamic.Options.BandwidthAware): edges
+	// whose crossings are expensive replicate sooner. False keeps the flat
+	// hop threshold.
+	BandwidthAware bool
+	// WriteBudget is the per-shard strategies' contraction budget (see
+	// dynamic.Options.WriteBudget): a multi-copy set survives this many
+	// consecutive writes with no intervening read before it contracts to a
+	// single copy. 0 and 1 both contract on every write (the pre-budget
+	// behavior, still the default); Threshold is the natural opt-in
+	// setting. Negative values are rejected with ErrBadOptions.
+	WriteBudget int
+	// DriftThreshold arms the drift-magnitude epoch trigger: every
+	// DriftCheckRequests served requests the cluster measures how far the
+	// observed frequency vectors have moved since the last adoption — the
+	// request-weighted mean, over drifted objects, of the L1 distance
+	// between each object's normalized new-traffic vector and its
+	// normalized vector at last adoption (range [0,2]; 2 means the new
+	// traffic lands on entirely different processors) — and runs an epoch
+	// pass when the mean is at least DriftThreshold. 0 disables the
+	// trigger; EpochRequests keeps firing as the fallback cadence either
+	// way. Negative or NaN values are rejected with ErrBadOptions.
+	DriftThreshold float64
+	// DriftCheckRequests is the cadence (in served requests) of the
+	// drift-magnitude measurement. 0 defaults to max(1, EpochRequests/8)
+	// when the trigger is armed — checking a few times per fallback epoch —
+	// and is rejected with ErrBadOptions if that leaves no cadence (both
+	// zero) while DriftThreshold is set. Negative values are rejected.
+	DriftCheckRequests int64
 	// Parallelism bounds the workers serving shards of one batch and the
 	// solver's object-parallel stages. <= 0 means GOMAXPROCS.
 	Parallelism int
@@ -96,6 +134,32 @@ type Options struct {
 	Unbatched bool
 }
 
+// validate rejects option values that would silently change serving
+// semantics if coerced. Shards <= 0 meaning 1 and Parallelism <= 0 meaning
+// GOMAXPROCS stay as documented defaults — those are stated semantics, not
+// coercions.
+func (o Options) validate() error {
+	if o.Threshold < 1 {
+		return fmt.Errorf("%w: Threshold %d, want >= 1", ErrBadOptions, o.Threshold)
+	}
+	if o.WriteBudget < 0 {
+		return fmt.Errorf("%w: WriteBudget %d, want >= 0 (0 and 1 contract eagerly)", ErrBadOptions, o.WriteBudget)
+	}
+	if o.EpochRequests < 0 {
+		return fmt.Errorf("%w: EpochRequests %d, want >= 0", ErrBadOptions, o.EpochRequests)
+	}
+	if o.DecayShift > 63 {
+		return fmt.Errorf("%w: DecayShift %d discards all history, want <= 63", ErrBadOptions, o.DecayShift)
+	}
+	if math.IsNaN(o.DriftThreshold) || o.DriftThreshold < 0 {
+		return fmt.Errorf("%w: DriftThreshold %v, want >= 0", ErrBadOptions, o.DriftThreshold)
+	}
+	if o.DriftCheckRequests < 0 {
+		return fmt.Errorf("%w: DriftCheckRequests %d, want >= 0", ErrBadOptions, o.DriftCheckRequests)
+	}
+	return nil
+}
+
 // EpochStat records one epoch pass, for per-epoch comparison against the
 // clairvoyant static optimum.
 type EpochStat struct {
@@ -116,13 +180,30 @@ type EpochStat struct {
 	MaxEdgeLoad int64
 	// ResolveNs is the wall time of the solver call.
 	ResolveNs int64
+	// Trigger records what fired the pass: "cadence" (EpochRequests),
+	// "drift" (the drift-magnitude trigger), or "manual" (ResolveNow and
+	// reconfiguration passes).
+	Trigger string
+	// DriftMagnitude is the measured drift at the start of the pass (the
+	// request-weighted mean L1 distance described at
+	// Options.DriftThreshold), regardless of what triggered it; 0 when no
+	// traffic has drifted since the last adoption.
+	DriftMagnitude float64
 }
+
+// Epoch trigger labels recorded in EpochStat.Trigger.
+const (
+	TriggerCadence = "cadence"
+	TriggerDrift   = "drift"
+	TriggerManual  = "manual"
+)
 
 // Stats is a point-in-time summary of a Cluster.
 type Stats struct {
 	Requests    int64         // requests served
 	ServiceCost int64         // total service cost (sum of Serve costs)
 	Epochs      int64         // epoch passes completed (reconfigures included)
+	DriftEpochs int64         // epoch passes fired by the drift-magnitude trigger
 	Reconfigs   int64         // topology reconfigurations completed
 	Drifted     int64         // objects re-solved, summed over passes
 	AdoptMoved  int64         // adoption movement distance, summed (incl. migration)
@@ -302,8 +383,13 @@ type Cluster struct {
 	closed  atomic.Bool
 	closeMu sync.RWMutex // the ingest gate; see quiesce
 	trigger chan struct{}
-	done    chan struct{}
-	wg      sync.WaitGroup
+	// driftTrigger is the background-mode channel of the drift-magnitude
+	// trigger: a crossing of the DriftCheckRequests cadence enqueues a
+	// (coalescing) check here; the loop measures and fires a pass only
+	// when the measured drift clears DriftThreshold.
+	driftTrigger chan struct{}
+	done         chan struct{}
+	wg           sync.WaitGroup
 
 	// reconfiguring serializes Reconfigure/ReconfigureRolling calls: a
 	// second call arriving while one is in flight fails fast with
@@ -339,10 +425,20 @@ func (c *Cluster) quiesce(fn func()) {
 }
 
 // NewCluster creates a cluster for numObjects objects on t. The tree must
-// be a valid hierarchical bus network.
+// be a valid hierarchical bus network. Invalid options are rejected with
+// an error satisfying errors.Is(err, ErrBadOptions).
 func NewCluster(t *tree.Tree, numObjects int, opts Options) (*Cluster, error) {
 	if numObjects < 0 {
 		return nil, fmt.Errorf("serve: negative object count %d", numObjects)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.DriftThreshold > 0 && opts.DriftCheckRequests == 0 {
+		if opts.EpochRequests == 0 {
+			return nil, fmt.Errorf("%w: DriftThreshold %v with no check cadence (set DriftCheckRequests, or EpochRequests to derive it)", ErrBadOptions, opts.DriftThreshold)
+		}
+		opts.DriftCheckRequests = max(1, opts.EpochRequests/8)
 	}
 	if opts.Shards <= 0 {
 		opts.Shards = 1
@@ -361,8 +457,9 @@ func NewCluster(t *tree.Tree, numObjects int, opts Options) (*Cluster, error) {
 		prev:       workload.New(numObjects, t.Len()),
 	}
 	for i := range c.shards {
+		// Threshold validity was checked above, so New cannot fail here.
 		c.shards[i] = &shard{
-			strat:   dynamic.New(t, numObjects, dynamic.Options{Threshold: opts.Threshold}),
+			strat:   dynamic.MustNew(t, numObjects, c.dynOpts()),
 			tracker: dynamic.NewOfflineTracker(t, numObjects),
 		}
 	}
@@ -377,11 +474,23 @@ func NewCluster(t *tree.Tree, numObjects int, opts Options) (*Cluster, error) {
 	}
 	if opts.Background {
 		c.trigger = make(chan struct{}, 1)
+		c.driftTrigger = make(chan struct{}, 1)
 		c.done = make(chan struct{})
 		c.wg.Add(1)
 		go c.loop()
 	}
 	return c, nil
+}
+
+// dynOpts is the per-shard strategy configuration derived from the
+// cluster's options — one place, so serving shards and reconfiguration
+// rebuilds cannot diverge.
+func (c *Cluster) dynOpts() dynamic.Options {
+	return dynamic.Options{
+		Threshold:      c.opts.Threshold,
+		BandwidthAware: c.opts.BandwidthAware,
+		WriteBudget:    c.opts.WriteBudget,
+	}
 }
 
 // Ingest serves one batch of requests and returns its total service cost.
@@ -394,15 +503,21 @@ func NewCluster(t *tree.Tree, numObjects int, opts Options) (*Cluster, error) {
 // serving batch behind the whole roll would defeat its stall bound; the
 // drift is picked up at the next crossing.
 func (c *Cluster) Ingest(batch []Request) (int64, error) {
-	total, crossed, err := c.serveGated(batch)
-	if err != nil || !crossed {
+	total, crossed, driftCheck, err := c.serveGated(batch)
+	if err != nil || (!crossed && !driftCheck) {
 		return total, err
 	}
 	if !c.reconfiguring.Load() {
 		// Outside the gate: the pass serializes on epochMu alone, so a
 		// reconfiguration quiescing the gate never waits on this batch's
 		// epoch work (and vice versa — no lock-order cycle).
-		if err := c.resolveEpoch(); err != nil {
+		if crossed {
+			// A cadence pass folds all drift anyway, so a coinciding drift
+			// check is subsumed.
+			if err := c.resolveEpoch(TriggerCadence); err != nil {
+				return total, err
+			}
+		} else if err := c.maybeDriftEpoch(); err != nil {
 			return total, err
 		}
 	}
@@ -410,25 +525,25 @@ func (c *Cluster) Ingest(batch []Request) (int64, error) {
 }
 
 // serveGated validates, partitions and serves one batch under the ingest
-// gate's read side. In background mode an epoch crossing enqueues the
-// (non-blocking) trigger here, still under the gate, so Close's quiesce
-// barrier keeps its guarantee that no drained batch is about to enqueue
-// one; in inline mode crossed=true tells Ingest to run the pass AFTER
-// releasing the gate. Nothing that runs under the gate may wait on
-// epochMu.
-func (c *Cluster) serveGated(batch []Request) (total int64, crossed bool, err error) {
+// gate's read side. In background mode an epoch or drift-check crossing
+// enqueues the matching (non-blocking) trigger here, still under the gate,
+// so Close's quiesce barrier keeps its guarantee that no drained batch is
+// about to enqueue one; in inline mode crossed/driftCheck tell Ingest to
+// run the work AFTER releasing the gate. Nothing that runs under the gate
+// may wait on epochMu — crossing detection is pure counter arithmetic.
+func (c *Cluster) serveGated(batch []Request) (total int64, crossed, driftCheck bool, err error) {
 	c.closeMu.RLock()
 	defer c.closeMu.RUnlock()
 	if c.closed.Load() {
-		return 0, false, ErrClosed
+		return 0, false, false, ErrClosed
 	}
 	for i := range batch {
 		r := &batch[i]
 		if r.Object < 0 || r.Object >= c.numObjects {
-			return 0, false, fmt.Errorf("serve: request %d: object %d out of range [0,%d)", i, r.Object, c.numObjects)
+			return 0, false, false, fmt.Errorf("serve: request %d: object %d out of range [0,%d)", i, r.Object, c.numObjects)
 		}
 		if r.Node < 0 || int(r.Node) >= len(c.isLeaf) || !c.isLeaf[r.Node] {
-			return 0, false, fmt.Errorf("serve: request %d: node %d is not a processor", i, r.Node)
+			return 0, false, false, fmt.Errorf("serve: request %d: node %d is not a processor", i, r.Node)
 		}
 	}
 	sc := c.scratch.Get().(*ingestScratch)
@@ -442,7 +557,8 @@ func (c *Cluster) serveGated(batch []Request) (total int64, crossed bool, err er
 	}
 	c.scratch.Put(sc)
 	after := c.served.Add(int64(len(batch)))
-	if e := c.opts.EpochRequests; e > 0 && (after-int64(len(batch)))/e != after/e {
+	before := after - int64(len(batch))
+	if e := c.opts.EpochRequests; e > 0 && before/e != after/e {
 		if c.opts.Background {
 			select {
 			case c.trigger <- struct{}{}:
@@ -452,7 +568,17 @@ func (c *Cluster) serveGated(batch []Request) (total int64, crossed bool, err er
 			crossed = true
 		}
 	}
-	return total, crossed, nil
+	if d := c.opts.DriftCheckRequests; c.opts.DriftThreshold > 0 && d > 0 && before/d != after/d {
+		if c.opts.Background {
+			select {
+			case c.driftTrigger <- struct{}{}:
+			default: // a check is already pending; it will see our drift
+			}
+		} else {
+			driftCheck = true
+		}
+	}
+	return total, crossed, driftCheck, nil
 }
 
 // ResolveNow forces an epoch pass synchronously (used by benchmarks to
@@ -461,16 +587,108 @@ func (c *Cluster) ResolveNow() error {
 	if c.closed.Load() {
 		return ErrClosed
 	}
-	return c.resolveEpoch()
+	return c.resolveEpoch(TriggerManual)
 }
 
 // resolveEpoch is the epoch pass: drain per-shard drift, fold the drifted
 // rows into the solver workload, Solve/Resolve, and push the fresh copy
 // sets back into the shards.
-func (c *Cluster) resolveEpoch() error {
+func (c *Cluster) resolveEpoch(trigger string) error {
 	c.epochMu.Lock()
 	defer c.epochMu.Unlock()
-	return c.resolveEpochLocked()
+	return c.resolveEpochLocked(trigger)
+}
+
+// maybeDriftEpoch measures the drift magnitude and runs an epoch pass only
+// when it clears DriftThreshold — the drift-triggered path of Ingest and
+// the background loop. Like resolveEpoch it serializes on epochMu alone
+// and must be called outside the ingest gate.
+func (c *Cluster) maybeDriftEpoch() error {
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+	if c.driftMagnitudeLocked() < c.opts.DriftThreshold {
+		return nil
+	}
+	return c.resolveEpochLocked(TriggerDrift)
+}
+
+// driftMagnitudeLocked measures how far the observed traffic has moved
+// since the last adoption (caller holds epochMu): for each object with new
+// traffic, the L1 distance between its normalized new-traffic frequency
+// vector (tracker row minus the row at last fold) and its normalized
+// vector as of the last fold — 0 when the new traffic lands exactly where
+// the adopted placement was solved for, 2 when it lands on entirely
+// different processors (a brand-new object counts as 2) — averaged over
+// drifted objects weighted by their new request mass, with a per-object
+// sampling-noise floor subtracted so thin traffic does not read as drift. Comparing new mass
+// against the last-adoption distribution rather than cumulative totals
+// keeps a long stable history from diluting a sharp phase shift. Reading
+// each shard's rows under its lock without draining the drift queue keeps
+// the measurement race-free and the epoch pass's own fold intact.
+func (c *Cluster) driftMagnitudeLocked() float64 {
+	leaves := c.t.Leaves()
+	var num, den float64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		shw := sh.tracker.Workload()
+		sh.tracker.DriftedFunc(func(x int) {
+			dTot, d := c.objectDriftLocked(shw.Row(x), x, leaves)
+			if dTot <= 0 {
+				return // queued by a reconfigure re-warm, no new traffic
+			}
+			num += float64(dTot) * d
+			den += float64(dTot)
+		})
+		sh.mu.Unlock()
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// objectDriftLocked measures one object's drift (caller holds epochMu and
+// may read row under its shard's lock): the new request mass since the
+// last fold, and the noise-floored L1 distance between the normalized
+// new-traffic vector and the normalized vector as of the last fold.
+func (c *Cluster) objectDriftLocked(row []workload.Access, x int, leaves []tree.NodeID) (dTot int64, d float64) {
+	var pTot int64
+	for _, v := range leaves {
+		cur, old := row[v], c.prev.At(x, v)
+		dTot += (cur.Reads - old.Reads) + (cur.Writes - old.Writes)
+		pTot += old.Reads + old.Writes
+	}
+	if dTot <= 0 {
+		return dTot, 0
+	}
+	d = 2.0
+	if pTot > 0 {
+		d = 0
+		var support int
+		for _, v := range leaves {
+			cur, old := row[v], c.prev.At(x, v)
+			dl := (cur.Reads - old.Reads) + (cur.Writes - old.Writes)
+			pl := old.Reads + old.Writes
+			if dl > 0 || pl > 0 {
+				support++
+			}
+			d += math.Abs(float64(dl)/float64(dTot) - float64(pl)/float64(pTot))
+		}
+		// Small-sample correction: two empirical frequency vectors
+		// drawn from the SAME distribution still sit at an expected
+		// L1 distance of about sqrt(k/n) each (k = support size,
+		// n = sample mass), so subtract that noise floor from the
+		// raw distance. Without it a handful of requests since the
+		// last adoption reads as drift and the trigger fires on
+		// sampling noise at every check; a real phase shift moves
+		// mass to different processors entirely (raw distance near
+		// 2) and clears the corrected threshold easily.
+		d -= math.Sqrt(float64(support)/float64(dTot)) + math.Sqrt(float64(support)/float64(pTot))
+		if d < 0 {
+			d = 0
+		}
+	}
+	return dTot, d
 }
 
 // collectDriftLocked drains every shard tracker's drift into the solver
@@ -486,6 +704,7 @@ func (c *Cluster) collectDriftLocked() []int {
 	changed := c.changedBuf[:0]
 	leaves := c.t.Leaves()
 	shift := c.opts.DecayShift
+	armed := c.opts.DriftThreshold > 0
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 		from := len(changed)
@@ -493,11 +712,30 @@ func (c *Cluster) collectDriftLocked() []int {
 		shw := sh.tracker.Workload()
 		for _, x := range changed[from:] {
 			row := shw.Row(x)
+			// With the drift trigger armed, the fold also discounts the
+			// object's decayed history by its measured drift: an object
+			// whose new traffic lands where the old did (d near 0) keeps
+			// its full decayed mass, one whose traffic moved to entirely
+			// different processors (d near 2) forgets the stale history
+			// outright — otherwise the solver keeps placing for a
+			// distribution that no longer exists for several folds after
+			// a phase shift, and the adopted placement lags the traffic.
+			keep := 1.0
+			if armed {
+				if _, d := c.objectDriftLocked(row, x, leaves); d > 0 {
+					keep = 1 - d/2
+				}
+			}
 			for _, v := range leaves {
 				cur, old, was := row[v], c.prev.At(x, v), c.w.At(x, v)
+				r, w := was.Reads>>shift, was.Writes>>shift
+				if keep < 1 {
+					r = int64(float64(r) * keep)
+					w = int64(float64(w) * keep)
+				}
 				c.w.Set(x, v, workload.Access{
-					Reads:  was.Reads>>shift + cur.Reads - old.Reads,
-					Writes: was.Writes>>shift + cur.Writes - old.Writes,
+					Reads:  r + cur.Reads - old.Reads,
+					Writes: w + cur.Writes - old.Writes,
 				})
 				c.prev.Set(x, v, cur)
 			}
@@ -508,9 +746,14 @@ func (c *Cluster) collectDriftLocked() []int {
 	return changed
 }
 
-func (c *Cluster) resolveEpochLocked() error {
+func (c *Cluster) resolveEpochLocked(trigger string) error {
 	start := time.Now()
 	startReqs := c.served.Load() // snapshot: ingestion continues during the pass
+
+	// Measured before the fold below overwrites c.prev — this is the drift
+	// the pass is reacting to, recorded for every pass so cadence and
+	// drift-triggered epochs are comparable in the log.
+	driftMag := c.driftMagnitudeLocked()
 
 	changed := c.collectDriftLocked()
 
@@ -559,6 +802,9 @@ func (c *Cluster) resolveEpochLocked() error {
 
 	elapsed := time.Since(start)
 	c.stats.Epochs++
+	if trigger == TriggerDrift {
+		c.stats.DriftEpochs++
+	}
 	c.stats.Drifted += int64(len(changed))
 	c.stats.AdoptMoved += moved
 	c.stats.ResolveTime += elapsed
@@ -570,6 +816,8 @@ func (c *Cluster) resolveEpochLocked() error {
 		StaticCongestion: res.Report.Congestion.Float(),
 		MaxEdgeLoad:      c.maxEdgeLoadLocked(),
 		ResolveNs:        elapsed.Nanoseconds(),
+		Trigger:          trigger,
+		DriftMagnitude:   driftMag,
 	})
 	return nil
 }
@@ -585,7 +833,13 @@ func (c *Cluster) loop() {
 			// A failing pass leaves serving untouched; the error is
 			// retained (LastResolveErr, also returned by Close) so silent
 			// degradation to the no-re-solve baseline is observable.
-			if err := c.resolveEpoch(); err != nil {
+			if err := c.resolveEpoch(TriggerCadence); err != nil {
+				c.epochMu.Lock()
+				c.lastErr = err
+				c.epochMu.Unlock()
+			}
+		case <-c.driftTrigger:
+			if err := c.maybeDriftEpoch(); err != nil {
 				c.epochMu.Lock()
 				c.lastErr = err
 				c.epochMu.Unlock()
@@ -619,10 +873,20 @@ func (c *Cluster) Close() error {
 		c.quiesce(nil)
 		// A trigger enqueued after the loop's final select would be
 		// dropped, abandoning the drift it announced; drain it with one
-		// last synchronous pass (a no-op when ResolveNow already ran).
+		// last synchronous pass (a no-op when ResolveNow already ran). A
+		// pending drift check is drained the same way — it may decline.
 		select {
 		case <-c.trigger:
-			if err := c.resolveEpoch(); err != nil {
+			if err := c.resolveEpoch(TriggerCadence); err != nil {
+				c.epochMu.Lock()
+				c.lastErr = err
+				c.epochMu.Unlock()
+			}
+		default:
+		}
+		select {
+		case <-c.driftTrigger:
+			if err := c.maybeDriftEpoch(); err != nil {
 				c.epochMu.Lock()
 				c.lastErr = err
 				c.epochMu.Unlock()

@@ -41,7 +41,7 @@ func TestClusterMatchesPlainStrategy(t *testing.T) {
 		const objects = 9
 		reqs := dynamic.RandomSequence(rng, inst.tr, objects, 1500, 0.2)
 
-		ref := dynamic.New(inst.tr, objects, dynamic.Options{Threshold: 2})
+		ref := dynamic.MustNew(inst.tr, objects, dynamic.Options{Threshold: 2})
 		refCost := ref.ServeAll(reqs)
 
 		for _, shards := range []int{1, 2, 4, 7} {
@@ -208,7 +208,7 @@ func TestClusterAdoptionWarmsState(t *testing.T) {
 // epoch), and an unchanged placement does not move copies.
 func TestClusterResolveNoDriftIsNoop(t *testing.T) {
 	tr := tree.Star(6, 8)
-	c, err := NewCluster(tr, 3, Options{})
+	c, err := NewCluster(tr, 3, Options{Threshold: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +243,7 @@ func TestClusterResolveNoDriftIsNoop(t *testing.T) {
 // serving anything; a closed cluster rejects everything.
 func TestClusterValidationAndClose(t *testing.T) {
 	tr := tree.Star(4, 8)
-	c, err := NewCluster(tr, 2, Options{Shards: 2})
+	c, err := NewCluster(tr, 2, Options{Shards: 2, Threshold: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -116,14 +116,19 @@ func (c *Cluster) captureLocked() *snapshot.State {
 		Tree:       c.t,
 		NumObjects: c.numObjects,
 
-		EpochRequests: c.opts.EpochRequests,
-		Threshold:     c.opts.Threshold,
-		DecayShift:    uint32(c.opts.DecayShift),
-		Unbatched:     c.opts.Unbatched,
+		EpochRequests:      c.opts.EpochRequests,
+		Threshold:          c.opts.Threshold,
+		DecayShift:         uint32(c.opts.DecayShift),
+		Unbatched:          c.opts.Unbatched,
+		BandwidthAware:     c.opts.BandwidthAware,
+		WriteBudget:        c.opts.WriteBudget,
+		DriftThreshold:     c.opts.DriftThreshold,
+		DriftCheckRequests: c.opts.DriftCheckRequests,
 
 		Solved:             c.solved,
 		Served:             c.served.Load(),
 		Epochs:             c.stats.Epochs,
+		DriftEpochs:        c.stats.DriftEpochs,
 		Reconfigs:          c.stats.Reconfigs,
 		DriftedTotal:       c.stats.Drifted,
 		AdoptMoved:         c.stats.AdoptMoved,
@@ -146,6 +151,8 @@ func (c *Cluster) captureLocked() *snapshot.State {
 			StaticCongestion: e.StaticCongestion,
 			MaxEdgeLoad:      e.MaxEdgeLoad,
 			ResolveNs:        e.ResolveNs,
+			Trigger:          e.Trigger,
+			DriftMagnitude:   e.DriftMagnitude,
 		}
 	}
 	for si, sh := range c.shards {
@@ -256,13 +263,17 @@ func RestoreState(st *snapshot.State, opts RestoreOptions) (*Cluster, error) {
 	}
 
 	c, err := NewCluster(st.Tree, st.NumObjects, Options{
-		Shards:        nshards,
-		EpochRequests: st.EpochRequests,
-		Threshold:     st.Threshold,
-		Parallelism:   opts.Parallelism,
-		Background:    opts.Background,
-		DecayShift:    uint(st.DecayShift),
-		Unbatched:     st.Unbatched,
+		Shards:             nshards,
+		EpochRequests:      st.EpochRequests,
+		Threshold:          st.Threshold,
+		Parallelism:        opts.Parallelism,
+		Background:         opts.Background,
+		DecayShift:         uint(st.DecayShift),
+		Unbatched:          st.Unbatched,
+		BandwidthAware:     st.BandwidthAware,
+		WriteBudget:        st.WriteBudget,
+		DriftThreshold:     st.DriftThreshold,
+		DriftCheckRequests: st.DriftCheckRequests,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
@@ -301,6 +312,7 @@ func (c *Cluster) installState(st *snapshot.State) error {
 	c.served.Store(st.Served)
 	c.snapSeq = st.Seq
 	c.stats.Epochs = st.Epochs
+	c.stats.DriftEpochs = st.DriftEpochs
 	c.stats.Reconfigs = st.Reconfigs
 	c.stats.Drifted = st.DriftedTotal
 	c.stats.AdoptMoved = st.AdoptMoved
@@ -317,6 +329,8 @@ func (c *Cluster) installState(st *snapshot.State) error {
 			StaticCongestion: e.StaticCongestion,
 			MaxEdgeLoad:      e.MaxEdgeLoad,
 			ResolveNs:        e.ResolveNs,
+			Trigger:          e.Trigger,
+			DriftMagnitude:   e.DriftMagnitude,
 		}
 	}
 	if st.Solved {

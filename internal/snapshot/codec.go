@@ -13,8 +13,13 @@ import (
 
 // Header layout: magic(8) + version(4) + bodyLen(8); trailer: crc(4).
 const (
-	magic      = "HBNSNAP1"
-	version    = 1
+	magic = "HBNSNAP1"
+	// version 2 added the bandwidth-aware / drift-trigger options, the
+	// drift-epoch counter and the per-epoch trigger fields. Decode accepts
+	// exactly the current version: a v1 reader meeting a v2 image and this
+	// reader meeting a v1 image both fail the same typed way (ErrCorrupt),
+	// and the generation ladder's cold-solve fallback takes over.
+	version    = 2
 	headerSize = len(magic) + 4 + 8
 	crcSize    = 4
 	// maxCells bounds the decoded workload dimensions (objects × nodes),
@@ -26,10 +31,10 @@ const (
 // enc is the append-only body encoder.
 type enc struct{ b []byte }
 
-func (e *enc) uvarint(v uint64)  { e.b = binary.AppendUvarint(e.b, v) }
-func (e *enc) varint(v int64)    { e.b = binary.AppendVarint(e.b, v) }
-func (e *enc) byte(v byte)       { e.b = append(e.b, v) }
-func (e *enc) f64(v float64)     { e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v)) }
+func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) byte(v byte)      { e.b = append(e.b, v) }
+func (e *enc) f64(v float64)    { e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v)) }
 func (e *enc) bytes(p []byte) {
 	e.uvarint(uint64(len(p)))
 	e.b = append(e.b, p...)
@@ -77,9 +82,16 @@ func Encode(st *State) []byte {
 	if st.Solved {
 		flags |= 2
 	}
+	if st.BandwidthAware {
+		flags |= 4
+	}
 	e.byte(flags)
+	e.varint(int64(st.WriteBudget))
+	e.f64(st.DriftThreshold)
+	e.varint(st.DriftCheckRequests)
 	e.varint(st.Served)
 	e.varint(st.Epochs)
+	e.varint(st.DriftEpochs)
 	e.varint(st.Reconfigs)
 	e.varint(st.DriftedTotal)
 	e.varint(st.AdoptMoved)
@@ -107,6 +119,8 @@ func Encode(st *State) []byte {
 		e.f64(r.StaticCongestion)
 		e.varint(r.MaxEdgeLoad)
 		e.varint(r.ResolveNs)
+		e.byte(encodeTrigger(r.Trigger))
+		e.f64(r.DriftMagnitude)
 	}
 
 	for i := range st.ShardStates {
@@ -158,6 +172,7 @@ func Encode(st *State) []byte {
 			e.uvarint(uint64(ec.Edge))
 			e.uvarint(uint64(ec.Count))
 		}
+		e.uvarint(uint64(o.WriteStreak))
 	}
 
 	body := e.b
@@ -168,6 +183,40 @@ func Encode(st *State) []byte {
 	out = append(out, body...)
 	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
 	return out
+}
+
+// Epoch trigger wire codes. The empty string round-trips as its own code
+// so hand-built states (fuzz corpus seeds, tests) encode losslessly.
+func encodeTrigger(t string) byte {
+	switch t {
+	case "cadence":
+		return 0
+	case "drift":
+		return 1
+	case "manual":
+		return 2
+	case "":
+		return 3
+	default:
+		// Triggers come from the serve package's closed label set; an
+		// unknown one is a programming error, like an unencodable tree.
+		panic("snapshot: unknown epoch trigger " + t)
+	}
+}
+
+func decodeTrigger(b byte) (string, bool) {
+	switch b {
+	case 0:
+		return "cadence", true
+	case 1:
+		return "drift", true
+	case 2:
+		return "manual", true
+	case 3:
+		return "", true
+	default:
+		return "", false
+	}
 }
 
 // dec is the sticky-error body decoder. Every count it trusts is first
@@ -362,13 +411,24 @@ func decodeBody(body []byte) (*State, error) {
 	st.EpochRequests = d.varint()
 	st.DecayShift = uint32(d.val(63, "decay shift"))
 	flags := d.byte()
-	if flags&^byte(3) != 0 {
+	if flags&^byte(7) != 0 {
 		d.fail("unknown state flags %#x", flags)
 	}
 	st.Unbatched = flags&1 != 0
 	st.Solved = flags&2 != 0
+	st.BandwidthAware = flags&4 != 0
+	st.WriteBudget = int(d.nonneg("write budget"))
+	st.DriftThreshold = d.f64()
+	if d.err == nil && (math.IsNaN(st.DriftThreshold) || st.DriftThreshold < 0) {
+		d.fail("drift threshold %v out of range", st.DriftThreshold)
+	}
+	st.DriftCheckRequests = d.nonneg("drift check cadence")
 	st.Served = d.nonneg("served count")
 	st.Epochs = d.nonneg("epoch count")
+	st.DriftEpochs = d.nonneg("drift epoch count")
+	if d.err == nil && st.DriftEpochs > st.Epochs {
+		d.fail("drift epochs %d exceed epochs %d", st.DriftEpochs, st.Epochs)
+	}
 	st.Reconfigs = d.nonneg("reconfig count")
 	st.DriftedTotal = d.nonneg("drift total")
 	st.AdoptMoved = d.nonneg("adoption distance")
@@ -414,6 +474,18 @@ func decodeBody(body []byte) (*State, error) {
 			r.StaticCongestion = d.f64()
 			r.MaxEdgeLoad = d.varint()
 			r.ResolveNs = d.varint()
+			tb := d.byte()
+			if trig, ok := decodeTrigger(tb); ok {
+				r.Trigger = trig
+			} else if d.err == nil {
+				d.fail("epoch %d: unknown trigger %#x", i, tb)
+			}
+			r.DriftMagnitude = d.f64()
+			// The magnitude is a mean L1 distance of normalized frequency
+			// vectors, bounded by 2 (small float slack for summation order).
+			if d.err == nil && (math.IsNaN(r.DriftMagnitude) || r.DriftMagnitude < 0 || r.DriftMagnitude > 2.0000001) {
+				d.fail("epoch %d: drift magnitude %v out of range", i, r.DriftMagnitude)
+			}
 			if d.err != nil {
 				break
 			}
@@ -506,6 +578,7 @@ func decodeBody(body []byte) (*State, error) {
 					Count: int32(d.val(math.MaxInt32, "counter value")),
 				}
 			}
+			o.WriteStreak = uint32(d.val(math.MaxUint32, "write streak"))
 			if d.err != nil {
 				break
 			}

@@ -9,7 +9,10 @@
 // A snapshot file is
 //
 //	magic   8 bytes  "HBNSNAP1"
-//	version u32 LE   currently 1
+//	version u32 LE   currently 2 (v2 added the bandwidth-aware and
+//	                 drift-trigger options and the per-epoch trigger
+//	                 fields; older readers reject v2 images, and this
+//	                 reader rejects v1 and earlier, both with ErrCorrupt)
 //	bodyLen u64 LE   length of body in bytes
 //	body    bodyLen  varint-packed sections (see codec.go)
 //	crc     u32 LE   CRC-32 (IEEE) of body
@@ -69,8 +72,8 @@ import (
 // start), ErrCorrupt means "something was written and none of it is
 // usable" (fall back to a cold solve, and worry).
 var (
-	ErrCorrupt      = errors.New("snapshot: corrupt snapshot")
-	ErrNoSnapshot   = errors.New("snapshot: no snapshot")
+	ErrCorrupt       = errors.New("snapshot: corrupt snapshot")
+	ErrNoSnapshot    = errors.New("snapshot: no snapshot")
 	ErrInjectedCrash = errors.New("snapshot: injected crash")
 )
 
@@ -100,11 +103,19 @@ type State struct {
 	Threshold     int
 	DecayShift    uint32
 	Unbatched     bool
+	// v2 options: the per-edge replication budgets, the write-contraction
+	// budget and the drift trigger change serving decisions, so they are
+	// pinned like Threshold.
+	BandwidthAware     bool
+	WriteBudget        int
+	DriftThreshold     float64
+	DriftCheckRequests int64
 
 	// Epoch machinery at the cut.
 	Solved             bool // the solver was armed (restore re-arms it)
 	Served             int64
 	Epochs             int64
+	DriftEpochs        int64
 	Reconfigs          int64
 	DriftedTotal       int64
 	AdoptMoved         int64
@@ -131,6 +142,10 @@ type EpochRec struct {
 	StaticCongestion float64
 	MaxEdgeLoad      int64
 	ResolveNs        int64
+	// v2: what fired the pass ("cadence", "drift" or "manual"; encoded as
+	// a validated byte) and the drift magnitude measured at its start.
+	Trigger        string
+	DriftMagnitude float64
 }
 
 // ShardState is one shard's non-per-object state.

@@ -50,17 +50,26 @@ func mkState(seq uint64) *State {
 		Threshold:     3,
 		DecayShift:    1,
 		Unbatched:     false,
-		Solved:        true,
-		Served:        1500,
-		Epochs:        3,
-		Reconfigs:     1,
-		DriftedTotal:  9,
-		AdoptMoved:    17,
-		ResolveTimeNs: 123456,
-		DroppedLoad:   11, DroppedServiceLoad: 7,
+		// v2 options: all non-default, so the round-trip and the fuzz
+		// corpus (seeded from this state) cover the extended image.
+		BandwidthAware:     true,
+		WriteBudget:        3,
+		DriftThreshold:     0.25,
+		DriftCheckRequests: 100,
+		Solved:             true,
+		Served:             1500,
+		Epochs:             3,
+		DriftEpochs:        1,
+		Reconfigs:          1,
+		DriftedTotal:       9,
+		AdoptMoved:         17,
+		ResolveTimeNs:      123456,
+		DroppedLoad:        11, DroppedServiceLoad: 7,
 		EpochLog: []EpochRec{
-			{Epoch: 1, Requests: 400, Drifted: 3, Moved: 6, StaticCongestion: 1.25, MaxEdgeLoad: 40, ResolveNs: 1000},
-			{Epoch: 2, Requests: 800, Drifted: 2, Moved: 0, StaticCongestion: 0.5, MaxEdgeLoad: 55, ResolveNs: 900},
+			{Epoch: 1, Requests: 400, Drifted: 3, Moved: 6, StaticCongestion: 1.25, MaxEdgeLoad: 40, ResolveNs: 1000,
+				Trigger: "cadence"},
+			{Epoch: 2, Requests: 800, Drifted: 2, Moved: 0, StaticCongestion: 0.5, MaxEdgeLoad: 55, ResolveNs: 900,
+				Trigger: "drift", DriftMagnitude: 0.4},
 		},
 		SolverW: sw,
 		PrevW:   pw,
@@ -73,7 +82,7 @@ func mkState(seq uint64) *State {
 			{Present: true, Copies: []tree.NodeID{leaves[0]}, AnchorTop: leaves[0],
 				Counters: []dynamic.EdgeCounter{{Edge: 0, Count: 2}, {Edge: tree.EdgeID(ne - 1), Count: 1}}},
 			{Present: true, Copies: []tree.NodeID{leaves[0], leaves[1]}, TableValid: true,
-				Nearest: nearest, NDist: ndist},
+				Nearest: nearest, NDist: ndist, WriteStreak: 2},
 			{Present: true, Copies: []tree.NodeID{leaves[2]}, AnchorTop: leaves[2]},
 		},
 	}
@@ -152,12 +161,20 @@ func TestDecodeRejectsHostileHeaders(t *testing.T) {
 	copy(badVersion, good)
 	binary.LittleEndian.PutUint32(badVersion[len(magic):], 99)
 
+	// The version check is exact, not a ceiling: a v1 header on an image
+	// that carries v2 fields must be refused, because a v1-shaped read of
+	// a v2 body would silently misparse the option block.
+	oldVersion := make([]byte, len(good))
+	copy(oldVersion, good)
+	binary.LittleEndian.PutUint32(oldVersion[len(magic):], 1)
+
 	cases := map[string][]byte{
 		"empty":          {},
 		"short":          good[:headerSize+crcSize-1],
 		"bad magic":      append([]byte("NOTASNAP"), good[len(magic):]...),
 		"forged length":  huge,
 		"future version": badVersion,
+		"past version":   oldVersion,
 	}
 	for name, data := range cases {
 		if _, err := Decode(data); !errors.Is(err, ErrCorrupt) {
