@@ -1,0 +1,82 @@
+// Command hbnd is the serving daemon: a TCP front end over the sharded
+// serving cluster with bounded admission, deadline budgets, durable
+// snapshot + tail-log restart, graceful SIGTERM drain, and live
+// process-to-process handoff. See README "Running hbnd" for the
+// protocol and overload semantics.
+//
+// Usage:
+//
+//	hbnd -addr :7420 -snapshot /var/lib/hbn/state.snap
+//	hbnd -addr :7421 -snapshot /var/lib/hbn/standby.snap -standby
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"hbn/internal/hbnd"
+)
+
+func main() {
+	var cfg hbnd.Config
+	flag.StringVar(&cfg.Addr, "addr", "127.0.0.1:7420", "TCP listen address")
+	flag.StringVar(&cfg.SnapshotPath, "snapshot", "", "durable snapshot path (required)")
+	flag.StringVar(&cfg.TailPath, "tail", "", "tail log path (default <snapshot>.tail)")
+	flag.IntVar(&cfg.Switches, "switches", 4, "cold start: top-ring switch count")
+	flag.IntVar(&cfg.ProcsPerRing, "procs", 4, "cold start: processors per leaf ring")
+	flag.Int64Var(&cfg.RingBW, "ringbw", 4, "cold start: leaf ring bandwidth")
+	flag.Int64Var(&cfg.SwitchBW, "switchbw", 8, "cold start: switch bandwidth")
+	flag.IntVar(&cfg.NumObjects, "objects", 1024, "cold start: object count")
+	flag.Int64Var(&cfg.EpochRequests, "epoch", 4096, "cold start: requests per epoch re-solve")
+	flag.IntVar(&cfg.Threshold, "threshold", 3, "cold start: read-replication threshold")
+	flag.IntVar(&cfg.Shards, "shards", 4, "cold start: serving shards")
+	flag.IntVar(&cfg.Parallelism, "parallelism", 0, "worker bound for batch serving and the solver (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.QueueCap, "queue", 64, "admission queue capacity (full queue sheds)")
+	flag.BoolVar(&cfg.Standby, "standby", false, "start as a warm standby awaiting a live handoff")
+	flag.Parse()
+
+	if cfg.SnapshotPath == "" {
+		fmt.Fprintln(os.Stderr, "hbnd: -snapshot is required")
+		os.Exit(2)
+	}
+	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	cfg.Logf = logger.Printf
+
+	d, err := hbnd.New(cfg)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if err := d.Listen(); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("hbnd: listening on %s", d.Addr())
+
+	// SIGTERM/SIGINT → graceful drain: stop accepting, apply the admitted
+	// queue, final snapshot, exit 0. A second signal force-exits.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		<-sigc
+		logger.Printf("hbnd: signal received, draining")
+		go func() {
+			<-sigc
+			logger.Printf("hbnd: second signal, forcing exit")
+			os.Exit(1)
+		}()
+		if _, err := d.Drain(); err != nil {
+			logger.Printf("hbnd: drain: %v", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}()
+
+	if err := d.Serve(); err != nil {
+		logger.Fatal(err)
+	}
+	// Listener closed by a drain in flight: wait for it to finish.
+	select {}
+}

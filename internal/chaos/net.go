@@ -1,0 +1,361 @@
+package chaos
+
+// Network fault injection for the hbnd serving daemon: where chaos.Run
+// attacks the cluster's topology, RunNet attacks its wire surface — the
+// three failure shapes a daemon on a real network must absorb without
+// corrupting its conservation ledger:
+//
+//   - torn connections: a client dies mid-frame. The CRC-framed protocol
+//     means a partial ingest frame can never decode, so a torn batch is
+//     never applied — it simply does not exist, on either side of the
+//     ledger.
+//   - slow-loris peers: a connection trickling bytes slower than the
+//     daemon's idle timeout is cut off instead of pinning its handler
+//     goroutine, while well-behaved clients on other connections are
+//     unaffected.
+//   - overload storms: no-backoff clients past the admission queue's
+//     capacity are shed with the typed overload error; every shed the
+//     daemon counts is one a client observed, and shed work leaves no
+//     trace in the cluster.
+//
+// The determinism contract matches chaos.Run: traffic is a pure function
+// of NetOptions.Seed; only the interleaving varies, and the final-ledger
+// invariants RunNet checks must hold under every interleaving. The run
+// ends with a graceful drain and a restart from the drain snapshot, so
+// every invocation also proves the fault barrage left a recoverable
+// on-disk state behind.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hbn/internal/hbnd"
+	"hbn/internal/tree"
+	"hbn/internal/wire"
+	"hbn/internal/workload"
+)
+
+// NetOptions shape one network-chaos run against a freshly started hbnd
+// daemon. Dir (a scratch directory for the daemon's snapshot + tail
+// state) is required; everything else has defaults.
+type NetOptions struct {
+	Seed int64
+	Dir  string
+
+	// Ingesters well-behaved clients each send Batches batches of Batch
+	// events, retrying sheds with backoff (the wire client's default
+	// policy). Defaults: 3 ingesters, 24 batches of 64.
+	Ingesters, Batch, Batches int
+	// Objects is the daemon's object-space size (default 48).
+	Objects int
+
+	// QueueCap bounds the daemon's admission queue (default 4) and
+	// ApplyDelay pins its per-batch apply time, so the storm's offered
+	// load provably exceeds sustainable throughput on any hardware.
+	QueueCap   int
+	ApplyDelay time.Duration
+	// IdleTimeout is the daemon's per-frame read deadline — the
+	// slow-loris cutoff (default 250ms, kept short for test runs).
+	IdleTimeout time.Duration
+
+	// TornConns connections each die after writing half an ingest frame.
+	// SlowLoris connections trickle bytes slower than IdleTimeout until
+	// the daemon cuts them off. StormClients no-retry clients each hammer
+	// StormBatches batches of StormBatch events as fast as the socket
+	// allows. Defaults: 0, 0, and 0/16/32 respectively.
+	TornConns, SlowLoris                   int
+	StormClients, StormBatches, StormBatch int
+}
+
+func (o *NetOptions) defaults() {
+	if o.Ingesters <= 0 {
+		o.Ingesters = 3
+	}
+	if o.Batch <= 0 {
+		o.Batch = 64
+	}
+	if o.Batches <= 0 {
+		o.Batches = 24
+	}
+	if o.Objects <= 0 {
+		o.Objects = 48
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 4
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 250 * time.Millisecond
+	}
+	if o.StormBatches <= 0 {
+		o.StormBatches = 16
+	}
+	if o.StormBatch <= 0 {
+		o.StormBatch = 32
+	}
+}
+
+// NetResult is what one network-chaos run measured. The invariants are
+// checked inside RunNet; a violation comes back as the error.
+type NetResult struct {
+	// AcceptedEvents / AcceptedCost sum over every batch a client saw
+	// acknowledged (ingesters and storm both).
+	AcceptedEvents, AcceptedCost int64
+	// ShedBatches / ShedEvents count the typed overload replies clients
+	// observed — reconciled exactly against the daemon's own counters.
+	ShedBatches, ShedEvents int64
+	// TornConns / LorisCutoffs count injected faults that completed.
+	TornConns, LorisCutoffs int
+	// RestartRequests is the request count recovered from the drain
+	// snapshot by a fresh daemon — equal to AcceptedEvents when the
+	// barrage left consistent durable state.
+	RestartRequests int64
+	// Stats is the daemon's final counter set, read before the drain.
+	Stats *wire.DaemonStats
+}
+
+// RunNet starts an hbnd daemon, drives it with concurrent well-behaved
+// traffic while injecting the scripted network faults, then verifies the
+// conservation ledger, drains, and restarts from the drain snapshot.
+func RunNet(o NetOptions) (*NetResult, error) {
+	o.defaults()
+	if o.Dir == "" {
+		return nil, errors.New("chaos: NetOptions.Dir is required")
+	}
+	cfg := hbnd.Config{
+		Addr:          "127.0.0.1:0",
+		SnapshotPath:  filepath.Join(o.Dir, "state.hbn"),
+		Switches:      3,
+		ProcsPerRing:  3,
+		RingBW:        4,
+		SwitchBW:      8,
+		NumObjects:    o.Objects,
+		EpochRequests: 1000,
+		Threshold:     3,
+		Shards:        4,
+		QueueCap:      o.QueueCap,
+		IdleTimeout:   o.IdleTimeout,
+	}
+	d, err := hbnd.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: net: %w", err)
+	}
+	defer d.Close()
+	if err := d.Listen(); err != nil {
+		return nil, fmt.Errorf("chaos: net: %w", err)
+	}
+	go d.Serve()
+	d.SetApplyDelay(o.ApplyDelay)
+	addr := d.Addr()
+
+	leaves := tree.SCICluster(cfg.Switches, cfg.ProcsPerRing, cfg.RingBW, cfg.SwitchBW).Leaves()
+	mkBatch := func(rng *rand.Rand, n int) []workload.TraceEvent {
+		batch := make([]workload.TraceEvent, n)
+		for i := range batch {
+			batch[i] = workload.TraceEvent{
+				Object: rng.Intn(o.Objects),
+				Node:   leaves[rng.Intn(len(leaves))],
+				Write:  rng.Intn(10) == 0,
+			}
+		}
+		return batch
+	}
+
+	res := &NetResult{}
+	var (
+		wg         sync.WaitGroup
+		accEvents  atomic.Int64
+		accCost    atomic.Int64
+		shedBatch  atomic.Int64
+		shedEvents atomic.Int64
+		torn       atomic.Int64
+		cutoffs    atomic.Int64
+		mu         sync.Mutex
+		errs       []error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+	}
+
+	// client runs one traffic stream: rounds batches of size n, retry
+	// policy per opts. Every TOverloaded the daemon sent this client is
+	// visible in cl.Sheds, so the reconciliation below is exact even when
+	// retries eventually land a batch.
+	client := func(seed int64, rounds, n int, opts wire.ClientOptions) {
+		defer wg.Done()
+		opts.Seed = seed
+		cl, err := wire.Dial(addr, opts)
+		if err != nil {
+			fail(fmt.Errorf("chaos: net: dial: %w", err))
+			return
+		}
+		defer cl.Close()
+		rng := rand.New(rand.NewSource(seed))
+		for b := 0; b < rounds; b++ {
+			batch := mkBatch(rng, n)
+			cost, err := cl.Ingest(batch, 0)
+			switch {
+			case err == nil:
+				accEvents.Add(int64(len(batch)))
+				accCost.Add(cost)
+			case errors.Is(err, wire.ErrOverloaded):
+				// Gave up after retries: never applied, nothing to book
+				// beyond the per-attempt sheds reconciled below.
+			default:
+				fail(fmt.Errorf("chaos: net: ingest: %w", err))
+				return
+			}
+		}
+		shedBatch.Add(cl.Sheds)
+		shedEvents.Add(cl.Sheds * int64(n))
+	}
+
+	for g := 0; g < o.Ingesters; g++ {
+		wg.Add(1)
+		go client(o.Seed+int64(g)*1_000_003, o.Batches, o.Batch, wire.ClientOptions{})
+	}
+	for g := 0; g < o.StormClients; g++ {
+		wg.Add(1)
+		go client(o.Seed^0x5702a1+int64(g)*7_368_787, o.StormBatches, o.StormBatch, wire.ClientOptions{MaxRetries: -1})
+	}
+
+	// Torn connections: handshake, write half an ingest frame, vanish.
+	// The partial frame can never pass the length+CRC gate, so the batch
+	// is never admitted — the daemon just closes the connection.
+	for i := 0; i < o.TornConns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed ^ int64(0xdead+i)))
+			conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+			if err != nil {
+				fail(fmt.Errorf("chaos: net: torn dial: %w", err))
+				return
+			}
+			defer conn.Close()
+			if err := wire.WriteHeader(conn); err != nil {
+				return
+			}
+			if err := wire.ReadHeader(conn); err != nil {
+				return
+			}
+			body := wire.AppendIngestBody(nil, 0, mkBatch(rng, o.Batch))
+			frame := wire.AppendFrame(nil, wire.TIngest, 1, body)
+			if _, err := conn.Write(frame[:len(frame)/2]); err != nil {
+				return
+			}
+			torn.Add(1) // the close below is the fault
+		}(i)
+	}
+
+	// Slow-loris: trickle one byte of a valid frame per IdleTimeout/4.
+	// The daemon's per-frame deadline is not reset by partial bytes, so
+	// the cutoff lands at IdleTimeout regardless of the trickle.
+	for i := 0; i < o.SlowLoris; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed ^ int64(0x10a15+i)))
+			conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+			if err != nil {
+				fail(fmt.Errorf("chaos: net: loris dial: %w", err))
+				return
+			}
+			defer conn.Close()
+			if err := wire.WriteHeader(conn); err != nil {
+				return
+			}
+			if err := wire.ReadHeader(conn); err != nil {
+				return
+			}
+			frame := wire.AppendFrame(nil, wire.TIngest, 1, wire.AppendIngestBody(nil, 0, mkBatch(rng, 4)))
+			deadline := time.Now().Add(5 * o.IdleTimeout)
+			for b := 0; b < len(frame) && time.Now().Before(deadline); b++ {
+				if _, err := conn.Write(frame[b : b+1]); err != nil {
+					cutoffs.Add(1) // server closed on us mid-trickle
+					return
+				}
+				time.Sleep(o.IdleTimeout / 4)
+			}
+			// All bytes written without a cutoff (possible when the frame is
+			// short): the read side must still observe the server's close —
+			// the reply to a frame completed after the deadline never comes.
+			conn.SetReadDeadline(deadline)
+			var one [1]byte
+			if _, err := conn.Read(one[:]); err != nil && !isTimeout(err) {
+				cutoffs.Add(1)
+			}
+		}(i)
+	}
+
+	wg.Wait()
+	res.AcceptedEvents = accEvents.Load()
+	res.AcceptedCost = accCost.Load()
+	res.ShedBatches = shedBatch.Load()
+	res.ShedEvents = shedEvents.Load()
+	res.TornConns = int(torn.Load())
+	res.LorisCutoffs = int(cutoffs.Load())
+	if len(errs) > 0 {
+		return res, errs[0]
+	}
+
+	// The ledger, read over the wire like any operator would.
+	scl, err := wire.Dial(addr, wire.ClientOptions{Seed: o.Seed ^ 0x57a75})
+	if err != nil {
+		return res, fmt.Errorf("chaos: net: stats dial: %w", err)
+	}
+	st, err := scl.Stats()
+	scl.Close()
+	if err != nil {
+		return res, fmt.Errorf("chaos: net: stats: %w", err)
+	}
+	res.Stats = st
+	if st.Requests != res.AcceptedEvents || st.AcceptedEvents != res.AcceptedEvents {
+		return res, fmt.Errorf("chaos: net: daemon served %d / accepted %d events, clients saw %d acknowledged",
+			st.Requests, st.AcceptedEvents, res.AcceptedEvents)
+	}
+	if st.ServiceCost != res.AcceptedCost {
+		return res, fmt.Errorf("chaos: net: ServiceCost %d != Σ acknowledged costs %d", st.ServiceCost, res.AcceptedCost)
+	}
+	if st.ServiceLoadSum+st.DroppedServiceLoad != st.ServiceCost {
+		return res, fmt.Errorf("chaos: net: ledger open: ΣServiceLoad %d + dropped %d != ServiceCost %d",
+			st.ServiceLoadSum, st.DroppedServiceLoad, st.ServiceCost)
+	}
+	if st.ShedBatches != res.ShedBatches || st.ShedEvents != res.ShedEvents {
+		return res, fmt.Errorf("chaos: net: daemon shed %d batches / %d events, clients observed %d / %d",
+			st.ShedBatches, st.ShedEvents, res.ShedBatches, res.ShedEvents)
+	}
+
+	// Graceful drain, then a restart from the drain snapshot: the fault
+	// barrage must leave recoverable durable state behind.
+	if _, err := d.Drain(); err != nil {
+		return res, fmt.Errorf("chaos: net: drain: %w", err)
+	}
+	cfg.Addr = "127.0.0.1:0"
+	d2, err := hbnd.New(cfg)
+	if err != nil {
+		return res, fmt.Errorf("chaos: net: restart: %w", err)
+	}
+	defer d2.Close()
+	res.RestartRequests = d2.Stats().Requests
+	if res.RestartRequests != res.AcceptedEvents {
+		return res, fmt.Errorf("chaos: net: restart recovered %d requests, accepted %d",
+			res.RestartRequests, res.AcceptedEvents)
+	}
+	return res, nil
+}
+
+// isTimeout reports a client-side read timeout — which for the loris
+// prober means the server did NOT cut us off, the one outcome that is a
+// harness failure rather than a counted cutoff.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

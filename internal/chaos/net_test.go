@@ -1,0 +1,83 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// A quiet run — well-behaved clients only, no faults — closes the
+// ledger exactly and restarts from its drain snapshot. The baseline the
+// fault runs are measured against.
+func TestNetChaosQuiet(t *testing.T) {
+	res, err := RunNet(NetOptions{
+		Seed: 1,
+		Dir:  t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AcceptedEvents == 0 {
+		t.Fatal("quiet run accepted nothing")
+	}
+	if res.ShedBatches != 0 {
+		t.Fatalf("quiet run shed %d batches with no overload injected", res.ShedBatches)
+	}
+	if res.RestartRequests != res.AcceptedEvents {
+		t.Fatalf("restart recovered %d, accepted %d", res.RestartRequests, res.AcceptedEvents)
+	}
+}
+
+// Torn connections and slow-loris peers leave no trace: every injected
+// fault completes, the ledger still closes exactly over the well-behaved
+// traffic, and the drain snapshot restarts.
+func TestNetChaosTornAndLoris(t *testing.T) {
+	res, err := RunNet(NetOptions{
+		Seed:        7,
+		Dir:         t.TempDir(),
+		TornConns:   6,
+		SlowLoris:   3,
+		IdleTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TornConns != 6 {
+		t.Fatalf("%d torn connections completed, want 6", res.TornConns)
+	}
+	if res.LorisCutoffs != 3 {
+		t.Fatalf("%d slow-loris cutoffs, want 3: the daemon let tricklers linger", res.LorisCutoffs)
+	}
+	if res.AcceptedEvents == 0 {
+		t.Fatal("no traffic survived the fault barrage")
+	}
+}
+
+// An overload storm — no-backoff clients far past the queue's capacity,
+// with the apply time pinned so offered load provably exceeds
+// sustainable — sheds with the typed error, and every shed the daemon
+// counted is one a client observed (the exactness the retry-after
+// contract rests on). Torn connections run concurrently to prove the
+// fault paths compose.
+func TestNetChaosOverloadStorm(t *testing.T) {
+	res, err := RunNet(NetOptions{
+		Seed:         11,
+		Dir:          t.TempDir(),
+		QueueCap:     2,
+		ApplyDelay:   2 * time.Millisecond,
+		StormClients: 6,
+		StormBatches: 20,
+		TornConns:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShedBatches == 0 {
+		t.Fatal("storm produced no sheds: offered load never exceeded sustainable")
+	}
+	if res.Stats.QueueHighWater > res.Stats.QueueCap {
+		t.Fatalf("queue high water %d exceeded cap %d", res.Stats.QueueHighWater, res.Stats.QueueCap)
+	}
+	if res.RestartRequests != res.AcceptedEvents {
+		t.Fatalf("restart recovered %d, accepted %d", res.RestartRequests, res.AcceptedEvents)
+	}
+}

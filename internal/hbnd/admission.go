@@ -1,0 +1,282 @@
+package hbnd
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"hbn/internal/serve"
+	"hbn/internal/wire"
+)
+
+// enqueue admits one batch or sheds it. Shedding is a non-blocking
+// decision at the queue: a full queue means the applier is already
+// behind by QueueCap batches, and accepting more would turn bounded
+// admission latency into unbounded queue growth — the daemon's core
+// overload stance is that the client hears "no, retry in ~T" instead.
+func (d *Daemon) enqueue(t *task) error {
+	d.drainMu.RLock()
+	defer d.drainMu.RUnlock()
+	if d.draining.Load() {
+		return &wire.RemoteError{Code: wire.CodeBusy, Msg: "draining"}
+	}
+	select {
+	case d.queue <- t:
+		n := int64(len(d.queue))
+		for {
+			hw := d.queueHighWater.Load()
+			if n <= hw || d.queueHighWater.CompareAndSwap(hw, n) {
+				break
+			}
+		}
+		return nil
+	default:
+		d.shedBatches.Add(1)
+		d.shedEvents.Add(int64(len(t.events)))
+		return &wire.OverloadedError{
+			RetryAfter: d.retryAfter(),
+			QueueLen:   len(d.queue),
+			QueueCap:   cap(d.queue),
+		}
+	}
+}
+
+// retryAfter estimates when a shed client should come back: the EWMA
+// apply time of recent batches times the queue depth — roughly "when the
+// backlog you were rejected behind has cleared". Zero until the first
+// batch is measured (the client falls back to its own backoff).
+func (d *Daemon) retryAfter() time.Duration {
+	per := d.ewmaApplyNs.Load()
+	return time.Duration(per*int64(len(d.queue))) * time.Nanosecond
+}
+
+// SetApplyDelay injects an artificial per-batch apply delay — the
+// fault-injection seam (chaos harness, overload tests) that pins the
+// daemon's sustainable throughput to a known value so offered load can
+// provably exceed it on hardware of any speed. Zero disables.
+func (d *Daemon) SetApplyDelay(delay time.Duration) {
+	d.applyDelayNs.Store(int64(delay))
+}
+
+// applier is the single sequential apply loop — the daemon's total
+// order. It exits when Drain/Close closes the queue, after applying
+// everything already admitted (drain semantics: admitted work is never
+// dropped, only un-admitted work is shed).
+func (d *Daemon) applier() {
+	defer close(d.applierDone)
+	for t := range d.queue {
+		d.applyMu.Lock()
+		d.applyOne(t)
+		d.applyMu.Unlock()
+	}
+}
+
+// applyOne applies one admitted batch under applyMu: the deadline gate,
+// the cluster call, the tail append, the counters. Expired batches are
+// dropped here — after admission, before Cluster.Ingest — so a backlog
+// of dead work costs queue slots but never serving capacity.
+func (d *Daemon) applyOne(t *task) {
+	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		d.expiredBatches.Add(1)
+		d.expiredEvents.Add(int64(len(t.events)))
+		t.reply <- taskResult{expired: true}
+		return
+	}
+	t0 := time.Now()
+	if delay := d.applyDelayNs.Load(); delay > 0 {
+		time.Sleep(time.Duration(delay))
+	}
+	cost, err := d.cl.Ingest(t.events)
+	if err != nil {
+		t.reply <- taskResult{err: err}
+		return
+	}
+	elapsed := time.Since(t0).Nanoseconds()
+	if old := d.ewmaApplyNs.Load(); old == 0 {
+		d.ewmaApplyNs.Store(elapsed)
+	} else {
+		d.ewmaApplyNs.Store(old - old/8 + elapsed/8)
+	}
+	seq := d.appliedSeq.Add(1)
+	if err := d.tail.AppendBatch(seq, wire.AppendEvents(nil, t.events)); err != nil {
+		// The batch IS applied; a tail write failure degrades restart
+		// durability, not serving correctness. Log it, keep serving.
+		d.cfg.Logf("hbnd: tail append seq %d: %v", seq, err)
+	}
+	d.acceptedBatches.Add(1)
+	d.acceptedEvents.Add(int64(len(t.events)))
+	t.reply <- taskResult{cost: cost}
+}
+
+// handleConn speaks the protocol on one connection: handshake, then a
+// strict request/reply loop. Hostile input anywhere closes the
+// connection; per-request failures are typed reply frames.
+func (d *Daemon) handleConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(d.cfg.IdleTimeout))
+	if err := wire.ReadHeader(conn); err != nil {
+		return
+	}
+	if err := wire.WriteHeader(conn); err != nil {
+		return
+	}
+	var rbuf, wbuf, body []byte
+	var events []serve.Request
+	for {
+		// Per-frame read deadline: a slow-loris client trickling header
+		// bytes ties up this goroutine, not the daemon — and is cut off.
+		conn.SetDeadline(time.Now().Add(d.cfg.IdleTimeout))
+		f, buf, err := wire.ReadFrame(conn, rbuf)
+		if err != nil {
+			return // EOF, timeout, or corruption: the connection is done
+		}
+		rbuf = buf
+
+		var rtyp wire.Type
+		switch f.Type {
+		case wire.TIngest:
+			rtyp, body, events = d.handleIngest(f, body, events)
+		case wire.TQuery:
+			rtyp, body = d.handleQuery(f, body)
+		case wire.TStats:
+			rtyp, body = wire.TStatsOK, wire.AppendStats(body[:0], d.Stats())
+		case wire.TSnapshot:
+			rtyp, body = d.handleSnapshot(body)
+		case wire.TReconfig:
+			rtyp, body = d.handleReconfig(f, body)
+		case wire.THandoff:
+			rtyp, body = d.handleHandoffCmd(f, body)
+		case wire.THandoffBegin:
+			// This connection is a primary streaming its state into us.
+			if !d.standby.Load() {
+				rtyp, body = errReply(body, wire.CodeBadRequest, "not a standby")
+				break
+			}
+			d.receiveHandoff(conn, f, &rbuf, &wbuf)
+			return
+		default:
+			rtyp, body = errReply(body, wire.CodeBadRequest, "unexpected frame "+f.Type.String())
+		}
+
+		conn.SetDeadline(time.Now().Add(d.cfg.IdleTimeout))
+		if wbuf, err = wire.WriteFrame(conn, rtyp, f.Seq, body, wbuf); err != nil {
+			return
+		}
+	}
+}
+
+func errReply(body []byte, code byte, msg string) (wire.Type, []byte) {
+	return wire.TError, wire.AppendError(body[:0], code, msg)
+}
+
+// errorReply maps an internal error onto the right reply frame.
+func errorReply(body []byte, err error) (wire.Type, []byte) {
+	var oe *wire.OverloadedError
+	if errors.As(err, &oe) {
+		return wire.TOverloaded, wire.AppendOverloaded(body[:0], oe.RetryAfter, oe.QueueLen, oe.QueueCap)
+	}
+	var re *wire.RemoteError
+	if errors.As(err, &re) {
+		return wire.TError, wire.AppendError(body[:0], re.Code, re.Msg)
+	}
+	switch {
+	case errors.Is(err, serve.ErrReconfigInProgress):
+		return errReply(body, wire.CodeBusy, err.Error())
+	case errors.Is(err, serve.ErrClosed):
+		return errReply(body, wire.CodeBusy, err.Error())
+	default:
+		return errReply(body, wire.CodeInternal, err.Error())
+	}
+}
+
+func (d *Daemon) handleIngest(f wire.Frame, body []byte, events []serve.Request) (wire.Type, []byte, []serve.Request) {
+	if d.standby.Load() {
+		t, b := errReply(body, wire.CodeStandby, "standby: not serving")
+		return t, b, events
+	}
+	if d.retired.Load() {
+		t, b := errReply(body, wire.CodeStandby, "retired: state handed off")
+		return t, b, events
+	}
+	budget, evs, err := wire.ParseIngestBody(f.Body, events)
+	if err != nil {
+		t, b := errReply(body, wire.CodeBadRequest, err.Error())
+		return t, b, events
+	}
+	events = evs
+	t := &task{reply: make(chan taskResult, 1)}
+	// The applier owns the events until it replies, and the read buffer
+	// this batch aliases is reused for the next frame — copy.
+	t.events = append(make([]serve.Request, 0, len(evs)), evs...)
+	if budget > 0 {
+		t.deadline = time.Now().Add(budget)
+	}
+	if err := d.enqueue(t); err != nil {
+		typ, b := errorReply(body, err)
+		return typ, b, events
+	}
+	res := <-t.reply
+	switch {
+	case res.expired:
+		return wire.TExpired, body[:0], events
+	case res.err != nil:
+		typ, b := errorReply(body, res.err)
+		return typ, b, events
+	default:
+		return wire.TIngestOK, wire.AppendCost(body[:0], res.cost), events
+	}
+}
+
+func (d *Daemon) handleQuery(f wire.Frame, body []byte) (wire.Type, []byte) {
+	if d.standby.Load() {
+		return errReply(body, wire.CodeStandby, "standby: not serving")
+	}
+	x, err := wire.ParseQuery(f.Body)
+	if err != nil {
+		return errReply(body, wire.CodeBadRequest, err.Error())
+	}
+	nodes := d.cl.Copies(x)
+	if nodes == nil {
+		return errReply(body, wire.CodeBadRequest, "object out of range")
+	}
+	return wire.TQueryOK, wire.AppendNodes(body[:0], nodes)
+}
+
+func (d *Daemon) handleSnapshot(body []byte) (wire.Type, []byte) {
+	if d.standby.Load() {
+		return errReply(body, wire.CodeStandby, "standby: nothing to snapshot")
+	}
+	res, err := d.snapshotNow()
+	if err != nil {
+		return errorReply(body, err)
+	}
+	return wire.TSnapshotOK, wire.AppendSnapshotResult(body[:0], res)
+}
+
+func (d *Daemon) handleReconfig(f wire.Frame, body []byte) (wire.Type, []byte) {
+	if d.standby.Load() {
+		return errReply(body, wire.CodeStandby, "standby: not serving")
+	}
+	req, err := wire.ParseReconfig(f.Body)
+	if err != nil {
+		return errReply(body, wire.CodeBadRequest, err.Error())
+	}
+	res, err := d.reconfigure(req)
+	if err != nil {
+		return errorReply(body, err)
+	}
+	return wire.TReconfigOK, wire.AppendReconfigResult(body[:0], res)
+}
+
+// drainQueueForHandoff sheds new work and waits for the applier to
+// finish everything admitted (the handoff twin of Drain's first half —
+// the daemon object stays alive to stream its state).
+func (d *Daemon) drainQueueForHandoff() {
+	d.drainMu.Lock()
+	already := d.draining.Swap(true)
+	d.drainMu.Unlock()
+	if !already {
+		close(d.queue)
+	}
+	<-d.applierDone
+}

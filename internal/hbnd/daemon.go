@@ -1,0 +1,465 @@
+// Package hbnd is the serving daemon: a TCP front end over serve.Cluster
+// speaking the internal/wire protocol, with the robustness machinery the
+// in-process API does not need — bounded admission with explicit
+// shedding, per-request deadline budgets, graceful drain, durable
+// restart from snapshot + tail log, and live process-to-process handoff.
+//
+// The one structural decision everything else leans on: batches are
+// applied by a single sequential applier goroutine (parallelism lives
+// inside Cluster.Ingest's shard-parallel path, not across batches), and
+// the cluster runs with Background off. That gives every applied batch a
+// place in one total order, recorded in the sequence-numbered tail log —
+// which is what makes restart and handoff bit-identical: snapshot +
+// ordered tail replay reproduces exactly the serving state of the
+// uninterrupted process (the serve.TestSnapshotRestoreIdentity
+// contract). A concurrent applier would be faster on paper and
+// unreplayable in practice.
+package hbnd
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hbn/internal/serve"
+	"hbn/internal/snapshot"
+	"hbn/internal/tree"
+	"hbn/internal/wire"
+)
+
+// Config configures a Daemon. The topology/cluster fields describe the
+// cold start only — when a usable snapshot exists at SnapshotPath the
+// shape travels inside it and these are ignored.
+type Config struct {
+	// Addr is the TCP listen address (host:port; :0 picks a free port).
+	Addr string
+	// SnapshotPath is the durable snapshot location. TailPath is the
+	// sequence-numbered frame log of batches applied since the last
+	// snapshot; it defaults to SnapshotPath + ".tail".
+	SnapshotPath string
+	TailPath     string
+
+	// Cold-start shape: an SCI-style cluster (Switches top-ring switches,
+	// ProcsPerRing processors per leaf ring) serving NumObjects objects.
+	Switches     int
+	ProcsPerRing int
+	RingBW       int64
+	SwitchBW     int64
+	NumObjects   int
+
+	// Cluster tuning (as in serve.Options).
+	EpochRequests  int64
+	Threshold      int
+	Shards         int
+	WriteBudget    int
+	BandwidthAware bool
+	Parallelism    int
+
+	// QueueCap bounds the admission queue; a batch arriving with the
+	// queue full is shed with a typed overload reply, never queued. <= 0
+	// means 64.
+	QueueCap int
+
+	// Standby starts the daemon warm but empty: it rejects serving
+	// traffic until a live handoff streams a primary's state into it and
+	// promotes it.
+	Standby bool
+
+	// IdleTimeout bounds each connection's per-frame read (and each
+	// reply write): a peer that trickles bytes slower than this —
+	// slow-loris, half-dead links — is cut off rather than pinning its
+	// handler goroutine. <= 0 means 30s.
+	IdleTimeout time.Duration
+
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) defaults() {
+	if c.TailPath == "" {
+		c.TailPath = c.SnapshotPath + ".tail"
+	}
+	if c.Switches <= 0 {
+		c.Switches = 4
+	}
+	if c.ProcsPerRing <= 0 {
+		c.ProcsPerRing = 4
+	}
+	if c.RingBW <= 0 {
+		c.RingBW = 4
+	}
+	if c.SwitchBW <= 0 {
+		c.SwitchBW = 8
+	}
+	if c.NumObjects <= 0 {
+		c.NumObjects = 1024
+	}
+	if c.EpochRequests == 0 {
+		c.EpochRequests = 4096
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Daemon is one serving process. Create with New, run with Serve, stop
+// with Drain (graceful) or Close (abrupt).
+type Daemon struct {
+	cfg Config
+	ln  net.Listener
+
+	// cl is nil while in standby; published by promote() before the
+	// standby flag clears, so any handler observing standby==false sees
+	// the cluster.
+	cl   *serve.Cluster
+	tail *wire.Log
+
+	queue       chan *task
+	applierDone chan struct{}
+	// applyMu pauses the applier between batches; control operations
+	// (snapshot, reconfigure, handoff cut) hold it so their cluster calls
+	// never interleave with an apply, and so consistency points (tail
+	// truncation vs snapshot) are atomic with respect to the total order.
+	applyMu    sync.Mutex
+	appliedSeq atomic.Uint64
+
+	// drainMu fences enqueue against queue close: enqueuers hold the read
+	// side across the draining check and the send, Drain sets the flag
+	// under the write side before closing the channel.
+	drainMu  sync.RWMutex
+	draining atomic.Bool
+
+	standby atomic.Bool // true until a handoff promotes us
+	retired atomic.Bool // true after handing our state off
+
+	// Admission counters (see wire.DaemonStats).
+	acceptedBatches, acceptedEvents atomic.Int64
+	shedBatches, shedEvents         atomic.Int64
+	expiredBatches, expiredEvents   atomic.Int64
+	queueHighWater                  atomic.Int64
+	ewmaApplyNs                     atomic.Int64
+
+	// applyDelayNs stretches every apply (SetApplyDelay) — the fault-
+	// injection seam that makes "2× sustainable offered load"
+	// reproducible on hardware of any speed.
+	applyDelayNs atomic.Int64
+
+	connWg sync.WaitGroup
+	quit   chan struct{}
+}
+
+// task is one admitted ingest batch awaiting the applier.
+type task struct {
+	events   []serve.Request
+	deadline time.Time // zero = no budget
+	reply    chan taskResult
+}
+
+type taskResult struct {
+	cost    int64
+	expired bool
+	err     error
+}
+
+// New builds a daemon: restore from the snapshot ladder when one exists,
+// replay the tail log on top, cold-start otherwise. Standby daemons
+// skip all of it and wait for a handoff.
+func New(cfg Config) (*Daemon, error) {
+	cfg.defaults()
+	if cfg.SnapshotPath == "" {
+		return nil, errors.New("hbnd: Config.SnapshotPath is required")
+	}
+	d := &Daemon{
+		cfg:         cfg,
+		queue:       make(chan *task, cfg.QueueCap),
+		applierDone: make(chan struct{}),
+		quit:        make(chan struct{}),
+	}
+	d.standby.Store(cfg.Standby)
+	if !cfg.Standby {
+		if err := d.openState(); err != nil {
+			return nil, err
+		}
+	}
+	go d.applier()
+	return d, nil
+}
+
+// openState restores or cold-starts the cluster and opens the tail log.
+func (d *Daemon) openState() error {
+	cfg := &d.cfg
+	cl, info, err := serve.Restore(cfg.SnapshotPath, serve.RestoreOptions{Parallelism: cfg.Parallelism})
+	switch {
+	case err == nil:
+		cfg.Logf("hbnd: restored snapshot seq %d from %s (fallback=%v)", info.Seq, info.Path, info.Fallback)
+	case errors.Is(err, snapshot.ErrNoSnapshot):
+		t := tree.SCICluster(cfg.Switches, cfg.ProcsPerRing, cfg.RingBW, cfg.SwitchBW)
+		cl, err = serve.NewCluster(t, cfg.NumObjects, serve.Options{
+			Shards:         cfg.Shards,
+			EpochRequests:  cfg.EpochRequests,
+			Threshold:      cfg.Threshold,
+			Parallelism:    cfg.Parallelism,
+			WriteBudget:    cfg.WriteBudget,
+			BandwidthAware: cfg.BandwidthAware,
+		})
+		if err != nil {
+			return fmt.Errorf("hbnd: cold start: %w", err)
+		}
+		cfg.Logf("hbnd: cold start (%d switches × %d procs, %d objects)", cfg.Switches, cfg.ProcsPerRing, cfg.NumObjects)
+	default:
+		// A present-but-unusable snapshot is an operator problem, not a
+		// license to silently serve from nothing.
+		return fmt.Errorf("hbnd: restore: %w", err)
+	}
+
+	frames, err := wire.ReadTail(cfg.TailPath)
+	if err != nil {
+		cl.Close()
+		return fmt.Errorf("hbnd: %w", err)
+	}
+	var events []serve.Request
+	for _, f := range frames {
+		if events, err = wire.ParseTailBody(f.Body, events); err != nil {
+			cl.Close()
+			return fmt.Errorf("hbnd: tail replay seq %d: %w", f.Seq, err)
+		}
+		if _, err := cl.Ingest(events); err != nil {
+			cl.Close()
+			return fmt.Errorf("hbnd: tail replay seq %d: %w", f.Seq, err)
+		}
+		d.appliedSeq.Store(f.Seq)
+	}
+	if n := len(frames); n > 0 {
+		cfg.Logf("hbnd: replayed %d tail batches through seq %d", n, d.appliedSeq.Load())
+	}
+	tail, err := wire.OpenLog(cfg.TailPath)
+	if err != nil {
+		cl.Close()
+		return fmt.Errorf("hbnd: %w", err)
+	}
+	d.cl = cl
+	d.tail = tail
+	return nil
+}
+
+// Listen binds the daemon's TCP listener (split from Serve so callers
+// learn the port of an Addr ending in :0 before traffic starts).
+func (d *Daemon) Listen() error {
+	ln, err := net.Listen("tcp", d.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("hbnd: %w", err)
+	}
+	d.ln = ln
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Listen).
+func (d *Daemon) Addr() string {
+	if d.ln == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Serve accepts connections until the listener closes (Drain/Close).
+func (d *Daemon) Serve() error {
+	if d.ln == nil {
+		if err := d.Listen(); err != nil {
+			return err
+		}
+	}
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			select {
+			case <-d.quit:
+				return nil // closed by Drain/Close
+			default:
+				return fmt.Errorf("hbnd: accept: %w", err)
+			}
+		}
+		d.connWg.Add(1)
+		go func() {
+			defer d.connWg.Done()
+			d.handleConn(conn)
+		}()
+	}
+}
+
+// Stats assembles the daemon-level counters plus the cluster ledger.
+func (d *Daemon) Stats() *wire.DaemonStats {
+	s := &wire.DaemonStats{
+		AppliedSeq:      d.appliedSeq.Load(),
+		AcceptedBatches: d.acceptedBatches.Load(),
+		AcceptedEvents:  d.acceptedEvents.Load(),
+		ShedBatches:     d.shedBatches.Load(),
+		ShedEvents:      d.shedEvents.Load(),
+		ExpiredBatches:  d.expiredBatches.Load(),
+		ExpiredEvents:   d.expiredEvents.Load(),
+		QueueLen:        int64(len(d.queue)),
+		QueueCap:        int64(cap(d.queue)),
+		QueueHighWater:  d.queueHighWater.Load(),
+		Draining:        d.draining.Load(),
+	}
+	if d.standby.Load() {
+		return s
+	}
+	st := d.cl.Stats()
+	s.Requests = st.Requests
+	s.ServiceCost = st.ServiceCost
+	s.DroppedLoad = st.DroppedLoad
+	s.DroppedServiceLoad = st.DroppedServiceLoad
+	s.Epochs = st.Epochs
+	s.Reconfigs = st.Reconfigs
+	s.MaxEdgeLoad = d.cl.MaxEdgeLoad()
+	s.SnapshotSeq = d.cl.SnapshotSeq()
+	for _, v := range d.cl.ServiceLoad() {
+		s.ServiceLoadSum += v
+	}
+	return s
+}
+
+// Drain is the graceful shutdown: stop accepting connections, shed new
+// batches, let the applier finish the admitted queue, write a final
+// snapshot (waiting out any reconfiguration in flight), truncate the now
+// redundant tail, and close the cluster. Safe to call once; returns the
+// final snapshot's stats.
+func (d *Daemon) Drain() (serve.SnapshotStats, error) {
+	var ss serve.SnapshotStats
+	select {
+	case <-d.quit:
+	default:
+		close(d.quit)
+	}
+	if d.ln != nil {
+		d.ln.Close()
+	}
+	d.drainMu.Lock()
+	already := d.draining.Swap(true)
+	d.drainMu.Unlock()
+	if already {
+		return ss, errors.New("hbnd: already draining")
+	}
+	close(d.queue)
+	<-d.applierDone
+	if d.standby.Load() {
+		return ss, nil
+	}
+	ss, err := d.cl.SnapshotWait(d.cfg.SnapshotPath, 10, 5*time.Millisecond)
+	if err != nil {
+		return ss, fmt.Errorf("hbnd: final snapshot: %w", err)
+	}
+	if err := d.tail.Truncate(); err != nil {
+		return ss, err
+	}
+	d.tail.Close()
+	d.cfg.Logf("hbnd: drained; final snapshot seq %d (%d bytes)", ss.Seq, ss.Bytes)
+	return ss, d.cl.Close()
+}
+
+// Close shuts down abruptly: no final snapshot (the tail log preserves
+// everything applied since the last one — the crash-restart path).
+func (d *Daemon) Close() error {
+	select {
+	case <-d.quit:
+	default:
+		close(d.quit)
+	}
+	if d.ln != nil {
+		d.ln.Close()
+	}
+	d.drainMu.Lock()
+	already := d.draining.Swap(true)
+	d.drainMu.Unlock()
+	if !already {
+		close(d.queue)
+	}
+	<-d.applierDone
+	if d.standby.Load() {
+		return nil
+	}
+	d.tail.Sync()
+	d.tail.Close()
+	return d.cl.Close()
+}
+
+// Cluster exposes the underlying cluster for in-process inspection
+// (tests and the bench harness); nil while in standby.
+func (d *Daemon) Cluster() *serve.Cluster {
+	if d.standby.Load() {
+		return nil
+	}
+	return d.cl
+}
+
+// snapshotNow is the TSnapshot handler: pause the applier at a batch
+// boundary, snapshot, truncate the tail (its frames are all included in
+// the image now).
+func (d *Daemon) snapshotNow() (*wire.SnapshotResult, error) {
+	d.applyMu.Lock()
+	defer d.applyMu.Unlock()
+	ss, err := d.cl.SnapshotWait(d.cfg.SnapshotPath, 10, 5*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.tail.Truncate(); err != nil {
+		return nil, err
+	}
+	return &wire.SnapshotResult{Seq: ss.Seq, Bytes: ss.Bytes, CutStallNs: ss.CutStall.Nanoseconds()}, nil
+}
+
+// reconfigure is the TReconfig handler. A reconfiguration invalidates
+// the tail log's replayability (its events reference the old topology),
+// so it commits a fresh snapshot and truncates the tail before
+// returning — a reconfigure the client saw acknowledged survives a
+// restart.
+func (d *Daemon) reconfigure(req *wire.ReconfigRequest) (*wire.ReconfigResult, error) {
+	d.applyMu.Lock()
+	defer d.applyMu.Unlock()
+	var rs serve.ReconfigStats
+	var err error
+	if req.Rolling {
+		rs, err = d.cl.ReconfigureRolling(req.Diff)
+	} else {
+		rs, err = d.cl.Reconfigure(req.Diff)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.cl.SnapshotWait(d.cfg.SnapshotPath, 10, 5*time.Millisecond); err != nil {
+		return nil, fmt.Errorf("post-reconfigure snapshot: %w", err)
+	}
+	if err := d.tail.Truncate(); err != nil {
+		return nil, err
+	}
+	return &wire.ReconfigResult{
+		MaxIngestStallNs:   rs.MaxIngestStall.Nanoseconds(),
+		DroppedLoad:        rs.DroppedLoad,
+		DroppedServiceLoad: rs.DroppedServiceLoad,
+	}, nil
+}
+
+// removeStaleState clears snapshot + tail files (standby promotion
+// writes fresh ones; a stale pair from a previous life must not shadow
+// them).
+func removeStaleState(snapPath, tailPath string) {
+	os.Remove(snapPath)
+	os.Remove(snapshot.PrevPath(snapPath))
+	os.Remove(tailPath)
+}

@@ -1,0 +1,362 @@
+package hbnd
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"hbn/internal/serve"
+	"hbn/internal/topo"
+	"hbn/internal/tree"
+	"hbn/internal/wire"
+	"hbn/internal/workload"
+)
+
+func topoDiffRemove(v tree.NodeID) topo.Diff {
+	return topo.Diff{Remove: []tree.NodeID{v}}
+}
+
+// testShape is the fixed cold-start shape every test daemon and its
+// in-process reference cluster share.
+const (
+	tSwitches = 3
+	tProcs    = 3
+	tRingBW   = 4
+	tSwitchBW = 8
+	tObjects  = 48
+	tEpoch    = 900
+	tThresh   = 3
+	tShards   = 4
+)
+
+func testConfig(t *testing.T) Config {
+	dir := t.TempDir()
+	return Config{
+		Addr:         "127.0.0.1:0",
+		SnapshotPath: filepath.Join(dir, "state.snap"),
+		Switches:     tSwitches,
+		ProcsPerRing: tProcs,
+		RingBW:       tRingBW,
+		SwitchBW:     tSwitchBW,
+		NumObjects:   tObjects,
+		EpochRequests: tEpoch,
+		Threshold:    tThresh,
+		Shards:       tShards,
+		QueueCap:     16,
+		Logf:         t.Logf,
+	}
+}
+
+// startDaemon builds, binds and serves a daemon; the test owns shutdown.
+func startDaemon(t *testing.T, cfg Config) *Daemon {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go d.Serve()
+	return d
+}
+
+// refCluster is the in-process twin of a test daemon's cold start.
+func refCluster(t *testing.T) *serve.Cluster {
+	t.Helper()
+	tr := tree.SCICluster(tSwitches, tProcs, tRingBW, tSwitchBW)
+	c, err := serve.NewCluster(tr, tObjects, serve.Options{
+		Shards: tShards, EpochRequests: tEpoch, Threshold: tThresh,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testTrace(n int) []workload.TraceEvent {
+	tr := tree.SCICluster(tSwitches, tProcs, tRingBW, tSwitchBW)
+	return workload.DriftingZipf(rand.New(rand.NewSource(7)), tr, tObjects, n, 4, 1.0, 0.07)
+}
+
+func dialTest(t *testing.T, addr string) *wire.Client {
+	t.Helper()
+	cl, err := wire.Dial(addr, wire.ClientOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// compareClusters asserts two clusters are observationally identical via
+// the public API (the serve.TestSnapshotRestoreIdentity idiom): stats,
+// per-edge aggregate and service loads, every copy set, the epoch log —
+// wall-clock fields blanked because the two ran independently.
+func compareClusters(t *testing.T, label string, a, b *serve.Cluster) {
+	t.Helper()
+	sa, sb := a.Stats(), b.Stats()
+	sa.ResolveTime, sb.ResolveTime = 0, 0
+	if sa != sb {
+		t.Fatalf("%s: stats differ:\n  a: %+v\n  b: %+v", label, sa, sb)
+	}
+	if !reflect.DeepEqual(a.EdgeLoad(), b.EdgeLoad()) {
+		t.Fatalf("%s: edge loads differ", label)
+	}
+	if !reflect.DeepEqual(a.ServiceLoad(), b.ServiceLoad()) {
+		t.Fatalf("%s: service loads differ", label)
+	}
+	for x := 0; x < tObjects; x++ {
+		if !reflect.DeepEqual(a.Copies(x), b.Copies(x)) {
+			t.Fatalf("%s: object %d copies differ: %v vs %v", label, x, a.Copies(x), b.Copies(x))
+		}
+	}
+	la, lb := a.EpochLog(), b.EpochLog()
+	for i := range la {
+		la[i].ResolveNs = 0
+	}
+	for i := range lb {
+		lb[i].ResolveNs = 0
+	}
+	if !reflect.DeepEqual(la, lb) {
+		t.Fatalf("%s: epoch logs differ:\n  a: %+v\n  b: %+v", label, la, lb)
+	}
+}
+
+// ingestBoth sends trace through the wire client in fixed batches and
+// applies the identical batches to the reference cluster, asserting the
+// returned costs agree batch by batch.
+func ingestBoth(t *testing.T, cl *wire.Client, ref *serve.Cluster, trace []workload.TraceEvent, batch int) {
+	t.Helper()
+	for lo := 0; lo < len(trace); lo += batch {
+		hi := lo + batch
+		if hi > len(trace) {
+			hi = len(trace)
+		}
+		got, err := cl.Ingest(trace[lo:hi], 0)
+		if err != nil {
+			t.Fatalf("batch at %d: %v", lo, err)
+		}
+		want, err := ref.Ingest(trace[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("batch at %d: cost %d over the wire, %d in process", lo, got, want)
+		}
+	}
+}
+
+// The daemon serving a trace over a real socket is bit-identical to the
+// in-process cluster serving the same batches, and the wire surface
+// (query, stats, snapshot) reports the same state.
+func TestDaemonEndToEnd(t *testing.T) {
+	d := startDaemon(t, testConfig(t))
+	ref := refCluster(t)
+	defer ref.Close()
+
+	trace := testTrace(4000)
+	cl := dialTest(t, d.Addr())
+	ingestBoth(t, cl, ref, trace, 128)
+	compareClusters(t, "after trace", d.Cluster(), ref)
+
+	for x := 0; x < tObjects; x++ {
+		nodes, err := cl.Query(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(nodes, ref.Copies(x)) {
+			t.Fatalf("object %d: wire copies %v, reference %v", x, nodes, ref.Copies(x))
+		}
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AcceptedEvents != int64(len(trace)) || st.Requests != int64(len(trace)) {
+		t.Fatalf("accepted %d events, cluster served %d, want %d", st.AcceptedEvents, st.Requests, len(trace))
+	}
+	if st.ShedBatches != 0 || st.ExpiredBatches != 0 {
+		t.Fatalf("unexpected shed/expired on a sequential client: %+v", st)
+	}
+	if st.ServiceLoadSum+st.DroppedServiceLoad != st.ServiceCost {
+		t.Fatalf("ledger: ΣServiceLoad %d + dropped %d != ServiceCost %d",
+			st.ServiceLoadSum, st.DroppedServiceLoad, st.ServiceCost)
+	}
+
+	sr, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Seq != 1 || sr.Bytes <= 0 {
+		t.Fatalf("bad snapshot result: %+v", sr)
+	}
+
+	if _, err := d.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-drain ingest on a fresh connection is refused (the listener is
+	// closed), and on the existing connection sheds as draining.
+	if _, err := cl.Ingest(trace[:1], 0); err == nil {
+		t.Fatal("ingest after drain must fail")
+	}
+}
+
+// Restart recovers the exact state: snapshot mid-trace (truncating the
+// tail), more traffic (tail only), abrupt close, restart → snapshot +
+// tail replay equals the uninterrupted reference, and further serving
+// stays identical.
+func TestDaemonRestartFromSnapshotAndTail(t *testing.T) {
+	cfg := testConfig(t)
+	d := startDaemon(t, cfg)
+	ref := refCluster(t)
+	defer ref.Close()
+
+	trace := testTrace(5000)
+	cl := dialTest(t, d.Addr())
+	ingestBoth(t, cl, ref, trace[:2000], 128)
+	if _, err := cl.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	ingestBoth(t, cl, ref, trace[2000:3500], 128)
+	if err := d.Close(); err != nil { // abrupt: no final snapshot
+		t.Fatal(err)
+	}
+
+	d2 := startDaemon(t, cfg)
+	compareClusters(t, "after restart", d2.Cluster(), ref)
+
+	cl2 := dialTest(t, d2.Addr())
+	ingestBoth(t, cl2, ref, trace[3500:], 128)
+	compareClusters(t, "after restart suffix", d2.Cluster(), ref)
+	if _, err := d2.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain wrote a final snapshot: a third daemon restores everything
+	// with an empty tail.
+	d3 := startDaemon(t, cfg)
+	compareClusters(t, "after drained restart", d3.Cluster(), ref)
+	if _, err := d3.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A batch whose deadline budget expires while queued is dropped before
+// reaching the cluster: the client gets ErrExpired, the ledger records
+// it as expired, and the cluster never served it.
+func TestDaemonDeadlineExpiresQueuedWork(t *testing.T) {
+	d := startDaemon(t, testConfig(t))
+	defer d.Close()
+	cl := dialTest(t, d.Addr())
+
+	// Seed one applied batch so counters are non-trivial.
+	if _, err := cl.Ingest(testTrace(8), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pause the applier at a batch boundary, let a budgeted batch rot in
+	// the queue past its deadline, then release.
+	d.applyMu.Lock()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := cl.Ingest(testTrace(8), 30*time.Millisecond)
+		errc <- err
+	}()
+	time.Sleep(80 * time.Millisecond)
+	d.applyMu.Unlock()
+	if err := <-errc; !errors.Is(err, wire.ErrExpired) {
+		t.Fatalf("err = %v, want ErrExpired", err)
+	}
+
+	st := d.Stats()
+	if st.ExpiredBatches != 1 || st.ExpiredEvents != 8 {
+		t.Fatalf("expired counters: %+v", st)
+	}
+	if st.Requests != 8 {
+		t.Fatalf("cluster served %d requests, want 8 (expired batch must not reach it)", st.Requests)
+	}
+	if st.AcceptedEvents != st.Requests {
+		t.Fatalf("ledger: accepted %d != served %d", st.AcceptedEvents, st.Requests)
+	}
+}
+
+// Reconfigure over the wire applies the diff, commits a fresh snapshot
+// (the tail is topology-bound), and a restart serves the new topology.
+func TestDaemonReconfigureOverWire(t *testing.T) {
+	cfg := testConfig(t)
+	d := startDaemon(t, cfg)
+	cl := dialTest(t, d.Addr())
+
+	trace := testTrace(1500)
+	for lo := 0; lo < len(trace); lo += 128 {
+		hi := min(lo+128, len(trace))
+		if _, err := cl.Ingest(trace[lo:hi], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := d.Cluster().Tree().Len()
+
+	// Remove one leaf ring's processor: pick the last leaf.
+	leaves := d.Cluster().Tree().Leaves()
+	victim := leaves[len(leaves)-1]
+	res, err := cl.Reconfigure(&wire.ReconfigRequest{
+		Rolling: true,
+		Diff:    topoDiffRemove(victim),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := d.Cluster().Tree().Len()
+	if after >= before {
+		t.Fatalf("tree did not shrink: %d -> %d", before, after)
+	}
+	st := d.Stats()
+	if st.Reconfigs != 1 {
+		t.Fatalf("reconfigs = %d, want 1", st.Reconfigs)
+	}
+	if st.ServiceLoadSum+st.DroppedServiceLoad != st.ServiceCost {
+		t.Fatalf("ledger after reconfigure: ΣServiceLoad %d + dropped %d != ServiceCost %d",
+			st.ServiceLoadSum, st.DroppedServiceLoad, st.ServiceCost)
+	}
+	if res.DroppedServiceLoad != st.DroppedServiceLoad {
+		t.Fatalf("reply dropped %d, stats dropped %d", res.DroppedServiceLoad, st.DroppedServiceLoad)
+	}
+
+	// The acknowledged reconfigure survives an abrupt restart.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := startDaemon(t, cfg)
+	defer d2.Close()
+	if got := d2.Cluster().Tree().Len(); got != after {
+		t.Fatalf("restarted tree has %d nodes, want %d", got, after)
+	}
+	if got := d2.Cluster().Stats().Reconfigs; got != 1 {
+		t.Fatalf("restarted reconfigs = %d, want 1", got)
+	}
+}
+
+// A standby daemon refuses serving traffic with the typed standby error.
+func TestStandbyRejectsServing(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Standby = true
+	d := startDaemon(t, cfg)
+	defer d.Close()
+	cl := dialTest(t, d.Addr())
+
+	if _, err := cl.Ingest(testTrace(4), 0); !errors.Is(err, wire.ErrStandby) {
+		t.Fatalf("ingest on standby: err = %v, want ErrStandby", err)
+	}
+	if _, err := cl.Query(1); !errors.Is(err, wire.ErrStandby) {
+		t.Fatalf("query on standby: err = %v, want ErrStandby", err)
+	}
+	// Stats still answers (operational visibility).
+	if _, err := cl.Stats(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -359,6 +359,34 @@ func checkDims(w *workload.W, objects, nodes int, what string) error {
 	return nil
 }
 
+// SnapshotWait is Snapshot with bounded retry around the
+// ErrReconfigInProgress collision: a snapshot landing while a
+// reconfiguration (or another snapshot) holds the flag retries up to
+// attempts times, doubling backoff between tries, instead of failing
+// fast. Every other error — including a write failure — returns
+// immediately. This is the drain-path form: a daemon shutting down wants
+// "a snapshot, once the roll in flight finishes", not a hard failure
+// that loses the final image. attempts <= 0 means one attempt (plain
+// Snapshot); backoff <= 0 retries immediately.
+func (c *Cluster) SnapshotWait(path string, attempts int, backoff time.Duration) (SnapshotStats, error) {
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var ss SnapshotStats
+	var err error
+	for i := 0; i < attempts; i++ {
+		ss, err = c.Snapshot(path)
+		if !errors.Is(err, ErrReconfigInProgress) {
+			return ss, err
+		}
+		if i < attempts-1 && backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+	return ss, err
+}
+
 // SnapshotSeq returns the sequence number of the most recent Snapshot
 // attempt (committed or crashed), 0 if none.
 func (c *Cluster) SnapshotSeq() uint64 {

@@ -1,0 +1,311 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"hbn/internal/tree"
+	"hbn/internal/workload"
+)
+
+// ClientOptions tune a Client. The zero value is usable: 4 retries,
+// 2ms–250ms jittered exponential backoff, 5s I/O timeout.
+type ClientOptions struct {
+	// MaxRetries bounds how often Ingest retries a shed (TOverloaded)
+	// batch before surfacing the typed error. Negative disables retry.
+	MaxRetries int
+	// BaseBackoff/MaxBackoff shape the jittered exponential backoff: the
+	// k-th retry sleeps max(server retry-after hint, jitter(Base·2^k))
+	// capped at MaxBackoff. Honoring the hint keeps a shedding server
+	// from being hammered at the very cadence that overloaded it.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Timeout bounds each socket read/write.
+	Timeout time.Duration
+	// Seed derives the jitter PRNG (0 seeds from the clock).
+	Seed int64
+}
+
+// defaults normalizes in place. It must be idempotent (Dial applies it,
+// then hands the options to NewClient, which applies it again), so the
+// "retries disabled" state stays negative and is clamped at use time by
+// retries() rather than being rewritten to 0 here — a 0 always means
+// "unset" to this function.
+func (o *ClientOptions) defaults() {
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 4
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 2 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 250 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = time.Now().UnixNano()
+	}
+}
+
+// Client is one connection to an hbnd daemon. Not safe for concurrent
+// use — callers wanting parallel load open one Client per goroutine (the
+// daemon multiplexes connections; the protocol itself is strictly
+// request/reply per connection).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	opts ClientOptions
+	rng  *rand.Rand
+	seq  uint64
+
+	// reusable buffers: encode scratch, frame read buffer, body scratch.
+	wbuf, rbuf, body []byte
+
+	// Sheds / Retries count TOverloaded replies observed and retry sleeps
+	// taken, for load-generator reporting.
+	Sheds   int64
+	Retries int64
+}
+
+// Dial connects to an hbnd daemon and completes the protocol handshake.
+func Dial(addr string, opts ClientOptions) (*Client, error) {
+	opts.defaults()
+	conn, err := net.DialTimeout("tcp", addr, opts.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	c, err := NewClient(conn, opts)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient wraps an established connection (the Dial body, split out so
+// tests can drive net.Pipe ends).
+func NewClient(conn net.Conn, opts ClientOptions) (*Client, error) {
+	opts.defaults()
+	c := &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+	conn.SetDeadline(time.Now().Add(opts.Timeout))
+	if err := WriteHeader(c.bw); err != nil {
+		return nil, fmt.Errorf("wire: handshake: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("wire: handshake: %w", err)
+	}
+	if err := ReadHeader(c.br); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one frame and reads the reply.
+func (c *Client) roundTrip(typ Type, body []byte) (Frame, error) {
+	c.seq++
+	c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+	var err error
+	if c.wbuf, err = WriteFrame(c.bw, typ, c.seq, body, c.wbuf); err != nil {
+		return Frame{}, fmt.Errorf("wire: send %v: %w", typ, err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Frame{}, fmt.Errorf("wire: send %v: %w", typ, err)
+	}
+	var f Frame
+	f, c.rbuf, err = ReadFrame(c.br, c.rbuf)
+	if err != nil {
+		return Frame{}, fmt.Errorf("wire: reply to %v: %w", typ, err)
+	}
+	if f.Seq != c.seq {
+		return Frame{}, corrupt("reply sequence %d for request %d", f.Seq, c.seq)
+	}
+	return f, nil
+}
+
+// remoteErr converts an unexpected reply frame into a typed error.
+func remoteErr(f Frame) error {
+	switch f.Type {
+	case TError:
+		re, err := ParseError(f.Body)
+		if err != nil {
+			return err
+		}
+		return re
+	case TOverloaded:
+		oe, err := ParseOverloaded(f.Body)
+		if err != nil {
+			return err
+		}
+		return oe
+	case TExpired:
+		return ErrExpired
+	}
+	return corrupt("unexpected %v reply", f.Type)
+}
+
+// backoff returns the k-th retry sleep: the jittered exponential delay,
+// floored by the server's retry-after hint.
+func (c *Client) backoff(k int, hint time.Duration) time.Duration {
+	d := c.opts.BaseBackoff << uint(k)
+	if d <= 0 || d > c.opts.MaxBackoff {
+		d = c.opts.MaxBackoff
+	}
+	// Jitter in [0.5, 1.5)·d: decorrelates clients that shed together.
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d)))
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
+// retries is the effective retry bound (negative MaxRetries = disabled).
+func (o *ClientOptions) retries() int {
+	if o.MaxRetries < 0 {
+		return 0
+	}
+	return o.MaxRetries
+}
+
+// Ingest sends one request batch with a deadline budget (0 = none) and
+// returns its service cost. Shed batches (TOverloaded) are retried up to
+// MaxRetries times with jittered exponential backoff honoring the
+// server's retry-after hint — ingest is idempotent-by-agreement here
+// only because a shed batch was never applied; an applied batch is acked
+// and never resent. A batch the server dropped past its deadline returns
+// ErrExpired and is NOT retried (its budget is spent by definition).
+func (c *Client) Ingest(events []workload.TraceEvent, budget time.Duration) (int64, error) {
+	deadline := time.Time{}
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
+	for attempt := 0; ; attempt++ {
+		b := budget
+		if !deadline.IsZero() {
+			b = time.Until(deadline)
+			if b <= 0 {
+				return 0, fmt.Errorf("%w: budget spent before send", ErrExpired)
+			}
+		}
+		c.body = AppendIngestBody(c.body[:0], b, events)
+		f, err := c.roundTrip(TIngest, c.body)
+		if err != nil {
+			return 0, err
+		}
+		switch f.Type {
+		case TIngestOK:
+			return ParseCost(f.Body)
+		case TOverloaded:
+			oe, perr := ParseOverloaded(f.Body)
+			if perr != nil {
+				return 0, perr
+			}
+			c.Sheds++
+			if attempt >= c.opts.retries() {
+				return 0, oe
+			}
+			sleep := c.backoff(attempt, oe.RetryAfter)
+			if !deadline.IsZero() && time.Now().Add(sleep).After(deadline) {
+				// Retrying would land past the deadline anyway; surface the
+				// shed rather than burn the budget sleeping.
+				return 0, oe
+			}
+			c.Retries++
+			time.Sleep(sleep)
+		default:
+			return 0, remoteErr(f)
+		}
+	}
+}
+
+// Query returns object x's current copy placement.
+func (c *Client) Query(x int) ([]tree.NodeID, error) {
+	c.body = AppendQuery(c.body[:0], x)
+	f, err := c.roundTrip(TQuery, c.body)
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != TQueryOK {
+		return nil, remoteErr(f)
+	}
+	return ParseNodes(f.Body)
+}
+
+// Stats fetches the daemon's counters.
+func (c *Client) Stats() (*DaemonStats, error) {
+	f, err := c.roundTrip(TStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != TStatsOK {
+		return nil, remoteErr(f)
+	}
+	return ParseStats(f.Body)
+}
+
+// Snapshot asks the daemon to write a durable snapshot now.
+func (c *Client) Snapshot() (*SnapshotResult, error) {
+	f, err := c.roundTrip(TSnapshot, nil)
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != TSnapshotOK {
+		return nil, remoteErr(f)
+	}
+	return ParseSnapshotResult(f.Body)
+}
+
+// Reconfigure applies a topology diff. Reconfiguration is NOT idempotent
+// (a re-sent diff would remove or graft twice), so this NEVER retries:
+// not on TOverloaded — which the daemon never sends for control frames —
+// and not on transport errors, where the first attempt's fate is unknown.
+// A busy daemon (reconfiguration or snapshot in flight) comes back as
+// ErrBusy; the caller decides whether re-submitting is safe.
+func (c *Client) Reconfigure(req *ReconfigRequest) (*ReconfigResult, error) {
+	c.body = AppendReconfig(c.body[:0], req)
+	f, err := c.roundTrip(TReconfig, c.body)
+	if err != nil {
+		return nil, fmt.Errorf("reconfigure outcome unknown (not retried): %w", err)
+	}
+	if f.Type != TReconfigOK {
+		return nil, remoteErr(f)
+	}
+	return ParseReconfigResult(f.Body)
+}
+
+// Handoff asks the daemon to hand off to the standby at addr, blocking
+// until the handoff completes (the daemon drains first, so generous
+// timeouts are the caller's job via ClientOptions.Timeout).
+func (c *Client) Handoff(addr string) error {
+	c.body = AppendString(c.body[:0], addr)
+	f, err := c.roundTrip(THandoff, c.body)
+	if err != nil {
+		return err
+	}
+	if f.Type != THandoffOK {
+		return remoteErr(f)
+	}
+	return nil
+}
+
+// IsRetryable reports whether err is worth retrying on a fresh
+// connection/batch: sheds are (the batch was never applied), expired
+// deadlines and remote rejections are not.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrOverloaded)
+}

@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"hbn/internal/workload"
+)
+
+// fakeServer answers each request frame with the scripted reply types,
+// recording what it saw. Used to pin client retry behavior without a
+// real daemon.
+type fakeServer struct {
+	t       *testing.T
+	conn    net.Conn
+	gotIn   []Type
+	replies []func(seq uint64) (Type, []byte)
+	done    chan struct{}
+}
+
+func startFakeServer(t *testing.T, replies []func(seq uint64) (Type, []byte)) (*Client, *fakeServer) {
+	t.Helper()
+	cEnd, sEnd := net.Pipe()
+	fs := &fakeServer{t: t, conn: sEnd, replies: replies, done: make(chan struct{})}
+	go fs.run()
+	cl, err := NewClient(cEnd, ClientOptions{
+		Seed:        42,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Timeout:     2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close(); sEnd.Close() })
+	return cl, fs
+}
+
+func (fs *fakeServer) run() {
+	defer close(fs.done)
+	defer fs.conn.Close()
+	fs.conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := ReadHeader(fs.conn); err != nil {
+		fs.t.Errorf("server handshake: %v", err)
+		return
+	}
+	if err := WriteHeader(fs.conn); err != nil {
+		fs.t.Errorf("server handshake: %v", err)
+		return
+	}
+	var rbuf, wbuf []byte
+	for i := 0; i < len(fs.replies); i++ {
+		f, buf, err := ReadFrame(fs.conn, rbuf)
+		if err != nil {
+			fs.t.Errorf("server read %d: %v", i, err)
+			return
+		}
+		rbuf = buf
+		fs.gotIn = append(fs.gotIn, f.Type)
+		typ, body := fs.replies[i](f.Seq)
+		if wbuf, err = WriteFrame(fs.conn, typ, f.Seq, body, wbuf); err != nil {
+			fs.t.Errorf("server write %d: %v", i, err)
+			return
+		}
+	}
+}
+
+func ok(cost int64) func(uint64) (Type, []byte) {
+	return func(uint64) (Type, []byte) { return TIngestOK, AppendCost(nil, cost) }
+}
+
+func overloaded(retryAfter time.Duration) func(uint64) (Type, []byte) {
+	return func(uint64) (Type, []byte) { return TOverloaded, AppendOverloaded(nil, retryAfter, 8, 8) }
+}
+
+func TestClientRetriesShedThenSucceeds(t *testing.T) {
+	cl, fs := startFakeServer(t, []func(uint64) (Type, []byte){
+		overloaded(200 * time.Microsecond),
+		overloaded(200 * time.Microsecond),
+		ok(37),
+	})
+	cost, err := cl.Ingest([]workload.TraceEvent{{Object: 1, Node: 2}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 37 {
+		t.Fatalf("cost = %d, want 37", cost)
+	}
+	<-fs.done
+	if len(fs.gotIn) != 3 {
+		t.Fatalf("server saw %d frames, want 3", len(fs.gotIn))
+	}
+	if cl.Sheds != 2 || cl.Retries != 2 {
+		t.Fatalf("sheds=%d retries=%d, want 2/2", cl.Sheds, cl.Retries)
+	}
+}
+
+func TestClientGivesUpAfterMaxRetries(t *testing.T) {
+	reps := make([]func(uint64) (Type, []byte), 5) // 1 attempt + 4 retries
+	for i := range reps {
+		reps[i] = overloaded(50 * time.Microsecond)
+	}
+	cl, fs := startFakeServer(t, reps)
+	_, err := cl.Ingest([]workload.TraceEvent{{Object: 1}}, 0)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadedError
+	if !errors.As(err, &oe) || oe.QueueCap != 8 {
+		t.Fatalf("err %v does not carry the OverloadedError payload", err)
+	}
+	<-fs.done
+	if len(fs.gotIn) != 5 {
+		t.Fatalf("server saw %d attempts, want 5", len(fs.gotIn))
+	}
+	if !IsRetryable(err) {
+		t.Fatal("a shed must be classified retryable")
+	}
+}
+
+func TestClientExpiredNotRetried(t *testing.T) {
+	cl, fs := startFakeServer(t, []func(uint64) (Type, []byte){
+		func(uint64) (Type, []byte) { return TExpired, nil },
+	})
+	_, err := cl.Ingest([]workload.TraceEvent{{Object: 1}}, time.Second)
+	if !errors.Is(err, ErrExpired) {
+		t.Fatalf("err = %v, want ErrExpired", err)
+	}
+	<-fs.done
+	if len(fs.gotIn) != 1 {
+		t.Fatalf("server saw %d attempts, want exactly 1 (no retry)", len(fs.gotIn))
+	}
+	if IsRetryable(err) {
+		t.Fatal("an expired batch must not be classified retryable")
+	}
+}
+
+func TestClientHonorsRetryAfterHint(t *testing.T) {
+	hint := 30 * time.Millisecond
+	cl, fs := startFakeServer(t, []func(uint64) (Type, []byte){
+		overloaded(hint),
+		ok(1),
+	})
+	start := time.Now()
+	if _, err := cl.Ingest([]workload.TraceEvent{{Object: 1}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < hint {
+		t.Fatalf("retried after %v, before the %v retry-after hint", d, hint)
+	}
+	<-fs.done
+}
+
+func TestClientNeverRetriesReconfigure(t *testing.T) {
+	// Even an overloaded reply to a reconfigure must surface, not retry.
+	cl, fs := startFakeServer(t, []func(uint64) (Type, []byte){
+		overloaded(time.Microsecond),
+	})
+	_, err := cl.Reconfigure(&ReconfigRequest{})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want the surfaced overload", err)
+	}
+	<-fs.done
+	if len(fs.gotIn) != 1 {
+		t.Fatalf("server saw %d reconfig frames, want exactly 1", len(fs.gotIn))
+	}
+
+	// Transport death mid-reconfigure: error, no silent resend.
+	cEnd, sEnd := net.Pipe()
+	go func() {
+		sEnd.SetDeadline(time.Now().Add(5 * time.Second))
+		ReadHeader(sEnd)
+		WriteHeader(sEnd)
+		ReadFrame(sEnd, nil)
+		sEnd.Close() // die before replying
+	}()
+	cl2, err := NewClient(cEnd, ClientOptions{Seed: 7, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if _, err := cl2.Reconfigure(&ReconfigRequest{}); err == nil {
+		t.Fatal("reconfigure over dead transport must error")
+	}
+}
+
+func TestClientBudgetForwardedAndDecremented(t *testing.T) {
+	var budgets []time.Duration
+	srvReplies := []func(uint64) (Type, []byte){
+		overloaded(5 * time.Millisecond),
+		ok(1),
+	}
+	cEnd, sEnd := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer sEnd.Close()
+		sEnd.SetDeadline(time.Now().Add(5 * time.Second))
+		ReadHeader(sEnd)
+		WriteHeader(sEnd)
+		var rbuf, wbuf []byte
+		for i := range srvReplies {
+			f, buf, err := ReadFrame(sEnd, rbuf)
+			if err != nil {
+				return
+			}
+			rbuf = buf
+			b, _, err := ParseIngestBody(f.Body, nil)
+			if err != nil {
+				return
+			}
+			budgets = append(budgets, b)
+			typ, body := srvReplies[i](f.Seq)
+			wbuf, _ = WriteFrame(sEnd, typ, f.Seq, body, wbuf)
+		}
+	}()
+	cl, err := NewClient(cEnd, ClientOptions{Seed: 9, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Ingest([]workload.TraceEvent{{Object: 3}}, 500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if len(budgets) != 2 {
+		t.Fatalf("server saw %d budgets, want 2", len(budgets))
+	}
+	if budgets[0] <= 0 || budgets[0] > 500*time.Millisecond {
+		t.Fatalf("first budget %v out of range", budgets[0])
+	}
+	if budgets[1] >= budgets[0] {
+		t.Fatalf("budget must shrink across retries: %v then %v", budgets[0], budgets[1])
+	}
+}

@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hbn/internal/workload"
+)
+
+func TestTailLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tail.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var want [][]workload.TraceEvent
+	for seq := uint64(1); seq <= 20; seq++ {
+		ev := randEvents(rng, rng.Intn(30)+1)
+		if err := l.AppendBatch(seq, AppendEvents(nil, ev)); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ev)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	frames, err := ReadTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != len(want) {
+		t.Fatalf("%d frames, want %d", len(frames), len(want))
+	}
+	for i, f := range frames {
+		if f.Seq != uint64(i+1) {
+			t.Fatalf("frame %d: seq %d", i, f.Seq)
+		}
+		ev, err := ParseTailBody(f.Body, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ev) != len(want[i]) {
+			t.Fatalf("frame %d: %d events, want %d", i, len(ev), len(want[i]))
+		}
+		for j := range ev {
+			if ev[j] != want[i][j] {
+				t.Fatalf("frame %d event %d mismatch", i, j)
+			}
+		}
+	}
+
+	// Reopen-for-append must land after existing frames.
+	l2, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.AppendBatch(21, AppendEvents(nil, randEvents(rng, 3))); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	frames, err = ReadTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 21 || frames[20].Seq != 21 {
+		t.Fatalf("after reopen: %d frames, last seq %d", len(frames), frames[len(frames)-1].Seq)
+	}
+}
+
+func TestTailLogTornFinalFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tail.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := l.AppendBatch(seq, AppendEvents(nil, randEvents(rng, 10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear off part of the final frame (crash mid-append): replay must
+	// stop cleanly at frame 4.
+	for _, cut := range []int{1, 7, 11} {
+		if err := os.WriteFile(path, data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		frames, err := ReadTail(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(frames) != 4 {
+			t.Fatalf("cut %d: %d frames, want 4", cut, len(frames))
+		}
+	}
+
+	// Corruption in the middle is NOT tolerated.
+	bad := append([]byte(nil), data...)
+	bad[HeaderSize+12] ^= 0xFF
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTail(path); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("mid-log corruption: err = %v, want ErrCorruptFrame", err)
+	}
+}
+
+func TestTailLogTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tail.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	rng := rand.New(rand.NewSource(13))
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := l.AppendBatch(seq, AppendEvents(nil, randEvents(rng, 4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := ReadTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 0 {
+		t.Fatalf("%d frames after truncate, want 0", len(frames))
+	}
+	// Appends after truncate start a fresh tail.
+	if err := l.AppendBatch(4, AppendEvents(nil, randEvents(rng, 2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	frames, err = ReadTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 || frames[0].Seq != 4 {
+		t.Fatalf("after truncate+append: %+v", frames)
+	}
+}
+
+func TestReadTailMissingFile(t *testing.T) {
+	frames, err := ReadTail(filepath.Join(t.TempDir(), "nope.log"))
+	if err != nil || frames != nil {
+		t.Fatalf("missing file: %v, %v", frames, err)
+	}
+}

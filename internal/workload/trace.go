@@ -2,6 +2,7 @@ package workload
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -33,6 +34,78 @@ func EncodeTrace(out io.Writer, events []TraceEvent) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(jt)
+}
+
+// TraceAppender streams a trace to out incrementally — the same JSON
+// EncodeTrace produces, byte for byte, without ever holding the full
+// event slice in memory. Long capture runs (a daemon journaling its
+// admitted batches to a replayable trace file) append batch by batch and
+// Close when done; a crash before Close loses only the unflushed suffix,
+// and the file is completed by the closing brackets Close writes.
+type TraceAppender struct {
+	out io.Writer
+	n   int64
+	err error
+}
+
+// NewTraceAppender starts a streamed trace on out. Nothing is written
+// until the first Append (or Close, which emits an empty trace).
+func NewTraceAppender(out io.Writer) *TraceAppender {
+	return &TraceAppender{out: out}
+}
+
+func (a *TraceAppender) write(s string) {
+	if a.err == nil {
+		_, a.err = io.WriteString(a.out, s)
+	}
+}
+
+// Append streams more events. Errors are sticky: the first write failure
+// is returned here and by every later call.
+func (a *TraceAppender) Append(events ...TraceEvent) error {
+	for _, e := range events {
+		if a.n == 0 {
+			a.write("{\n  \"events\": [\n    ")
+		} else {
+			a.write(",\n    ")
+		}
+		if a.err != nil {
+			return a.err
+		}
+		// MarshalIndent with the element's own prefix reproduces exactly
+		// what json.Encoder.SetIndent("", "  ") nests two levels deep.
+		b, err := json.MarshalIndent(jsonTraceEvent{Object: e.Object, Node: int32(e.Node), Write: e.Write}, "    ", "  ")
+		if err != nil {
+			a.err = err
+			return a.err
+		}
+		if _, err := a.out.Write(b); err != nil {
+			a.err = err
+			return a.err
+		}
+		a.n++
+	}
+	return a.err
+}
+
+// Len reports how many events have been appended.
+func (a *TraceAppender) Len() int64 { return a.n }
+
+// Close completes the JSON document. The appender is done afterwards;
+// further Appends fail.
+func (a *TraceAppender) Close() error {
+	if a.err == nil {
+		if a.n == 0 {
+			a.write("{\n  \"events\": []\n}\n")
+		} else {
+			a.write("\n  ]\n}\n")
+		}
+	}
+	if a.err == nil {
+		a.err = errors.New("workload: trace appender closed")
+		return nil
+	}
+	return a.err
 }
 
 // DecodeTrace reads a trace from the JSON produced by EncodeTrace.

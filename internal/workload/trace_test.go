@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -104,3 +105,91 @@ func FuzzDecodeTrace(f *testing.F) {
 		}
 	})
 }
+
+// The streaming appender is byte-identical to the one-shot encoder for
+// every trace and every way of chunking it — so a journaled trace file
+// is indistinguishable from an EncodeTrace'd one, and DecodeTrace reads
+// both. Property-tested over random traces and random chunkings.
+func TestTraceAppenderMatchesEncodeTrace(t *testing.T) {
+	tr := scenarioTree()
+	rng := rand.New(rand.NewSource(41))
+	for round := 0; round < 50; round++ {
+		n := rng.Intn(400) // includes tiny and empty traces
+		trace := make([]TraceEvent, n)
+		leaves := tr.Leaves()
+		for i := range trace {
+			trace[i] = TraceEvent{
+				Object: rng.Intn(9),
+				Node:   leaves[rng.Intn(len(leaves))],
+				Write:  rng.Intn(4) == 0,
+			}
+		}
+
+		var want bytes.Buffer
+		if err := EncodeTrace(&want, trace); err != nil {
+			t.Fatal(err)
+		}
+
+		var got bytes.Buffer
+		a := NewTraceAppender(&got)
+		for lo := 0; lo < len(trace); {
+			hi := lo + rng.Intn(17) // chunk size 0..16: empty appends are legal
+			if hi > len(trace) {
+				hi = len(trace)
+			}
+			if err := a.Append(trace[lo:hi]...); err != nil {
+				t.Fatalf("round %d: append: %v", round, err)
+			}
+			lo = hi
+		}
+		if a.Len() != int64(len(trace)) {
+			t.Fatalf("round %d: appender counted %d events, wrote %d", round, a.Len(), len(trace))
+		}
+		if err := a.Close(); err != nil {
+			t.Fatalf("round %d: close: %v", round, err)
+		}
+
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("round %d (%d events): streamed bytes differ from EncodeTrace", round, n)
+		}
+		back, err := DecodeTrace(&got)
+		if err != nil {
+			t.Fatalf("round %d: decode streamed trace: %v", round, err)
+		}
+		if !reflect.DeepEqual(back, trace) {
+			t.Fatalf("round %d: streamed round trip changed the trace", round)
+		}
+	}
+}
+
+// A closed appender refuses further writes, and write errors are sticky.
+func TestTraceAppenderClosedAndSticky(t *testing.T) {
+	var buf bytes.Buffer
+	a := NewTraceAppender(&buf)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeTrace(&buf); err != nil || len(got) != 0 {
+		t.Fatalf("empty streamed trace: %v, %v", got, err)
+	}
+	if err := a.Append(TraceEvent{}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := a.Close(); err == nil {
+		t.Fatal("double close reported success")
+	}
+
+	fail := NewTraceAppender(failingWriter{})
+	if err := fail.Append(TraceEvent{}); err == nil {
+		t.Fatal("append to failing writer succeeded")
+	}
+	if err := fail.Close(); err == nil {
+		t.Fatal("close after write failure reported success")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errShortPipe }
+
+var errShortPipe = errors.New("short pipe")
