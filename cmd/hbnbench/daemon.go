@@ -13,11 +13,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"hbn/internal/obs"
 	"hbn/internal/tree"
 	"hbn/internal/wire"
 	"hbn/internal/workload"
@@ -59,6 +59,15 @@ type jsonDaemonBench struct {
 	DroppedServiceLoad int64 `json:"daemon_dropped_service_load"`
 	SnapshotSeq        int64 `json:"daemon_snapshot_seq"`
 	LedgerOK           bool  `json:"ledger_ok"`
+	// Daemon-side telemetry (polled via MsgStats after the run): the
+	// server's own batch-apply latency histogram and admission gauges,
+	// alongside the client-observed round-trip percentiles — the gap
+	// between them is queueing plus the network.
+	DaemonApplyP50MS     float64 `json:"daemon_apply_p50_ms"`
+	DaemonApplyP99MS     float64 `json:"daemon_apply_p99_ms"`
+	DaemonQueueHighWater int64   `json:"daemon_queue_high_water"`
+	RoundTripP50MS       float64 `json:"round_trip_p50_ms"`
+	RoundTripP99MS       float64 `json:"round_trip_p99_ms"`
 }
 
 // runDaemonBench pushes o.Events events at the daemon and reconciles the
@@ -85,24 +94,27 @@ func runDaemonBench(o daemonBenchOptions) (*jsonDaemonBench, error) {
 	// -dprocs flags must match the flags hbnd was started with.
 	leaves := tree.SCICluster(o.Switches, o.Procs, 4, 8).Leaves()
 
+	// One shared obs registry across every client goroutine: per-call
+	// Ingest latency (retries included) lands in IngestBatch, per-attempt
+	// round trips and shed/retry counters are booked by the wire client
+	// itself via ClientOptions.Obs.
+	reg := obs.NewRegistry(1, 64)
 	var (
-		wg        sync.WaitGroup
-		offered   atomic.Int64
-		accepted  atomic.Int64
-		shed      atomic.Int64
-		observed  atomic.Int64
-		expired   atomic.Int64
-		costSum   atomic.Int64
-		mu        sync.Mutex
-		latencies []time.Duration
-		errs      []error
+		wg       sync.WaitGroup
+		offered  atomic.Int64
+		accepted atomic.Int64
+		shed     atomic.Int64
+		expired  atomic.Int64
+		costSum  atomic.Int64
+		mu       sync.Mutex
+		errs     []error
 	)
 	start := time.Now()
 	for c := 0; c < o.Clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			cl, err := wire.Dial(o.Addr, wire.ClientOptions{Seed: o.Seed + int64(c)*1_000_003})
+			cl, err := wire.Dial(o.Addr, wire.ClientOptions{Seed: o.Seed + int64(c)*1_000_003, Obs: reg})
 			if err != nil {
 				mu.Lock()
 				errs = append(errs, err)
@@ -122,14 +134,11 @@ func runDaemonBench(o daemonBenchOptions) (*jsonDaemonBench, error) {
 				}
 				t0 := time.Now()
 				cost, err := cl.Ingest(batch, o.Budget)
-				el := time.Since(t0)
 				switch {
 				case err == nil:
 					accepted.Add(int64(o.Batch))
 					costSum.Add(cost)
-					mu.Lock()
-					latencies = append(latencies, el)
-					mu.Unlock()
+					reg.IngestBatch.ObserveSince(t0)
 				case errors.Is(err, wire.ErrOverloaded):
 					shed.Add(int64(o.Batch))
 				case errors.Is(err, wire.ErrExpired):
@@ -141,7 +150,6 @@ func runDaemonBench(o daemonBenchOptions) (*jsonDaemonBench, error) {
 					return
 				}
 			}
-			observed.Add(cl.Sheds)
 		}(c)
 	}
 	wg.Wait()
@@ -152,7 +160,7 @@ func runDaemonBench(o daemonBenchOptions) (*jsonDaemonBench, error) {
 
 	out.AcceptedEvents = accepted.Load()
 	out.ShedEvents = shed.Load()
-	out.ShedObserved = observed.Load()
+	out.ShedObserved = reg.Global.Load(obs.SlotSheds)
 	out.ExpiredEvents = expired.Load()
 	out.OfferedEvents = out.AcceptedEvents + out.ShedEvents + out.ExpiredEvents
 	out.CostSum = costSum.Load()
@@ -160,12 +168,14 @@ func runDaemonBench(o daemonBenchOptions) (*jsonDaemonBench, error) {
 	if elapsed > 0 {
 		out.EventsPerSec = float64(out.AcceptedEvents) / elapsed.Seconds()
 	}
-	if len(latencies) > 0 {
-		slices.Sort(latencies)
-		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
-		out.P50MS = ms(latencies[len(latencies)/2])
-		out.P99MS = ms(latencies[len(latencies)*99/100])
-		out.MaxMS = ms(latencies[len(latencies)-1])
+	if s := reg.IngestBatch.Snapshot(); s.Count > 0 {
+		out.P50MS = nsToMS(s.Quantile(0.5))
+		out.P99MS = nsToMS(s.Quantile(0.99))
+		out.MaxMS = nsToMS(s.Max)
+	}
+	if s := reg.RoundTrip.Snapshot(); s.Count > 0 {
+		out.RoundTripP50MS = nsToMS(s.Quantile(0.5))
+		out.RoundTripP99MS = nsToMS(s.Quantile(0.99))
 	}
 
 	post, err := daemonStats(o)
@@ -173,6 +183,20 @@ func runDaemonBench(o daemonBenchOptions) (*jsonDaemonBench, error) {
 		return out, err
 	}
 	fillDaemonTotals(out, post)
+
+	// Poll the daemon's own telemetry export: its apply-latency histogram
+	// and admission gauges ride along in -json output.
+	ms, err := daemonMsgStats(o)
+	if err != nil {
+		return out, err
+	}
+	out.DaemonQueueHighWater = ms.QueueHighWater
+	for i := range ms.Hists {
+		if h := &ms.Hists[i]; h.Name == "apply" && h.Count > 0 {
+			out.DaemonApplyP50MS = nsToMS(h.Quantile(0.5))
+			out.DaemonApplyP99MS = nsToMS(h.Quantile(0.99))
+		}
+	}
 
 	// The external ledger: the daemon's deltas equal exactly what clients
 	// saw acknowledged, and the internal books close.
@@ -191,6 +215,9 @@ func runDaemonBench(o daemonBenchOptions) (*jsonDaemonBench, error) {
 	return out, err
 }
 
+// nsToMS converts a nanosecond histogram value to milliseconds.
+func nsToMS(ns int64) float64 { return float64(ns) / 1e6 }
+
 func daemonStats(o daemonBenchOptions) (*wire.DaemonStats, error) {
 	cl, err := wire.Dial(o.Addr, wire.ClientOptions{Seed: o.Seed ^ 0x57a75})
 	if err != nil {
@@ -198,6 +225,15 @@ func daemonStats(o daemonBenchOptions) (*wire.DaemonStats, error) {
 	}
 	defer cl.Close()
 	return cl.Stats()
+}
+
+func daemonMsgStats(o daemonBenchOptions) (*wire.MsgStats, error) {
+	cl, err := wire.Dial(o.Addr, wire.ClientOptions{Seed: o.Seed ^ 0x66b21})
+	if err != nil {
+		return nil, fmt.Errorf("-daemon: dial %s: %w", o.Addr, err)
+	}
+	defer cl.Close()
+	return cl.MsgStats()
 }
 
 func fillDaemonTotals(out *jsonDaemonBench, st *wire.DaemonStats) {
@@ -212,7 +248,10 @@ func printDaemonBench(d *jsonDaemonBench) {
 	fmt.Printf("daemon %s: %d clients × %d-event batches\n", d.Addr, d.Clients, d.Batch)
 	fmt.Printf("  accepted %d / offered %d events (%.0f ev/s), shed %d, expired %d\n",
 		d.AcceptedEvents, d.OfferedEvents, d.EventsPerSec, d.ShedEvents, d.ExpiredEvents)
-	fmt.Printf("  latency p50 %.2fms p99 %.2fms max %.2fms\n", d.P50MS, d.P99MS, d.MaxMS)
+	fmt.Printf("  latency p50 %.2fms p99 %.2fms max %.2fms (round-trip p50 %.2fms p99 %.2fms)\n",
+		d.P50MS, d.P99MS, d.MaxMS, d.RoundTripP50MS, d.RoundTripP99MS)
+	fmt.Printf("  daemon apply p50 %.2fms p99 %.2fms, queue high-water %d\n",
+		d.DaemonApplyP50MS, d.DaemonApplyP99MS, d.DaemonQueueHighWater)
 	fmt.Printf("  daemon totals: %d requests, cost %d, ΣServiceLoad %d + dropped %d\n",
 		d.Requests, d.ServiceCost, d.ServiceLoadSum, d.DroppedServiceLoad)
 	verdict := "OK"

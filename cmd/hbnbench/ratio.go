@@ -59,30 +59,38 @@ type jsonRatio struct {
 	GapClosure  float64 `json:"gap_closure,omitempty"`
 	Epochs      int64   `json:"epochs"`
 	DriftEpochs int64   `json:"drift_epochs"`
+	// EpochP99MS is the p99 epoch-pass latency of the post (fixed)
+	// configuration, read from the cluster's obs registry.
+	EpochP99MS float64 `json:"epoch_p99_ms,omitempty"`
 }
 
 // ratioRun is one online serve of a trace: congestion of the accumulated
-// edge loads priced on scoreT, plus the epoch counters.
+// edge loads priced on scoreT, the epoch counters, and the p99
+// epoch-pass latency off the cluster's obs registry.
 func ratioRun(t, scoreT *tree.Tree, objects int, opts serve.Options,
-	trace []workload.TraceEvent, diff *topo.Diff) (float64, serve.Stats, error) {
+	trace []workload.TraceEvent, diff *topo.Diff) (float64, serve.Stats, float64, error) {
 	c, err := serve.NewCluster(t, objects, opts)
 	if err != nil {
-		return 0, serve.Stats{}, err
+		return 0, serve.Stats{}, 0, err
 	}
 	const batch = 512
 	half := len(trace) / 2
 	for lo := 0; lo < len(trace); lo += batch {
 		if diff != nil && lo >= half && lo-batch < half {
 			if _, err := c.Reconfigure(*diff); err != nil {
-				return 0, serve.Stats{}, err
+				return 0, serve.Stats{}, 0, err
 			}
 		}
 		hi := min(lo+batch, len(trace))
 		if _, err := c.Ingest(trace[lo:hi]); err != nil {
-			return 0, serve.Stats{}, err
+			return 0, serve.Stats{}, 0, err
 		}
 	}
-	return congestionOf(scoreT, c.EdgeLoad()), c.Stats(), nil
+	var epochP99 float64
+	if s := c.Obs().EpochPass.Snapshot(); s.Count > 0 {
+		epochP99 = nsToMS(s.Quantile(0.99))
+	}
+	return congestionOf(scoreT, c.EdgeLoad()), c.Stats(), epochP99, nil
 }
 
 // runRatioBench runs every scenario through the pre-PR-8 and the
@@ -169,11 +177,11 @@ func runRatioBench(quick bool, seed int64) ([]jsonRatio, error) {
 		post.DriftThreshold = ratioDriftThreshold
 		post.DriftCheckRequests = epoch / 16
 
-		preCong, _, err := ratioRun(t, sc.scoreT, objects, pre, sc.trace, sc.diff)
+		preCong, _, _, err := ratioRun(t, sc.scoreT, objects, pre, sc.trace, sc.diff)
 		if err != nil {
 			return nil, fmt.Errorf("ratio %s pre: %w", sc.name, err)
 		}
-		postCong, st, err := ratioRun(t, sc.scoreT, objects, post, sc.trace, sc.diff)
+		postCong, st, epochP99, err := ratioRun(t, sc.scoreT, objects, post, sc.trace, sc.diff)
 		if err != nil {
 			return nil, fmt.Errorf("ratio %s post: %w", sc.name, err)
 		}
@@ -187,6 +195,7 @@ func runRatioBench(quick bool, seed int64) ([]jsonRatio, error) {
 			PostCongestion:   postCong,
 			Epochs:           st.Epochs,
 			DriftEpochs:      st.DriftEpochs,
+			EpochP99MS:       epochP99,
 		}
 		if staticCong > 0 {
 			js.PreRatio = preCong / staticCong

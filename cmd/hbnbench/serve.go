@@ -69,6 +69,11 @@ type jsonServe struct {
 	Drifted         int64       `json:"drifted"`
 	AdoptMoved      int64       `json:"adopt_moved"`
 	ResolveMS       float64     `json:"resolve_ms"`
+	// Latency percentiles come straight off the cluster's own obs
+	// registry — the benchmark keeps no timing state of its own.
+	IngestP50US float64 `json:"ingest_p50_us"`
+	IngestP99US float64 `json:"ingest_p99_us"`
+	EpochP99MS  float64 `json:"epoch_p99_ms"`
 	VsBaselineRatio float64     `json:"vs_baseline_ratio"`
 	VsStaticRatio   float64     `json:"vs_static_ratio"`
 	EpochLog        []jsonEpoch `json:"epoch_log,omitempty"`
@@ -158,6 +163,13 @@ func runServeBench(quick bool, seed int64) ([]jsonServe, error) {
 			AdoptMoved:      st.AdoptMoved,
 			ResolveMS:       float64(st.ResolveTime.Microseconds()) / 1000,
 		}
+		if s := resolving.Obs().IngestBatch.Snapshot(); s.Count > 0 {
+			js.IngestP50US = float64(s.Quantile(0.5)) / 1e3
+			js.IngestP99US = float64(s.Quantile(0.99)) / 1e3
+		}
+		if s := resolving.Obs().EpochPass.Snapshot(); s.Count > 0 {
+			js.EpochP99MS = nsToMS(s.Quantile(0.99))
+		}
 		if js.BaselineMaxEdge > 0 {
 			js.VsBaselineRatio = float64(js.MaxEdgeLoad) / float64(js.BaselineMaxEdge)
 		}
@@ -183,11 +195,11 @@ func runServeBench(quick bool, seed int64) ([]jsonServe, error) {
 func printServeBench(results []jsonServe) {
 	fmt.Printf("serving benchmark: %d requests, %d shards, epoch every %d requests\n",
 		results[0].Requests, results[0].Shards, results[0].EpochRequests)
-	fmt.Printf("%-18s %12s %14s %14s %14s %8s %10s %9s\n",
-		"scenario", "Mreq/s", "max-edge", "base-max-edge", "static-max", "epochs", "moved", "vs-base")
+	fmt.Printf("%-18s %12s %10s %14s %14s %14s %8s %10s %9s\n",
+		"scenario", "Mreq/s", "p99-us", "max-edge", "base-max-edge", "static-max", "epochs", "moved", "vs-base")
 	for _, r := range results {
-		fmt.Printf("%-18s %12.2f %14d %14d %14d %8d %10d %9.2f\n",
-			r.Scenario, r.ThroughputRps/1e6, r.MaxEdgeLoad, r.BaselineMaxEdge, r.StaticMaxEdge,
+		fmt.Printf("%-18s %12.2f %10.1f %14d %14d %14d %8d %10d %9.2f\n",
+			r.Scenario, r.ThroughputRps/1e6, r.IngestP99US, r.MaxEdgeLoad, r.BaselineMaxEdge, r.StaticMaxEdge,
 			r.Epochs, r.AdoptMoved, r.VsBaselineRatio)
 	}
 }

@@ -8,12 +8,23 @@
 //
 //	hbnd -addr :7420 -snapshot /var/lib/hbn/state.snap
 //	hbnd -addr :7421 -snapshot /var/lib/hbn/standby.snap -standby
+//	hbnd -addr :7420 -snapshot state.snap -metrics 127.0.0.1:9420
+//
+// -metrics serves Prometheus text-format metrics on /metrics and (with
+// -pprof) the standard pprof handlers under /debug/pprof/, on a listener
+// separate from the wire port. On graceful drain the metrics listener
+// closes BEFORE the final snapshot is cut, so a scraper never observes a
+// half-drained ledger: the last successful scrape reflects a state the
+// drain snapshot is a superset of.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +48,8 @@ func main() {
 	flag.IntVar(&cfg.Parallelism, "parallelism", 0, "worker bound for batch serving and the solver (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.QueueCap, "queue", 64, "admission queue capacity (full queue sheds)")
 	flag.BoolVar(&cfg.Standby, "standby", false, "start as a warm standby awaiting a live handoff")
+	metricsAddr := flag.String("metrics", "", "HTTP listen address for /metrics (empty disables)")
+	pprofOn := flag.Bool("pprof", false, "also serve /debug/pprof on the -metrics listener")
 	flag.Parse()
 
 	if cfg.SnapshotPath == "" {
@@ -55,8 +68,27 @@ func main() {
 	}
 	logger.Printf("hbnd: listening on %s", d.Addr())
 
+	// Optional HTTP observability listener (Prometheus /metrics, pprof).
+	var metricsLn net.Listener
+	if *metricsAddr != "" {
+		metricsLn, err = net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("hbnd: metrics on http://%s/metrics (pprof=%v)", metricsLn.Addr(), *pprofOn)
+		go func() {
+			srv := &http.Server{Handler: d.MetricsHandler(*pprofOn)}
+			if err := srv.Serve(metricsLn); err != nil && err != http.ErrServerClosed &&
+				!errorsIsClosed(err) {
+				logger.Printf("hbnd: metrics server: %v", err)
+			}
+		}()
+	}
+
 	// SIGTERM/SIGINT → graceful drain: stop accepting, apply the admitted
-	// queue, final snapshot, exit 0. A second signal force-exits.
+	// queue, final snapshot, exit 0. A second signal force-exits. The
+	// metrics listener closes FIRST: no scrape can race the final
+	// snapshot and observe a half-drained ledger.
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	go func() {
@@ -67,6 +99,9 @@ func main() {
 			logger.Printf("hbnd: second signal, forcing exit")
 			os.Exit(1)
 		}()
+		if metricsLn != nil {
+			metricsLn.Close()
+		}
 		if _, err := d.Drain(); err != nil {
 			logger.Printf("hbnd: drain: %v", err)
 			os.Exit(1)
@@ -79,4 +114,10 @@ func main() {
 	}
 	// Listener closed by a drain in flight: wait for it to finish.
 	select {}
+}
+
+// errorsIsClosed reports the "use of closed network connection" error
+// the metrics server returns when the drain path closes its listener.
+func errorsIsClosed(err error) bool {
+	return errors.Is(err, net.ErrClosed)
 }

@@ -30,11 +30,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"hbn/internal/obs"
 	"hbn/internal/serve"
 	"hbn/internal/topo"
 	"hbn/internal/tree"
@@ -186,7 +186,8 @@ type Result struct {
 	MaxIngestStall                  time.Duration
 	DroppedLoad, DroppedServiceLoad int64
 	// P50 / P99 / Max are per-batch Ingest latency percentiles over every
-	// batch of every ingester.
+	// batch of every ingester, read from a shared obs.Histogram (log2
+	// buckets, so quantiles carry at most 2x bucket error; Max is exact).
 	P50, P99, Max time.Duration
 }
 
@@ -239,9 +240,9 @@ func Run(s Scenario, o Options) (*Result, error) {
 		busy      atomic.Int64
 		touched   = make([]atomic.Bool, o.Objects)
 		wg        sync.WaitGroup
-		mu        sync.Mutex // guards errs, latencies, fault accounting
+		mu        sync.Mutex // guards errs, fault accounting
 		errs      []error
-		latencies []time.Duration
+		lat       obs.Histogram // per-batch Ingest latency; concurrent-safe
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -385,7 +386,7 @@ func Run(s Scenario, o Options) (*Result, error) {
 				fail(fmt.Errorf("chaos: batch %d: %w", b, err))
 				break
 			}
-			latencies = append(latencies, time.Since(t0))
+			lat.ObserveSince(t0)
 			totalCost.Add(cost)
 			ingested.Add(int64(o.Batch))
 		}
@@ -400,7 +401,6 @@ func Run(s Scenario, o Options) (*Result, error) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(o.Seed + int64(g)*1_000_003))
 				batch := make([]serve.Request, o.Batch)
-				lat := make([]time.Duration, 0, o.Batches)
 				for b := 0; b < o.Batches; b++ {
 					mkBatch(rng, batch)
 					t0 := time.Now()
@@ -409,16 +409,13 @@ func Run(s Scenario, o Options) (*Result, error) {
 						fail(fmt.Errorf("chaos: ingester %d batch %d: %w", g, b, err))
 						return
 					}
-					lat = append(lat, time.Since(t0))
+					lat.ObserveSince(t0)
 					totalCost.Add(cost)
 					ingested.Add(int64(o.Batch))
 					if o.Pace > 0 {
 						time.Sleep(o.Pace)
 					}
 				}
-				mu.Lock()
-				latencies = append(latencies, lat...)
-				mu.Unlock()
 			}(g)
 		}
 
@@ -483,11 +480,10 @@ func Run(s Scenario, o Options) (*Result, error) {
 	res.Requests = ingested.Load()
 	res.TotalCost = totalCost.Load()
 	res.Busy = int(busy.Load())
-	if len(latencies) > 0 {
-		slices.Sort(latencies)
-		res.P50 = latencies[len(latencies)/2]
-		res.P99 = latencies[len(latencies)*99/100]
-		res.Max = latencies[len(latencies)-1]
+	if s := lat.Snapshot(); s.Count > 0 {
+		res.P50 = time.Duration(s.Quantile(0.5))
+		res.P99 = time.Duration(s.Quantile(0.99))
+		res.Max = time.Duration(s.Max)
 	}
 	if len(errs) > 0 {
 		return res, errs[0]
@@ -512,6 +508,30 @@ func Run(s Scenario, o Options) (*Result, error) {
 	for x := 0; x < o.Objects; x++ {
 		if touched[x].Load() && len(c.Copies(x)) == 0 {
 			return res, fmt.Errorf("chaos: %s: object %d lost all copies", s.Name, x)
+		}
+	}
+
+	// Obs-vs-ledger reconciliation: the telemetry counters are booked on
+	// an independent path (padded atomics inside the shard critical
+	// sections) and must agree EXACTLY with the conservation ledger at
+	// quiescence — under every interleaving, after every fault script.
+	if ob := c.Obs(); ob != nil {
+		st := c.Stats()
+		checks := []struct {
+			name      string
+			got, want int64
+		}{
+			{"events", ob.Shards.Total(obs.SlotEvents), st.Requests},
+			{"cost", ob.Shards.Total(obs.SlotCost), st.ServiceCost},
+			{"dropped load", ob.Shards.Total(obs.SlotDroppedLoad), st.DroppedLoad},
+			{"dropped cost", ob.Shards.Total(obs.SlotDroppedCost), st.DroppedServiceLoad},
+			{"drift fires", ob.Global.Load(obs.SlotDriftFires), st.DriftEpochs},
+			{"epoch passes", ob.EpochPass.Count(), st.Epochs},
+		}
+		for _, ck := range checks {
+			if ck.got != ck.want {
+				return res, fmt.Errorf("chaos: %s: obs %s %d != ledger %d", s.Name, ck.name, ck.got, ck.want)
+			}
 		}
 	}
 	return res, nil

@@ -186,7 +186,7 @@ func RunNet(o NetOptions) (*NetResult, error) {
 
 	// client runs one traffic stream: rounds batches of size n, retry
 	// policy per opts. Every TOverloaded the daemon sent this client is
-	// visible in cl.Sheds, so the reconciliation below is exact even when
+	// visible in cl.Sheds(), so the reconciliation below is exact even when
 	// retries eventually land a batch.
 	client := func(seed int64, rounds, n int, opts wire.ClientOptions) {
 		defer wg.Done()
@@ -213,8 +213,9 @@ func RunNet(o NetOptions) (*NetResult, error) {
 				return
 			}
 		}
-		shedBatch.Add(cl.Sheds)
-		shedEvents.Add(cl.Sheds * int64(n))
+		sheds := cl.Sheds()
+		shedBatch.Add(sheds)
+		shedEvents.Add(sheds * int64(n))
 	}
 
 	for g := 0; g < o.Ingesters; g++ {
@@ -312,11 +313,33 @@ func RunNet(o NetOptions) (*NetResult, error) {
 		return res, fmt.Errorf("chaos: net: stats dial: %w", err)
 	}
 	st, err := scl.Stats()
-	scl.Close()
 	if err != nil {
+		scl.Close()
 		return res, fmt.Errorf("chaos: net: stats: %w", err)
 	}
+	ms, err := scl.MsgStats()
+	scl.Close()
+	if err != nil {
+		return res, fmt.Errorf("chaos: net: msg-stats: %w", err)
+	}
 	res.Stats = st
+
+	// Telemetry-vs-ledger reconciliation over the wire: the obs export's
+	// per-shard rows must sum to the very counters the conservation
+	// checks below verify against client observations.
+	var obsEvents, obsCost int64
+	for i := range ms.ShardEvents {
+		obsEvents += ms.ShardEvents[i]
+		obsCost += ms.ShardCost[i]
+	}
+	if obsEvents != st.Requests || obsCost != st.ServiceCost {
+		return res, fmt.Errorf("chaos: net: obs export (events %d, cost %d) != daemon ledger (requests %d, cost %d)",
+			obsEvents, obsCost, st.Requests, st.ServiceCost)
+	}
+	if ms.QueueCap != st.QueueCap || ms.QueueHighWater != st.QueueHighWater {
+		return res, fmt.Errorf("chaos: net: obs gauges (cap %d, hw %d) != daemon stats (cap %d, hw %d)",
+			ms.QueueCap, ms.QueueHighWater, st.QueueCap, st.QueueHighWater)
+	}
 	if st.Requests != res.AcceptedEvents || st.AcceptedEvents != res.AcceptedEvents {
 		return res, fmt.Errorf("chaos: net: daemon served %d / accepted %d events, clients saw %d acknowledged",
 			st.Requests, st.AcceptedEvents, res.AcceptedEvents)

@@ -244,7 +244,40 @@ type Strategy struct {
 	// and the service-only view is derived (see ServiceLoad).
 	moveLoad []int64
 	requests int
+
+	// ops counts structural copy-set decisions. Plain increments: the
+	// strategy is single-writer (the owning shard's lock serializes all
+	// mutation), and readers take the same lock via the serving layer.
+	ops OpCounts
 }
+
+// OpCounts are cumulative counts of the strategy's structural decisions,
+// for telemetry: how often the rent-to-buy dynamics replicate, contract,
+// materialize a first copy, or adopt an epoch placement.
+type OpCounts struct {
+	Replications     int64 // copy-set expansions across an edge
+	Contractions     int64 // write-streak contractions to a single copy
+	Materializations int64 // first-copy placements
+	Adoptions        int64 // epoch placements adopted (set actually changed)
+}
+
+// Add accumulates o into c.
+func (c *OpCounts) Add(o OpCounts) {
+	c.Replications += o.Replications
+	c.Contractions += o.Contractions
+	c.Materializations += o.Materializations
+	c.Adoptions += o.Adoptions
+}
+
+// Ops returns the strategy's structural decision counts. Callers must
+// hold whatever lock serializes Serve calls (in the serving layer, the
+// shard lock).
+func (s *Strategy) Ops() OpCounts { return s.ops }
+
+// ImportOps seeds the decision counters from a predecessor strategy —
+// the telemetry continuity companion of ImportLoads, used when a
+// reconfiguration rebuilds a shard on a new tree.
+func (s *Strategy) ImportOps(o OpCounts) { s.ops.Add(o) }
 
 // New creates a strategy with no copies; each object materializes at its
 // first requester. It returns an error wrapping ErrBadOptions when opts is
@@ -526,6 +559,7 @@ func (s *Strategy) replicateAcross(x int, e tree.EdgeID) {
 	s.EdgeLoad[e]++ // copy transfer
 	s.moveLoad[e]++
 	s.setReadCount(x, e, 0)
+	s.ops.Replications++
 }
 
 // serveWrite is the write path for one request from node (the copy set
@@ -867,6 +901,7 @@ func (s *Strategy) materialize(x int, home tree.NodeID) {
 	s.resetBroadcast(x)
 	s.tableValid[x] = false
 	s.anchorTop[x] = home
+	s.ops.Materializations++
 }
 
 // contract reduces object x's copy set to the single copy on home. No
@@ -886,6 +921,7 @@ func (s *Strategy) contract(x int, home tree.NodeID) {
 	s.resetBroadcast(x)
 	s.tableValid[x] = false
 	s.anchorTop[x] = home
+	s.ops.Contractions++
 }
 
 // rebuildNearest recomputes the nearest tables of object x from scratch: a
@@ -957,6 +993,7 @@ func (s *Strategy) AdoptCopySet(x int, nodes []tree.NodeID) int64 {
 		}
 		s.installTables(x)
 		s.rebuildBroadcast(x)
+		s.ops.Adoptions++
 		return 0
 	}
 	// Price each candidate's movement against the pre-adoption copy set
@@ -1005,6 +1042,7 @@ func (s *Strategy) AdoptCopySet(x int, nodes []tree.NodeID) int64 {
 	s.rebuildBroadcast(x)
 	s.curGen[x]++
 	s.wStreak[x] = 0 // threshold dynamics restart from the adopted set
+	s.ops.Adoptions++
 	return moved
 }
 

@@ -5,6 +5,7 @@ import (
 	"net"
 	"time"
 
+	"hbn/internal/obs"
 	"hbn/internal/serve"
 	"hbn/internal/wire"
 )
@@ -33,12 +34,32 @@ func (d *Daemon) enqueue(t *task) error {
 	default:
 		d.shedBatches.Add(1)
 		d.shedEvents.Add(int64(len(t.events)))
+		// Flight-record the burst, coalesced: only the first shed of each
+		// ~10ms window lands an event (a losing CAS means a concurrent
+		// shedder already recorded this window).
+		if o := d.obsReg(); o != nil {
+			now := time.Now().UnixNano()
+			if last := d.lastShedNs.Load(); now-last > 10*int64(time.Millisecond) &&
+				d.lastShedNs.CompareAndSwap(last, now) {
+				o.Flight.RecordAt(now, obs.EvShed, -1,
+					int64(len(d.queue)), int64(cap(d.queue)), d.shedBatches.Load())
+			}
+		}
 		return &wire.OverloadedError{
 			RetryAfter: d.retryAfter(),
 			QueueLen:   len(d.queue),
 			QueueCap:   cap(d.queue),
 		}
 	}
+}
+
+// obsReg returns the serving cluster's telemetry registry, or nil while
+// in standby (no cluster yet) or with telemetry disabled.
+func (d *Daemon) obsReg() *obs.Registry {
+	if cl := d.cl; cl != nil {
+		return cl.Obs()
+	}
+	return nil
 }
 
 // retryAfter estimates when a shed client should come back: the EWMA
@@ -97,6 +118,11 @@ func (d *Daemon) applyOne(t *task) {
 	} else {
 		d.ewmaApplyNs.Store(old - old/8 + elapsed/8)
 	}
+	// The EWMA's elapsed doubles as the apply-histogram sample — the
+	// telemetry costs no extra clock read on the apply path.
+	if o := d.obsReg(); o != nil {
+		o.Apply.Observe(elapsed)
+	}
 	seq := d.appliedSeq.Add(1)
 	if err := d.tail.AppendBatch(seq, wire.AppendEvents(nil, t.events)); err != nil {
 		// The batch IS applied; a tail write failure degrades restart
@@ -140,6 +166,8 @@ func (d *Daemon) handleConn(conn net.Conn) {
 			rtyp, body = d.handleQuery(f, body)
 		case wire.TStats:
 			rtyp, body = wire.TStatsOK, wire.AppendStats(body[:0], d.Stats())
+		case wire.TMsgStats:
+			rtyp, body = wire.TMsgStatsOK, wire.AppendMsgStats(body[:0], d.MsgStats())
 		case wire.TSnapshot:
 			rtyp, body = d.handleSnapshot(body)
 		case wire.TReconfig:

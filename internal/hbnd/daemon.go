@@ -155,6 +155,11 @@ type Daemon struct {
 	queueHighWater                  atomic.Int64
 	ewmaApplyNs                     atomic.Int64
 
+	// lastShedNs coalesces shed-burst flight events: a storm of back-to-
+	// back sheds records one event per ~10ms window, not one per batch,
+	// so overload can never evict the structural story from the ring.
+	lastShedNs atomic.Int64
+
 	// applyDelayNs stretches every apply (SetApplyDelay) — the fault-
 	// injection seam that makes "2× sustainable offered load"
 	// reproducible on hardware of any speed.

@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"hbn/internal/obs"
 	"hbn/internal/serve"
 	"hbn/internal/snapshot"
 	"hbn/internal/wire"
@@ -47,7 +48,18 @@ func (d *Daemon) handleHandoffCmd(f wire.Frame, body []byte) (wire.Type, []byte)
 }
 
 func (d *Daemon) handoffTo(addr string) error {
+	// Each phase lands in the Handoff histogram and the flight recorder:
+	// the cut (serving stalled), the stream (serving live), and the
+	// drain-through-commit gap (serving stopped for good).
+	span := func(t0 time.Time, phase, val int64) {
+		if o := d.obsReg(); o != nil {
+			o.Handoff.ObserveSince(t0)
+			o.Flight.Record(obs.EvHandoff, -1, phase, val, time.Since(t0).Nanoseconds())
+		}
+	}
+
 	// Phase 1: consistent cut at a batch boundary.
+	tCut := time.Now()
 	d.applyMu.Lock()
 	_, err := d.cl.SnapshotWait(d.cfg.SnapshotPath, 10, 5*time.Millisecond)
 	if err == nil {
@@ -58,6 +70,7 @@ func (d *Daemon) handoffTo(addr string) error {
 	if err != nil {
 		return fmt.Errorf("handoff cut: %w", err)
 	}
+	span(tCut, obs.PhaseBegin, int64(baseSeq))
 	image, err := os.ReadFile(d.cfg.SnapshotPath)
 	if err != nil {
 		return fmt.Errorf("handoff cut: %w", err)
@@ -77,6 +90,7 @@ func (d *Daemon) handoffTo(addr string) error {
 	}
 
 	// Phase 2: stream the image while still serving.
+	tStream := time.Now()
 	numChunks := (len(image) + wire.SnapChunkSize - 1) / wire.SnapChunkSize
 	var wbuf []byte
 	hb := &wire.HandoffBegin{BaseSeq: baseSeq, ImageLen: int64(len(image)), NumChunks: int64(numChunks)}
@@ -93,8 +107,11 @@ func (d *Daemon) handoffTo(addr string) error {
 		}
 	}
 
+	span(tStream, obs.PhaseShard, int64(numChunks))
+
 	// Phase 3: drain. After this the admitted queue is applied and the
 	// applier has exited — appliedSeq and the tail log are final.
+	tDrain := time.Now()
 	d.drainQueueForHandoff()
 
 	// Phase 4: stream the tail in apply order and commit.
@@ -133,6 +150,7 @@ func (d *Daemon) handoffTo(addr string) error {
 		}
 		return fmt.Errorf("handoff: unexpected %v reply", rf.Type)
 	}
+	span(tDrain, obs.PhaseCommit, int64(hc.FinalSeq))
 	d.retired.Store(true)
 	d.cfg.Logf("hbnd: handed off through seq %d to %s", hc.FinalSeq, addr)
 	return nil

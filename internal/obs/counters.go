@@ -1,0 +1,120 @@
+// Package obs is the telemetry core for the serving stack: per-shard
+// cache-line-padded atomic counters, log₂-bucketed latency histograms,
+// and a fixed-size lock-free flight recorder for structural events.
+//
+// Everything in this package is race-clean (all shared state is
+// accessed through sync/atomic) and allocation-free on the write path,
+// so it can sit on the ingest hot path of serve.Cluster without
+// disturbing the 0 allocs/op guarantee. Reads (Snapshot, Totals,
+// Events) may allocate; they are scrape-path only.
+package obs
+
+import "sync/atomic"
+
+// CacheLine is the assumed cache line size in bytes. Counter blocks are
+// padded to two lines so that adjacent shards' counters can never share
+// a line regardless of the slice base alignment (and so the spatial
+// prefetcher's adjacent-line pairs don't couple neighbours either).
+const CacheLine = 64
+
+// Slot indexes within a counter Block. A Block has exactly eight
+// slots — one cache line of int64 words — and each layer uses the
+// subset that applies to it (the serving shards book events/cost/
+// batches/drops; the cluster-global block books drift fires; daemons
+// and clients book sheds/retries).
+const (
+	SlotEvents      = iota // requests applied
+	SlotCost               // service cost booked for those requests
+	SlotBatches            // batches applied
+	SlotDroppedLoad        // edge-load units dropped by reconfiguration
+	SlotDroppedCost        // service cost attributed to dropped load
+	SlotSheds              // admission rejections (daemon/client view)
+	SlotDriftFires         // drift-triggered epoch passes
+	SlotRetries            // client retry attempts
+	slotCount
+)
+
+// slotNames is indexed by the Slot constants; used by exporters.
+var slotNames = [slotCount]string{
+	"events", "cost", "batches", "dropped_load", "dropped_cost",
+	"sheds", "drift_fires", "retries",
+}
+
+// SlotName returns the export name of a counter slot.
+func SlotName(slot int) string { return slotNames[slot] }
+
+// NumSlots is the number of counter slots in a Block.
+const NumSlots = int(slotCount)
+
+// Block is one padded set of counters. The padding reserves two full
+// cache lines per block, so two distinct blocks in a slice never place
+// live words on the same line: the gap between the last counter of
+// block i and the first counter of block i+1 is at least
+// 2*CacheLine - slotCount*8 = 64 bytes even when the backing array is
+// only 8-byte aligned.
+type Block struct {
+	v [slotCount]atomic.Int64
+	_ [2*CacheLine - slotCount*8]byte
+}
+
+// Add adds d to the given slot.
+func (b *Block) Add(slot int, d int64) { b.v[slot].Add(d) }
+
+// Load returns the current value of the given slot.
+func (b *Block) Load(slot int) int64 { return b.v[slot].Load() }
+
+// Store overwrites the given slot. Used only to seed counters from a
+// restored snapshot so the obs ledger re-converges with the
+// conservation ledger after crash recovery.
+func (b *Block) Store(slot int, v int64) { b.v[slot].Store(v) }
+
+// AddBatch books one applied batch: events requests costing cost. All
+// three adds land on the block's own cache line, so a shard's per-batch
+// telemetry never contends with another shard's.
+func (b *Block) AddBatch(events, cost int64) {
+	b.v[SlotEvents].Add(events)
+	b.v[SlotCost].Add(cost)
+	b.v[SlotBatches].Add(1)
+}
+
+// PerShard is a set of padded counter blocks, one per shard. Each
+// shard's hot path holds a *Block pointer and touches only its own
+// line; totals are merged on read.
+type PerShard struct {
+	blocks []Block
+}
+
+// NewPerShard returns counters for n shards.
+func NewPerShard(n int) *PerShard {
+	if n < 1 {
+		n = 1
+	}
+	return &PerShard{blocks: make([]Block, n)}
+}
+
+// Shards returns the number of per-shard blocks.
+func (p *PerShard) Shards() int { return len(p.blocks) }
+
+// Block returns shard i's counter block.
+func (p *PerShard) Block(i int) *Block { return &p.blocks[i] }
+
+// Load returns shard i's value for the given slot.
+func (p *PerShard) Load(i, slot int) int64 { return p.blocks[i].v[slot].Load() }
+
+// Total merges the given slot across all shards.
+func (p *PerShard) Total(slot int) int64 {
+	var t int64
+	for i := range p.blocks {
+		t += p.blocks[i].v[slot].Load()
+	}
+	return t
+}
+
+// Row returns all slots of shard i as a plain array.
+func (p *PerShard) Row(i int) [NumSlots]int64 {
+	var r [NumSlots]int64
+	for s := 0; s < NumSlots; s++ {
+		r[s] = p.blocks[i].v[s].Load()
+	}
+	return r
+}

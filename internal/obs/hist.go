@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of log₂ buckets in a Histogram. Bucket 0
+// holds non-positive values; bucket i (1 ≤ i ≤ 63) holds values v with
+// 2^(i-1) ≤ v < 2^i, i.e. bits.Len64(v) == i. Values are nanoseconds,
+// so the buckets span 1ns to ~292 years with a ≤2x relative error per
+// bucket — plenty for latency forensics, where the question is "did
+// p99 move from 30µs to 2ms", never "did it move 3%".
+const NumBuckets = 64
+
+// Histogram is a lock-free log₂-bucketed latency histogram. The zero
+// value is ready to use. Observe is allocation-free and safe for
+// concurrent writers; Snapshot may run concurrently with writers and
+// always returns a self-consistent view (Count == sum of Buckets).
+type Histogram struct {
+	sum atomic.Int64
+	// negMin stores math.MaxInt64 - min so the zero value means
+	// "empty" (min = MaxInt64); updating the minimum is then a
+	// monotone max-CAS, like max itself.
+	negMin  atomic.Int64
+	max     atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+}
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(ns))
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return (int64(1) << uint(i)) - 1
+}
+
+// Observe records one value (nanoseconds; negative values clamp to 0).
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.sum.Add(ns)
+	casMax(&h.negMin, math.MaxInt64-ns)
+	casMax(&h.max, ns)
+}
+
+// ObserveSince records the elapsed time since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(int64(time.Since(t0))) }
+
+func casMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram. Count is derived
+// from the bucket counts at read time, so a snapshot is always
+// internally consistent even when taken mid-write: every counted
+// observation is in exactly one bucket.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64
+	Min     int64 // exact minimum observed; 0 when Count == 0
+	Max     int64 // exact maximum observed; 0 when Count == 0
+	Buckets [NumBuckets]int64
+}
+
+// Snapshot returns a consistent copy of the histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Buckets[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	if nm := h.negMin.Load(); nm != 0 {
+		s.Min = math.MaxInt64 - nm
+	}
+	if s.Count == 0 {
+		s.Min, s.Max, s.Sum = 0, 0, 0
+	}
+	return s
+}
+
+// Count returns the number of observations without copying buckets.
+func (h *Histogram) Count() int64 {
+	var c int64
+	for i := range h.buckets {
+		c += h.buckets[i].Load()
+	}
+	return c
+}
+
+// Merge returns the union of two snapshots.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	if s.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	m := s
+	m.Count += o.Count
+	m.Sum += o.Sum
+	if o.Min < m.Min {
+		m.Min = o.Min
+	}
+	if o.Max > m.Max {
+		m.Max = o.Max
+	}
+	for i := range m.Buckets {
+		m.Buckets[i] += o.Buckets[i]
+	}
+	return m
+}
+
+// Quantile returns an upper estimate of the q-quantile (0 ≤ q ≤ 1) in
+// nanoseconds: the upper bound of the bucket containing the q-th
+// observation, clamped to the exact [Min, Max] observed. The estimate
+// is within 2x of the true value by the bucket geometry.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	v := s.Max
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			v = BucketUpper(i)
+			break
+		}
+	}
+	if v < s.Min {
+		v = s.Min
+	}
+	if v > s.Max {
+		v = s.Max
+	}
+	return v
+}
+
+// Mean returns the exact mean in nanoseconds (0 when empty).
+func (s HistSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}

@@ -1,0 +1,383 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 30, 31}, {(1 << 30) - 1, 30},
+		{math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Every bucket's upper bound must land back in that bucket, and
+	// upper+1 in the next.
+	for i := 1; i < 63; i++ {
+		u := BucketUpper(i)
+		if bucketOf(u) != i {
+			t.Errorf("BucketUpper(%d)=%d maps to bucket %d", i, u, bucketOf(u))
+		}
+		if bucketOf(u+1) != i+1 {
+			t.Errorf("BucketUpper(%d)+1=%d maps to bucket %d, want %d", i, u+1, bucketOf(u+1), i+1)
+		}
+	}
+	if BucketUpper(0) != 0 || BucketUpper(63) != math.MaxInt64 {
+		t.Errorf("edge bucket bounds wrong: %d %d", BucketUpper(0), BucketUpper(63))
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	for _, v := range []int64{5, 100, 1000, 1000000, 3} {
+		h.Observe(v)
+	}
+	s = h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Min != 3 || s.Max != 1000000 {
+		t.Fatalf("min/max = %d/%d, want 3/1000000", s.Min, s.Max)
+	}
+	if s.Sum != 5+100+1000+1000000+3 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	// p0 clamps to exact min, p100 to exact max.
+	if q := s.Quantile(0); q != 3 {
+		t.Errorf("p0 = %d, want 3", q)
+	}
+	if q := s.Quantile(1); q != 1000000 {
+		t.Errorf("p100 = %d, want 1000000", q)
+	}
+	// The median observation is 100; its bucket upper bound is 127.
+	if q := s.Quantile(0.5); q != 127 {
+		t.Errorf("p50 = %d, want 127", q)
+	}
+	// A quantile estimate is never more than 2x above the true value.
+	if q := s.Quantile(0.5); q >= 200 {
+		t.Errorf("p50 = %d, exceeds 2x the true median 100", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for _, v := range []int64{1, 10, 100} {
+		a.Observe(v)
+	}
+	for _, v := range []int64{1000, 10000} {
+		b.Observe(v)
+	}
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 5 || m.Min != 1 || m.Max != 10000 || m.Sum != 11111 {
+		t.Fatalf("merge wrong: %+v", m)
+	}
+	var want Histogram
+	for _, v := range []int64{1, 10, 100, 1000, 10000} {
+		want.Observe(v)
+	}
+	if m.Buckets != want.Snapshot().Buckets {
+		t.Fatalf("merged buckets differ from direct observation")
+	}
+	// Merging with an empty snapshot is the identity in both orders.
+	var empty HistSnapshot
+	if got := m.Merge(empty); got != m {
+		t.Fatalf("merge with empty changed snapshot")
+	}
+	if got := empty.Merge(m); got != m {
+		t.Fatalf("empty.Merge(m) != m")
+	}
+}
+
+// TestHistogramConcurrentSnapshot hammers a histogram from several
+// writers while a reader takes snapshots. Every snapshot must be
+// self-consistent (Count == Σ buckets, by construction) and monotone
+// in Count; the final snapshot must account for every observation.
+func TestHistogramConcurrentSnapshot(t *testing.T) {
+	const writers = 4
+	const perWriter = 20000
+	var h Histogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snaps []HistSnapshot
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snaps = append(snaps, h.Snapshot())
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	prev := int64(-1)
+	for _, s := range snaps {
+		var sum int64
+		for _, b := range s.Buckets {
+			sum += b
+		}
+		if sum != s.Count {
+			t.Fatalf("snapshot inconsistent: count %d != bucket sum %d", s.Count, sum)
+		}
+		if s.Count < prev {
+			t.Fatalf("snapshot count went backwards: %d -> %d", prev, s.Count)
+		}
+		prev = s.Count
+	}
+	final := h.Snapshot()
+	if final.Count != writers*perWriter {
+		t.Fatalf("final count = %d, want %d", final.Count, writers*perWriter)
+	}
+	if final.Min != 0 || final.Max != 3000+perWriter-1 {
+		t.Fatalf("final min/max = %d/%d", final.Min, final.Max)
+	}
+}
+
+func TestPerShardCounters(t *testing.T) {
+	p := NewPerShard(4)
+	if p.Shards() != 4 {
+		t.Fatalf("shards = %d", p.Shards())
+	}
+	for i := 0; i < 4; i++ {
+		p.Block(i).AddBatch(int64(10*(i+1)), int64(100*(i+1)))
+	}
+	p.Block(2).Add(SlotDroppedCost, 7)
+	if got := p.Total(SlotEvents); got != 10+20+30+40 {
+		t.Errorf("total events = %d", got)
+	}
+	if got := p.Total(SlotCost); got != 100+200+300+400 {
+		t.Errorf("total cost = %d", got)
+	}
+	if got := p.Total(SlotBatches); got != 4 {
+		t.Errorf("total batches = %d", got)
+	}
+	if got := p.Load(2, SlotDroppedCost); got != 7 {
+		t.Errorf("shard 2 dropped cost = %d", got)
+	}
+	row := p.Row(1)
+	if row[SlotEvents] != 20 || row[SlotCost] != 200 || row[SlotBatches] != 1 {
+		t.Errorf("row 1 = %v", row)
+	}
+}
+
+// TestBlockPadding pins the anti-false-sharing layout: blocks are two
+// cache lines apart, so no two blocks' counters can share a line.
+func TestBlockPadding(t *testing.T) {
+	if got := unsafe.Sizeof(Block{}); got != 2*CacheLine {
+		t.Fatalf("Block size = %d, want %d", got, 2*CacheLine)
+	}
+	p := NewPerShard(2)
+	d := uintptr(unsafe.Pointer(p.Block(1))) - uintptr(unsafe.Pointer(p.Block(0)))
+	if d != 2*CacheLine {
+		t.Fatalf("adjacent blocks %d bytes apart, want %d", d, 2*CacheLine)
+	}
+}
+
+func TestPerShardConcurrent(t *testing.T) {
+	p := NewPerShard(8)
+	var wg sync.WaitGroup
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			b := p.Block(s)
+			for i := 0; i < 10000; i++ {
+				b.AddBatch(2, 3)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if got := p.Total(SlotEvents); got != 8*10000*2 {
+		t.Fatalf("events = %d", got)
+	}
+	if got := p.Total(SlotCost); got != 8*10000*3 {
+		t.Fatalf("cost = %d", got)
+	}
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(16)
+	if r.Cap() != 16 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		r.RecordAt(int64(i), EvEpoch, int32(i), int64(i), 2, 3)
+	}
+	evs := r.Events(nil)
+	if len(evs) != 10 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) || ev.TimeNs != int64(i) || ev.Kind != EvEpoch ||
+			ev.Shard != int32(i) || ev.A != int64(i) || ev.B != 2 || ev.C != 3 {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+}
+
+func TestRecorderWraps(t *testing.T) {
+	r := NewRecorder(16)
+	const n = 100
+	for i := 0; i < n; i++ {
+		r.RecordAt(int64(i), EvShed, -1, int64(i), 0, 0)
+	}
+	if r.Recorded() != n {
+		t.Fatalf("recorded = %d", r.Recorded())
+	}
+	evs := r.Events(nil)
+	if len(evs) != 16 {
+		t.Fatalf("resident = %d, want 16", len(evs))
+	}
+	for i, ev := range evs {
+		want := uint64(n - 16 + i)
+		if ev.Seq != want || ev.A != int64(want) {
+			t.Fatalf("event %d: seq %d, want %d", i, ev.Seq, want)
+		}
+		if ev.Shard != -1 {
+			t.Fatalf("shard roundtrip: %d", ev.Shard)
+		}
+	}
+}
+
+// TestRecorderSkipsTornSlot checks the seqlock protocol directly: a
+// slot whose version is odd (writer mid-flight) is skipped by readers.
+func TestRecorderSkipsTornSlot(t *testing.T) {
+	r := NewRecorder(16)
+	for i := 0; i < 5; i++ {
+		r.RecordAt(int64(i), EvEpoch, 0, 0, 0, 0)
+	}
+	// Simulate a stalled writer on seq 2: version parked at mid-write.
+	r.slot[2].ver.Store(2*2 + 1)
+	evs := r.Events(nil)
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4 (torn slot skipped)", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Seq == 2 {
+			t.Fatalf("torn slot exposed: %+v", ev)
+		}
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]Event, 0, 64)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			buf = buf[:0]
+			for _, ev := range r.Events(buf) {
+				// Field coherence within one record: A mirrors Seq.
+				if ev.A != int64(ev.Seq) {
+					panic("torn event exposed")
+				}
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		ww.Add(1)
+		go func() {
+			defer ww.Done()
+			for i := 0; i < 5000; i++ {
+				r.recordSelfSeq(EvShed)
+			}
+		}()
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if r.Recorded() != 4*5000 {
+		t.Fatalf("recorded = %d", r.Recorded())
+	}
+}
+
+// recordSelfSeq records an event whose A field equals its own sequence
+// number, letting readers verify record coherence.
+func (r *Recorder) recordSelfSeq(k Kind) {
+	seq := r.next.Add(1) - 1
+	s := &r.slot[seq&r.mask]
+	s.ver.Store(2*seq + 1)
+	s.time.Store(int64(seq))
+	s.meta.Store(uint64(k) << 32)
+	s.a.Store(int64(seq))
+	s.b.Store(0)
+	s.c.Store(0)
+	s.ver.Store(2*seq + 2)
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry(4, 100)
+	if r.Shards.Shards() != 4 {
+		t.Fatalf("shards = %d", r.Shards.Shards())
+	}
+	if r.Flight.Cap() != 128 {
+		t.Fatalf("flight cap = %d, want next power of two 128", r.Flight.Cap())
+	}
+	r.IngestBatch.Observe(100)
+	r.Global.Add(SlotDriftFires, 1)
+	names := map[string]bool{}
+	for _, nh := range r.Hists() {
+		if nh.Hist == nil || nh.Name == "" {
+			t.Fatalf("bad named hist %+v", nh)
+		}
+		names[nh.Name] = true
+	}
+	if !names["ingest_batch"] || !names["apply"] || !names["round_trip"] {
+		t.Fatalf("missing hist names: %v", names)
+	}
+	if r.Global.Load(SlotDriftFires) != 1 {
+		t.Fatalf("global counter")
+	}
+}
+
+func TestAllocFree(t *testing.T) {
+	var h Histogram
+	p := NewPerShard(2)
+	r := NewRecorder(16)
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Observe(12345)
+		p.Block(1).AddBatch(8, 64)
+		r.RecordAt(1, EvEpoch, 0, 1, 2, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("write path allocates: %v allocs/op", allocs)
+	}
+}

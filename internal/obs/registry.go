@@ -1,0 +1,55 @@
+package obs
+
+// Registry bundles the telemetry of one serving process: per-shard
+// padded counters, one cluster-global counter block, the fixed set of
+// latency histograms, and the flight recorder. Hot paths hold direct
+// pointers into the registry (a shard's *Block, a *Histogram), so
+// recording is always a concrete call on an atomic word — no interface
+// dispatch, no map lookups, no allocation.
+type Registry struct {
+	// Shards holds one padded counter block per serving shard.
+	Shards *PerShard
+	// Global holds cluster-wide counters (drift fires, sheds,
+	// retries) that have no per-shard attribution.
+	Global Block
+
+	IngestBatch   Histogram // Cluster.Ingest call latency
+	EpochPass     Histogram // epoch re-solve duration
+	ReconfigStall Histogram // per-shard ingest stall during reconfiguration
+	SnapshotCut   Histogram // snapshot cut stall (ingest paused)
+	Handoff       Histogram // live handoff phase durations
+	Apply         Histogram // daemon apply latency (admission to applied)
+	RoundTrip     Histogram // client-observed request round-trip latency
+
+	// Flight is the structural-event flight recorder.
+	Flight *Recorder
+}
+
+// NewRegistry returns a registry for n shards whose flight recorder
+// keeps the most recent flightCap events.
+func NewRegistry(n, flightCap int) *Registry {
+	return &Registry{
+		Shards: NewPerShard(n),
+		Flight: NewRecorder(flightCap),
+	}
+}
+
+// NamedHist pairs a histogram with its export name.
+type NamedHist struct {
+	Name string
+	Hist *Histogram
+}
+
+// Hists returns the registry's histograms with their export names.
+// The slice is freshly allocated; scrape-path only.
+func (r *Registry) Hists() []NamedHist {
+	return []NamedHist{
+		{"ingest_batch", &r.IngestBatch},
+		{"epoch_pass", &r.EpochPass},
+		{"reconfig_stall", &r.ReconfigStall},
+		{"snapshot_cut", &r.SnapshotCut},
+		{"handoff", &r.Handoff},
+		{"apply", &r.Apply},
+		{"round_trip", &r.RoundTrip},
+	}
+}

@@ -80,6 +80,14 @@ func TestIngestSteadyAllocs(t *testing.T) {
 		}
 	}
 	steady := trace[len(trace)/2:]
+	// Telemetry is on by default; scraping the registry between warmup
+	// and measurement must not disturb the guarantee either (reads are
+	// pure atomic loads, and the write path never allocates).
+	if c.Obs() == nil {
+		t.Fatal("telemetry should be enabled by default")
+	}
+	_ = c.Obs().IngestBatch.Snapshot()
+	_ = c.Obs().Shards.Total(0)
 	i := 0
 	allocs := testing.AllocsPerRun(20, func() {
 		lo := (i * batch) % (len(steady) - batch)

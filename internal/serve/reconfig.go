@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hbn/internal/dynamic"
+	"hbn/internal/obs"
 	"hbn/internal/topo"
 	"hbn/internal/tree"
 	"hbn/internal/workload"
@@ -102,6 +103,9 @@ func (c *Cluster) Reconfigure(d topo.Diff) (ReconfigStats, error) {
 	c.epochMu.Lock()
 	defer c.epochMu.Unlock()
 	start := time.Now()
+	if o := c.obs; o != nil {
+		o.Flight.Record(obs.EvReconfig, -1, obs.PhaseBegin, 0, 0)
+	}
 
 	oldTree := c.t
 	mig, changed, err := c.planLocked(d)
@@ -127,6 +131,10 @@ func (c *Cluster) Reconfigure(d topo.Diff) (ReconfigStats, error) {
 
 	rs.Elapsed = time.Since(start)
 	rs.MaxIngestStall = rs.Elapsed
+	if o := c.obs; o != nil {
+		// Stop-the-world: the whole gated window is one ingest stall.
+		o.ReconfigStall.Observe(rs.Elapsed.Nanoseconds())
+	}
 	c.finishReconfigLocked(&rs, changed, mig.Congestion)
 	return rs, nil
 }
@@ -200,14 +208,23 @@ func (c *Cluster) ReconfigureRolling(d topo.Diff) (ReconfigStats, error) {
 	// migrated shards translate IDs, load accessors project forward.
 	roll := &rollState{newTree: mig.Tree, remap: mig.Remap, fallback: mig.LeafFallback}
 	var maxStall time.Duration
-	stall := func(t0 time.Time) {
-		if d := time.Since(t0); d > maxStall {
+	// Every window during which ingestion could stall — the publish
+	// quiesce, each shard's swap, the commit quiesce — is one histogram
+	// observation and one flight-recorder phase event, so a p99 spike
+	// during a roll is attributable to the exact shard that caused it.
+	stall := func(t0 time.Time, phase int64, shard int32) {
+		d := time.Since(t0)
+		if d > maxStall {
 			maxStall = d
+		}
+		if o := c.obs; o != nil {
+			o.ReconfigStall.Observe(int64(d))
+			o.Flight.Record(obs.EvReconfig, shard, phase, int64(d), 0)
 		}
 	}
 	t0 := time.Now()
 	c.quiesce(func() { c.roll = roll })
-	stall(t0)
+	stall(t0, obs.PhaseBegin, -1)
 
 	// Migrate one shard at a time, each under only its own lock: a
 	// concurrent Ingest stalls only if it owns requests for the shard
@@ -223,7 +240,7 @@ func (c *Cluster) ReconfigureRolling(d topo.Diff) (ReconfigStats, error) {
 		c.migrateShard(sh, si, mig, proj, &rs)
 		sh.onNew = true
 		sh.mu.Unlock()
-		stall(t0)
+		stall(t0, obs.PhaseShard, int32(si))
 		if c.rollHook != nil {
 			c.rollHook(si + 1)
 		}
@@ -240,7 +257,7 @@ func (c *Cluster) ReconfigureRolling(d topo.Diff) (ReconfigStats, error) {
 			sh.onNew = false
 		}
 	})
-	stall(t0)
+	stall(t0, obs.PhaseCommit, -1)
 
 	rs.Elapsed = time.Since(start)
 	rs.MaxIngestStall = maxStall
@@ -313,11 +330,20 @@ func newIsLeaf(t *tree.Tree) []bool {
 func (c *Cluster) migrateShard(sh *shard, si int, mig *topo.Migration, proj *topo.Projector, rs *ReconfigStats) {
 	edgeLoad := sh.strat.EdgeLoad
 	moveLoad := sh.strat.MoveLoad()
+	var dl, dc int64
 	for e, l := range edgeLoad {
 		if mig.Remap.Edge[e] == tree.NoEdge {
-			rs.DroppedLoad += l
-			rs.DroppedServiceLoad += l - moveLoad[e]
+			dl += l
+			dc += l - moveLoad[e]
 		}
+	}
+	rs.DroppedLoad += dl
+	rs.DroppedServiceLoad += dc
+	if b := sh.obsb; b != nil {
+		// Same critical section as the drop itself, so the obs drop
+		// counters and the conservation ledger move together.
+		b.Add(obs.SlotDroppedLoad, dl)
+		b.Add(obs.SlotDroppedCost, dc)
 	}
 	// The options were validated at NewCluster, so MustNew cannot panic.
 	ns := dynamic.MustNew(mig.Tree, c.numObjects, c.dynOpts())
@@ -326,6 +352,7 @@ func (c *Cluster) migrateShard(sh *shard, si int, mig *topo.Migration, proj *top
 		mig.Remap.EdgeLoads(moveLoad),
 		sh.strat.Requests(),
 	)
+	ns.ImportOps(sh.strat.Ops())
 	carried := sh.tracker.DrainDrifted(nil)
 	nt := dynamic.NewOfflineTrackerWith(mig.Tree, mig.Remap.Workload(sh.tracker.Workload()))
 	nt.MarkDrifted(carried)
@@ -368,6 +395,15 @@ func (c *Cluster) finishReconfigLocked(rs *ReconfigStats, drifted int, congestio
 		ResolveNs:        rs.Elapsed.Nanoseconds(),
 		Trigger:          TriggerManual,
 	})
+	if o := c.obs; o != nil {
+		// A reconfiguration is an epoch-like pass: observing it here keeps
+		// the epoch histogram's count equal to Stats.Epochs, and every
+		// epoch-log entry paired with one EvEpoch flight event.
+		o.EpochPass.Observe(rs.Elapsed.Nanoseconds())
+		o.Flight.Record(obs.EvEpoch, -1, triggerCode(TriggerManual), int64(drifted), rs.Moved)
+		o.Flight.Record(obs.EvReconfig, -1, obs.PhaseCommit,
+			int64(rs.MaxIngestStall), rs.DroppedServiceLoad)
+	}
 }
 
 // countAdded counts remap entries for freshly grafted (surviving) nodes.

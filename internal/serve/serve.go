@@ -45,6 +45,7 @@ import (
 
 	"hbn/internal/core"
 	"hbn/internal/dynamic"
+	"hbn/internal/obs"
 	"hbn/internal/par"
 	"hbn/internal/topo"
 	"hbn/internal/tree"
@@ -132,6 +133,16 @@ type Options struct {
 	// reference configuration for equivalence tests and the baseline of
 	// the ingest throughput benchmark.
 	Unbatched bool
+	// NoTelemetry disables the cluster's obs registry: Obs returns nil
+	// and the serving paths skip all counter/histogram updates. Telemetry
+	// is on by default and costs a handful of uncontended atomic adds per
+	// batch (pinned within 3% of the bare path by the CI overhead guard);
+	// this switch exists for that guard's baseline measurement, not for
+	// production use.
+	NoTelemetry bool
+	// FlightRecorderSize bounds the obs flight recorder (most recent N
+	// structural events, rounded up to a power of two). <= 0 means 1024.
+	FlightRecorderSize int
 }
 
 // validate rejects option values that would silently change serving
@@ -222,6 +233,11 @@ type shard struct {
 	strat   *dynamic.Strategy
 	tracker *dynamic.OfflineTracker
 	cost    int64 // total service cost of this shard
+	// obsb is this shard's padded telemetry counter block (nil with
+	// Options.NoTelemetry). Held directly so the per-batch booking is a
+	// concrete atomic add on the shard's own cache line — no interface
+	// dispatch, no sharing with neighbouring shards.
+	obsb *obs.Block
 	// onNew marks that a staged reconfiguration has already migrated this
 	// shard onto the roll's new tree (guarded by mu; reset under the full
 	// ingest gate when the roll commits). While it is set and a roll is
@@ -295,6 +311,12 @@ func (sc *ingestScratch) serveShard(_, si int) {
 	}
 	sc.costs[si] = cost
 	sh.cost += cost
+	if b := sh.obsb; b != nil {
+		// Booked inside the shard's critical section, so the obs ledger
+		// and the conservation ledger (tracker/strategy state) can never
+		// be observed out of step at quiescence.
+		b.AddBatch(int64(len(part)), cost)
+	}
 }
 
 // partition counting-sorts the batch by owner shard into sc.buf and sets
@@ -391,6 +413,11 @@ type Cluster struct {
 	done         chan struct{}
 	wg           sync.WaitGroup
 
+	// obs is the cluster's telemetry registry (nil with NoTelemetry).
+	// All registry state is atomic; hot paths hold direct pointers into
+	// it (each shard's obsb block).
+	obs *obs.Registry
+
 	// reconfiguring serializes Reconfigure/ReconfigureRolling calls: a
 	// second call arriving while one is in flight fails fast with
 	// ErrReconfigInProgress instead of queueing behind epochMu (which a
@@ -456,11 +483,21 @@ func NewCluster(t *tree.Tree, numObjects int, opts Options) (*Cluster, error) {
 		w:          workload.New(numObjects, t.Len()),
 		prev:       workload.New(numObjects, t.Len()),
 	}
+	if !opts.NoTelemetry {
+		fr := opts.FlightRecorderSize
+		if fr <= 0 {
+			fr = 1024
+		}
+		c.obs = obs.NewRegistry(opts.Shards, fr)
+	}
 	for i := range c.shards {
 		// Threshold validity was checked above, so New cannot fail here.
 		c.shards[i] = &shard{
 			strat:   dynamic.MustNew(t, numObjects, c.dynOpts()),
 			tracker: dynamic.NewOfflineTracker(t, numObjects),
+		}
+		if c.obs != nil {
+			c.shards[i].obsb = c.obs.Shards.Block(i)
 		}
 	}
 	c.isLeaf = make([]bool, t.Len())
@@ -546,6 +583,10 @@ func (c *Cluster) serveGated(batch []Request) (total int64, crossed, driftCheck 
 			return 0, false, false, fmt.Errorf("serve: request %d: node %d is not a processor", i, r.Node)
 		}
 	}
+	var t0 time.Time
+	if c.obs != nil {
+		t0 = time.Now()
+	}
 	sc := c.scratch.Get().(*ingestScratch)
 	sc.partition(batch)
 	par.ForEach(c.opts.Parallelism, len(c.shards), sc.serve)
@@ -556,6 +597,11 @@ func (c *Cluster) serveGated(batch []Request) (total int64, crossed, driftCheck 
 		sc.buf = nil // aliased the caller's batch; don't retain it in the pool
 	}
 	c.scratch.Put(sc)
+	if c.obs != nil {
+		// Two clock reads per batch, amortized over the whole batch; the
+		// per-shard counters were booked inside serveShard.
+		c.obs.IngestBatch.ObserveSince(t0)
+	}
 	after := c.served.Add(int64(len(batch)))
 	before := after - int64(len(batch))
 	if e := c.opts.EpochRequests; e > 0 && before/e != after/e {
@@ -819,7 +865,29 @@ func (c *Cluster) resolveEpochLocked(trigger string) error {
 		Trigger:          trigger,
 		DriftMagnitude:   driftMag,
 	})
+	if o := c.obs; o != nil {
+		o.EpochPass.Observe(elapsed.Nanoseconds())
+		o.Flight.Record(obs.EvEpoch, -1, triggerCode(trigger), int64(len(changed)), moved)
+		if trigger == TriggerDrift {
+			o.Global.Add(obs.SlotDriftFires, 1)
+			o.Flight.Record(obs.EvDrift, -1,
+				int64(driftMag*1000), int64(c.opts.DriftThreshold*1000), 0)
+		}
+	}
 	return nil
+}
+
+// triggerCode maps an EpochStat trigger label to the integer carried in
+// flight-recorder events.
+func triggerCode(trigger string) int64 {
+	switch trigger {
+	case TriggerCadence:
+		return 1
+	case TriggerDrift:
+		return 2
+	default:
+		return 3 // manual / reconfiguration
+	}
 }
 
 // loop is the background epoch runner.
@@ -1038,3 +1106,23 @@ func (c *Cluster) EpochLog() []EpochStat {
 
 // Shards returns the shard count.
 func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Obs returns the cluster's telemetry registry, or nil when the cluster
+// was built with Options.NoTelemetry. The registry is live: counters and
+// histograms may be read at any time (they are exact once all concurrent
+// Ingest calls have returned, like Stats), and the per-shard event/cost
+// counters reconcile exactly with Stats' conservation ledger at
+// quiescence — the chaos harness asserts that equality after every run.
+func (c *Cluster) Obs() *obs.Registry { return c.obs }
+
+// OpCounts merges the structural decision counters (replications,
+// contractions, materializations, adoptions) of all shard strategies.
+func (c *Cluster) OpCounts() dynamic.OpCounts {
+	var t dynamic.OpCounts
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		t.Add(sh.strat.Ops())
+		sh.mu.Unlock()
+	}
+	return t
+}

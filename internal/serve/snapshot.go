@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hbn/internal/dynamic"
+	"hbn/internal/obs"
 	"hbn/internal/snapshot"
 	"hbn/internal/workload"
 )
@@ -102,6 +103,10 @@ func (c *Cluster) SnapshotWith(path string, opts snapshot.SaveOptions) (Snapshot
 	err := snapshot.WriteFile(path, data, opts)
 	ss.WriteElapsed = time.Since(t0)
 	ss.Elapsed = time.Since(start)
+	if o := c.obs; o != nil {
+		o.SnapshotCut.Observe(ss.CutStall.Nanoseconds())
+		o.Flight.Record(obs.EvSnapshot, -1, int64(ss.Seq), ss.Bytes, ss.CutStall.Nanoseconds())
+	}
 	return ss, err
 }
 
@@ -195,6 +200,13 @@ func Restore(path string, opts RestoreOptions) (*Cluster, *RestoreInfo, error) {
 		if err == nil {
 			var c *Cluster
 			if c, err = RestoreState(st, opts); err == nil {
+				if o := c.obs; o != nil {
+					fb := int64(0)
+					if p != path {
+						fb = 1
+					}
+					o.Flight.Record(obs.EvRecovery, -1, int64(st.Seq), fb, 0)
+				}
 				return c, &RestoreInfo{Path: p, Fallback: p != path, Seq: st.Seq}, nil
 			}
 			err = fmt.Errorf("%s: %w", p, err)
@@ -297,6 +309,12 @@ func (c *Cluster) installState(st *snapshot.State) error {
 		sh.mu.Lock()
 		sh.strat.ImportLoads(ss.EdgeLoad, ss.MoveLoad, ss.Requests)
 		sh.cost = ss.Cost
+		if b := sh.obsb; b != nil {
+			// Seed the obs ledger from the image so it reconciles with
+			// the restored conservation ledger from the first read.
+			b.Store(obs.SlotEvents, ss.Requests)
+			b.Store(obs.SlotCost, ss.Cost)
+		}
 		sh.tracker = dynamic.NewOfflineTrackerWith(st.Tree, ss.TrackerW)
 		sh.tracker.MarkDrifted(ss.Drift)
 		for x := si; x < st.NumObjects; x += nshards {
@@ -319,6 +337,20 @@ func (c *Cluster) installState(st *snapshot.State) error {
 	c.stats.ResolveTime = time.Duration(st.ResolveTimeNs)
 	c.stats.DroppedLoad = st.DroppedLoad
 	c.stats.DroppedServiceLoad = st.DroppedServiceLoad
+	if o := c.obs; o != nil {
+		// The image does not carry per-shard drop attribution (drops are
+		// booked cluster-wide in the stats); seed the totals on shard 0
+		// so the obs ledger's totals still reconcile exactly.
+		b0 := o.Shards.Block(0)
+		b0.Store(obs.SlotDroppedLoad, st.DroppedLoad)
+		b0.Store(obs.SlotDroppedCost, st.DroppedServiceLoad)
+		o.Global.Store(obs.SlotDriftFires, st.DriftEpochs)
+		// Replay the epoch log into the epoch histogram so its count
+		// keeps equalling Stats.Epochs across a restore.
+		for _, e := range st.EpochLog {
+			o.EpochPass.Observe(e.ResolveNs)
+		}
+	}
 	c.epochLog = make([]EpochStat, len(st.EpochLog))
 	for i, e := range st.EpochLog {
 		c.epochLog[i] = EpochStat{

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync/atomic"
 	"time"
 
+	"hbn/internal/obs"
 	"hbn/internal/tree"
 	"hbn/internal/workload"
 )
@@ -28,6 +30,11 @@ type ClientOptions struct {
 	Timeout time.Duration
 	// Seed derives the jitter PRNG (0 seeds from the clock).
 	Seed int64
+	// Obs, when set, books client-side telemetry into the registry:
+	// sheds and retries into the global counter block, and request
+	// round-trip latency into the RoundTrip histogram. Multiple clients
+	// may share one registry (all bookings are atomic).
+	Obs *obs.Registry
 }
 
 // defaults normalizes in place. It must be idempotent (Dial applies it,
@@ -68,11 +75,21 @@ type Client struct {
 	// reusable buffers: encode scratch, frame read buffer, body scratch.
 	wbuf, rbuf, body []byte
 
-	// Sheds / Retries count TOverloaded replies observed and retry sleeps
-	// taken, for load-generator reporting.
-	Sheds   int64
-	Retries int64
+	// sheds / retries count TOverloaded replies observed and retry
+	// sleeps taken. Atomic so load generators can poll the accessors
+	// while the client is mid-retry on another goroutine (the client
+	// itself is still single-caller; only the counters are shared).
+	sheds   atomic.Int64
+	retries atomic.Int64
 }
+
+// Sheds returns how many TOverloaded replies this client has observed.
+// Safe to call concurrently with an in-flight Ingest.
+func (c *Client) Sheds() int64 { return c.sheds.Load() }
+
+// Retries returns how many retry sleeps this client has taken. Safe to
+// call concurrently with an in-flight Ingest.
+func (c *Client) Retries() int64 { return c.retries.Load() }
 
 // Dial connects to an hbnd daemon and completes the protocol handshake.
 func Dial(addr string, opts ClientOptions) (*Client, error) {
@@ -119,6 +136,10 @@ func (c *Client) Close() error { return c.conn.Close() }
 // roundTrip sends one frame and reads the reply.
 func (c *Client) roundTrip(typ Type, body []byte) (Frame, error) {
 	c.seq++
+	var t0 time.Time
+	if c.opts.Obs != nil {
+		t0 = time.Now()
+	}
 	c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
 	var err error
 	if c.wbuf, err = WriteFrame(c.bw, typ, c.seq, body, c.wbuf); err != nil {
@@ -134,6 +155,9 @@ func (c *Client) roundTrip(typ Type, body []byte) (Frame, error) {
 	}
 	if f.Seq != c.seq {
 		return Frame{}, corrupt("reply sequence %d for request %d", f.Seq, c.seq)
+	}
+	if c.opts.Obs != nil {
+		c.opts.Obs.RoundTrip.ObserveSince(t0)
 	}
 	return f, nil
 }
@@ -215,7 +239,10 @@ func (c *Client) Ingest(events []workload.TraceEvent, budget time.Duration) (int
 			if perr != nil {
 				return 0, perr
 			}
-			c.Sheds++
+			c.sheds.Add(1)
+			if o := c.opts.Obs; o != nil {
+				o.Global.Add(obs.SlotSheds, 1)
+			}
 			if attempt >= c.opts.retries() {
 				return 0, oe
 			}
@@ -225,7 +252,10 @@ func (c *Client) Ingest(events []workload.TraceEvent, budget time.Duration) (int
 				// shed rather than burn the budget sleeping.
 				return 0, oe
 			}
-			c.Retries++
+			c.retries.Add(1)
+			if o := c.opts.Obs; o != nil {
+				o.Global.Add(obs.SlotRetries, 1)
+			}
 			time.Sleep(sleep)
 		default:
 			return 0, remoteErr(f)
@@ -256,6 +286,20 @@ func (c *Client) Stats() (*DaemonStats, error) {
 		return nil, remoteErr(f)
 	}
 	return ParseStats(f.Body)
+}
+
+// MsgStats fetches the daemon's full telemetry export: per-shard
+// counters, latency histograms, admission gauges and the flight-recorder
+// tail. Idempotent and read-only; safe to poll.
+func (c *Client) MsgStats() (*MsgStats, error) {
+	f, err := c.roundTrip(TMsgStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != TMsgStatsOK {
+		return nil, remoteErr(f)
+	}
+	return ParseMsgStats(f.Body)
 }
 
 // Snapshot asks the daemon to write a durable snapshot now.

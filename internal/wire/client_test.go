@@ -22,15 +22,20 @@ type fakeServer struct {
 
 func startFakeServer(t *testing.T, replies []func(seq uint64) (Type, []byte)) (*Client, *fakeServer) {
 	t.Helper()
-	cEnd, sEnd := net.Pipe()
-	fs := &fakeServer{t: t, conn: sEnd, replies: replies, done: make(chan struct{})}
-	go fs.run()
-	cl, err := NewClient(cEnd, ClientOptions{
+	return startFakeServerOpts(t, replies, ClientOptions{
 		Seed:        42,
 		BaseBackoff: 100 * time.Microsecond,
 		MaxBackoff:  time.Millisecond,
 		Timeout:     2 * time.Second,
 	})
+}
+
+func startFakeServerOpts(t *testing.T, replies []func(seq uint64) (Type, []byte), opts ClientOptions) (*Client, *fakeServer) {
+	t.Helper()
+	cEnd, sEnd := net.Pipe()
+	fs := &fakeServer{t: t, conn: sEnd, replies: replies, done: make(chan struct{})}
+	go fs.run()
+	cl, err := NewClient(cEnd, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,8 +97,8 @@ func TestClientRetriesShedThenSucceeds(t *testing.T) {
 	if len(fs.gotIn) != 3 {
 		t.Fatalf("server saw %d frames, want 3", len(fs.gotIn))
 	}
-	if cl.Sheds != 2 || cl.Retries != 2 {
-		t.Fatalf("sheds=%d retries=%d, want 2/2", cl.Sheds, cl.Retries)
+	if cl.Sheds() != 2 || cl.Retries() != 2 {
+		t.Fatalf("sheds=%d retries=%d, want 2/2", cl.Sheds(), cl.Retries())
 	}
 }
 

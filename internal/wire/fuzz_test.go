@@ -30,6 +30,8 @@ func FuzzWireDecode(f *testing.F) {
 		AppendFrame(nil, TReconfig, 9, AppendReconfig(nil, &ReconfigRequest{Rolling: true})),
 		AppendFrame(nil, TTail, 10, AppendEvents(nil, events)),
 		AppendFrame(nil, THandoffCommit, 11, AppendHandoffCommit(nil, &HandoffCommit{FinalSeq: 3, Requests: 4, ServiceCost: 5})),
+		AppendFrame(nil, TMsgStats, 12, nil),
+		AppendFrame(nil, TMsgStatsOK, 13, AppendMsgStats(nil, fuzzMsgStats(rng))),
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hbn/internal/obs"
+	"hbn/internal/workload"
+)
+
+// fuzzMsgStats builds a populated MsgStats for seeding the fuzzer and
+// the round-trip test.
+func fuzzMsgStats(rng *rand.Rand) *MsgStats {
+	m := &MsgStats{
+		ShardEvents:  []int64{100, 200, 300},
+		ShardCost:    []int64{11, 22, 33},
+		ShardBatches: []int64{4, 5, 6},
+		DroppedLoad:  7, DroppedCost: 8, DriftFires: 2,
+		Replications: 9, Contractions: 3, Materializations: 12, Adoptions: 40,
+		QueueLen: 1, QueueCap: 64, QueueHighWater: 17, EwmaApplyNs: 120_000,
+	}
+	h := HistStat{Name: "apply", Min: 3, Max: 9000}
+	for i := 0; i < 10; i++ {
+		b := rng.Intn(obs.NumBuckets)
+		c := int64(rng.Intn(50) + 1)
+		h.Buckets[b] += c
+	}
+	for _, c := range h.Buckets {
+		h.Count += c
+	}
+	h.Sum = h.Count * 100
+	m.Hists = append(m.Hists, h)
+	m.Flight = []obs.Event{
+		{Seq: 0, TimeNs: 1111, Kind: obs.EvEpoch, Shard: -1, A: 1, B: 2, C: 3},
+		{Seq: 1, TimeNs: 2222, Kind: obs.EvShed, Shard: 0, A: 64, B: 64, C: 10},
+	}
+	return m
+}
+
+func TestMsgStatsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	want := fuzzMsgStats(rng)
+	got, err := ParseMsgStats(AppendMsgStats(nil, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Empty export (a standby daemon): everything zero, still decodes.
+	got, err = ParseMsgStats(AppendMsgStats(nil, &MsgStats{QueueCap: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.QueueCap != 4 || got.ShardEvents != nil || got.Hists != nil || got.Flight != nil {
+		t.Fatalf("empty export decoded as %+v", got)
+	}
+}
+
+func TestMsgStatsHostile(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	good := AppendMsgStats(nil, fuzzMsgStats(rng))
+
+	// Truncations anywhere must come back typed, never panic.
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := ParseMsgStats(good[:cut]); err != nil && !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("cut %d: untyped error %v", cut, err)
+		}
+	}
+	// A forged shard count cannot demand allocation beyond the payload.
+	var b []byte
+	b = appendUvarintForTest(b, MaxStatsShards)
+	if _, err := ParseMsgStats(b); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("forged shard count: err = %v, want ErrCorruptFrame", err)
+	}
+	// Out-of-range histogram bucket index.
+	m := &MsgStats{Hists: []HistStat{{Name: "x"}}}
+	m.Hists[0].Buckets[obs.NumBuckets-1] = 5
+	enc := AppendMsgStats(nil, m)
+	enc[len(enc)-3] = byte(obs.NumBuckets) // corrupt the bucket index past the cap
+	if _, err := ParseMsgStats(enc); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("bad bucket index: err = %v, want ErrCorruptFrame", err)
+	}
+	// Trailing bytes are rejected.
+	if _, err := ParseMsgStats(append(good, 0)); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func appendUvarintForTest(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// TestMsgStatsTruncatesOversize pins the never-fail-to-encode side:
+// oversize flight logs keep the newest events, oversize hist lists are
+// cut, and the result still decodes.
+func TestMsgStatsTruncatesOversize(t *testing.T) {
+	m := &MsgStats{}
+	for i := 0; i < MaxFlightEvents+10; i++ {
+		m.Flight = append(m.Flight, obs.Event{Seq: uint64(i), Kind: obs.EvEpoch, Shard: -1})
+	}
+	got, err := ParseMsgStats(AppendMsgStats(nil, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Flight) != MaxFlightEvents {
+		t.Fatalf("flight len %d, want cap %d", len(got.Flight), MaxFlightEvents)
+	}
+	if got.Flight[0].Seq != 10 {
+		t.Fatalf("truncation dropped the newest events: first seq %d, want 10", got.Flight[0].Seq)
+	}
+}
+
+// TestClientCountersRaceClean hammers a retrying client from one
+// goroutine while another polls Sheds()/Retries() and a shared obs
+// registry — the accessor-vs-writer race the counters went atomic for.
+// Run under -race in CI.
+func TestClientCountersRaceClean(t *testing.T) {
+	reg := obs.NewRegistry(1, 16)
+	sheds := 6
+	replies := make([]func(uint64) (Type, []byte), 0, sheds+1)
+	for i := 0; i < sheds; i++ {
+		replies = append(replies, overloaded(50*time.Microsecond))
+	}
+	replies = append(replies, ok(5))
+
+	cEnd, fs := startFakeServerOpts(t, replies, ClientOptions{
+		Seed:        11,
+		MaxRetries:  sheds,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Timeout:     2 * time.Second,
+		Obs:         reg,
+	})
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Poll the counters concurrently with the retry loop: every read
+		// must be torn-free and monotonic.
+		var lastS, lastR int64
+		for !stop.Load() {
+			s, r := cEnd.Sheds(), cEnd.Retries()
+			if s < lastS || r < lastR {
+				t.Errorf("counters went backwards: sheds %d->%d retries %d->%d", lastS, s, lastR, r)
+				return
+			}
+			lastS, lastR = s, r
+			_ = reg.Global.Load(obs.SlotSheds)
+			_ = reg.RoundTrip.Snapshot()
+		}
+	}()
+
+	cost, err := cEnd.Ingest([]workload.TraceEvent{{Object: 1, Node: 2}}, 0)
+	stop.Store(true)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 5 {
+		t.Fatalf("cost = %d, want 5", cost)
+	}
+	<-fs.done
+	if got := cEnd.Sheds(); got != int64(sheds) {
+		t.Fatalf("sheds = %d, want %d", got, sheds)
+	}
+	if got := cEnd.Retries(); got != int64(sheds) {
+		t.Fatalf("retries = %d, want %d", got, sheds)
+	}
+	// The shared registry saw the same story, plus one round trip per
+	// attempt (sheds + the final success).
+	if got := reg.Global.Load(obs.SlotSheds); got != int64(sheds) {
+		t.Fatalf("registry sheds = %d, want %d", got, sheds)
+	}
+	if got := reg.RoundTrip.Count(); got != int64(sheds+1) {
+		t.Fatalf("round trips = %d, want %d", got, sheds+1)
+	}
+}

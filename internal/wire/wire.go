@@ -39,6 +39,7 @@ import (
 	"math"
 	"time"
 
+	"hbn/internal/obs"
 	"hbn/internal/topo"
 	"hbn/internal/tree"
 	"hbn/internal/workload"
@@ -66,6 +67,11 @@ const (
 	MaxStringLen = 1 << 10
 	// SnapChunkSize is the chunk size HandoffTo streams snapshot images in.
 	SnapChunkSize = 256 << 10
+	// MaxStatsShards / MaxStatsHists / MaxFlightEvents cap the variable
+	// sections of a TMsgStatsOK body against hostile counts.
+	MaxStatsShards  = 1 << 12
+	MaxStatsHists   = 64
+	MaxFlightEvents = 1 << 14
 )
 
 // Type identifies a frame's payload.
@@ -108,14 +114,20 @@ const (
 	TSnapChunk
 	TTail
 	THandoffCommit
-	maxType = THandoffCommit
+	// TMsgStats asks for the daemon's full telemetry export — per-shard
+	// counters, latency histograms, queue gauges and the flight-recorder
+	// tail. Idempotent and read-only, like TStats.
+	TMsgStats
+	TMsgStatsOK
+	maxType = TMsgStatsOK
 )
 
 func (t Type) String() string {
 	names := [...]string{"?", "ingest", "ingest-ok", "overloaded", "expired",
 		"error", "query", "query-ok", "stats", "stats-ok", "snapshot",
 		"snapshot-ok", "reconfig", "reconfig-ok", "handoff", "handoff-ok",
-		"handoff-begin", "snap-chunk", "tail", "handoff-commit"}
+		"handoff-begin", "snap-chunk", "tail", "handoff-commit",
+		"msg-stats", "msg-stats-ok"}
 	if int(t) < len(names) {
 		return names[t]
 	}
@@ -936,4 +948,195 @@ func ParseHandoffCommit(body []byte) (*HandoffCommit, error) {
 		return nil, err
 	}
 	return h, nil
+}
+
+// ---- Telemetry export (TMsgStatsOK) ----
+
+// HistStat is one named latency histogram in a telemetry export. Buckets
+// is the dense log2 bucket array (obs.NumBuckets entries); the encoding
+// on the wire is sparse (only non-zero buckets travel). Count is derived
+// from the buckets on parse, so a decoded HistStat is self-consistent by
+// construction.
+type HistStat struct {
+	Name                 string
+	Count, Sum, Min, Max int64
+	Buckets              [obs.NumBuckets]int64
+}
+
+// Quantile mirrors obs.HistSnapshot.Quantile over the decoded buckets.
+func (h *HistStat) Quantile(q float64) int64 {
+	s := obs.HistSnapshot{Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max, Buckets: h.Buckets}
+	return s.Quantile(q)
+}
+
+// MsgStats is a TMsgStatsOK body: the daemon's full telemetry export.
+// Where DaemonStats is the conservation ledger (exact counters a client
+// reconciles against), MsgStats is the observability surface: per-shard
+// counter rows, admission gauges, strategy op counts, latency histograms
+// and the flight-recorder tail.
+type MsgStats struct {
+	// Per-shard counter rows (index = shard).
+	ShardEvents, ShardCost, ShardBatches []int64
+	// Dropped totals and drift-trigger count (cluster-wide).
+	DroppedLoad, DroppedCost, DriftFires int64
+	// Strategy op counts accumulated across epochs and reconfigurations.
+	Replications, Contractions, Materializations, Adoptions int64
+	// Admission gauges: queue occupancy and the apply-time EWMA the
+	// retry-after hint derives from.
+	QueueLen, QueueCap, QueueHighWater, EwmaApplyNs int64
+	// Named latency histograms (ingest_batch, epoch_pass, ...).
+	Hists []HistStat
+	// Flight is the recorder tail, oldest first, bounded by
+	// MaxFlightEvents.
+	Flight []obs.Event
+}
+
+// AppendMsgStats encodes a TMsgStatsOK body. Shard rows beyond
+// MaxStatsShards, histograms beyond MaxStatsHists and flight events
+// beyond MaxFlightEvents are truncated rather than rejected — the export
+// path must never fail to encode.
+func AppendMsgStats(dst []byte, m *MsgStats) []byte {
+	shards := min(len(m.ShardEvents), min(len(m.ShardCost), len(m.ShardBatches)))
+	shards = min(shards, MaxStatsShards)
+	dst = binary.AppendUvarint(dst, uint64(shards))
+	for i := 0; i < shards; i++ {
+		dst = binary.AppendVarint(dst, m.ShardEvents[i])
+		dst = binary.AppendVarint(dst, m.ShardCost[i])
+		dst = binary.AppendVarint(dst, m.ShardBatches[i])
+	}
+	for _, v := range []int64{
+		m.DroppedLoad, m.DroppedCost, m.DriftFires,
+		m.Replications, m.Contractions, m.Materializations, m.Adoptions,
+		m.QueueLen, m.QueueCap, m.QueueHighWater, m.EwmaApplyNs,
+	} {
+		dst = binary.AppendVarint(dst, v)
+	}
+	hists := m.Hists
+	if len(hists) > MaxStatsHists {
+		hists = hists[:MaxStatsHists]
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(hists)))
+	for i := range hists {
+		h := &hists[i]
+		name := h.Name
+		if len(name) > MaxStringLen {
+			name = name[:MaxStringLen]
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(name)))
+		dst = append(dst, name...)
+		dst = binary.AppendVarint(dst, h.Sum)
+		dst = binary.AppendVarint(dst, h.Min)
+		dst = binary.AppendVarint(dst, h.Max)
+		nz := 0
+		for _, c := range h.Buckets {
+			if c != 0 {
+				nz++
+			}
+		}
+		dst = binary.AppendUvarint(dst, uint64(nz))
+		for b, c := range h.Buckets {
+			if c != 0 {
+				dst = append(dst, byte(b))
+				dst = binary.AppendVarint(dst, c)
+			}
+		}
+	}
+	flight := m.Flight
+	if len(flight) > MaxFlightEvents {
+		flight = flight[len(flight)-MaxFlightEvents:] // keep the newest
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(flight)))
+	for i := range flight {
+		e := &flight[i]
+		dst = binary.AppendUvarint(dst, e.Seq)
+		dst = binary.AppendVarint(dst, e.TimeNs)
+		dst = binary.AppendUvarint(dst, uint64(e.Kind))
+		dst = binary.AppendVarint(dst, int64(e.Shard))
+		dst = binary.AppendVarint(dst, e.A)
+		dst = binary.AppendVarint(dst, e.B)
+		dst = binary.AppendVarint(dst, e.C)
+	}
+	return dst
+}
+
+// ParseMsgStats decodes a TMsgStatsOK body under the hostile-input
+// discipline: every count is bounded before allocation.
+func ParseMsgStats(body []byte) (*MsgStats, error) {
+	d := &dec{b: body}
+	m := &MsgStats{}
+	ns := d.count(MaxStatsShards, 3, "stats shard")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if ns > 0 {
+		m.ShardEvents = make([]int64, ns)
+		m.ShardCost = make([]int64, ns)
+		m.ShardBatches = make([]int64, ns)
+		for i := 0; i < ns; i++ {
+			m.ShardEvents[i] = d.varint()
+			m.ShardCost[i] = d.varint()
+			m.ShardBatches[i] = d.varint()
+		}
+	}
+	for _, p := range []*int64{
+		&m.DroppedLoad, &m.DroppedCost, &m.DriftFires,
+		&m.Replications, &m.Contractions, &m.Materializations, &m.Adoptions,
+		&m.QueueLen, &m.QueueCap, &m.QueueHighWater, &m.EwmaApplyNs,
+	} {
+		*p = d.varint()
+	}
+	nh := d.count(MaxStatsHists, 4, "histogram")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nh > 0 {
+		m.Hists = make([]HistStat, nh)
+		for i := range m.Hists {
+			h := &m.Hists[i]
+			h.Name = d.str("histogram name")
+			h.Sum = d.varint()
+			h.Min = d.varint()
+			h.Max = d.varint()
+			nb := d.count(obs.NumBuckets, 2, "histogram bucket")
+			if d.err != nil {
+				return nil, d.err
+			}
+			for j := 0; j < nb; j++ {
+				b := d.byte()
+				c := d.varint()
+				if d.err != nil {
+					return nil, d.err
+				}
+				if int(b) >= obs.NumBuckets {
+					return nil, corrupt("histogram bucket %d out of range", b)
+				}
+				if c < 0 {
+					return nil, corrupt("negative histogram bucket count %d", c)
+				}
+				h.Buckets[b] = c
+				h.Count += c
+			}
+		}
+	}
+	nf := d.count(MaxFlightEvents, 7, "flight event")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nf > 0 {
+		m.Flight = make([]obs.Event, nf)
+		for i := range m.Flight {
+			e := &m.Flight[i]
+			e.Seq = d.uvarint()
+			e.TimeNs = d.varint()
+			e.Kind = obs.Kind(d.id(math.MaxUint8, "flight kind"))
+			e.Shard = int32(d.varint())
+			e.A = d.varint()
+			e.B = d.varint()
+			e.C = d.varint()
+		}
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }

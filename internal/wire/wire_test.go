@@ -331,4 +331,5 @@ func parseAll(b []byte) {
 	ParseString(b)
 	ParseHandoffBegin(b)
 	ParseHandoffCommit(b)
+	ParseMsgStats(b)
 }
